@@ -1,0 +1,51 @@
+// Ablation B: mux coverage vs. timing budget.
+//
+// AddMUX() multiplexes only the cells whose slack absorbs the mux delay;
+// this sweep adds an artificial slack margin to demand increasingly more
+// headroom (fewer muxes) and reports the resulting dynamic/static power.
+// margin = 0 reproduces the paper's rule ("critical path delay
+// unchanged"); the extreme right of the sweep approaches the PI-only
+// input-control technique.
+//
+// Usage: ablation_mux_coverage [--circuits ...] [--max-gates N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "netlist/stats.hpp"
+
+using namespace scanpower;
+using namespace scanpower::benchtool;
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv);
+  if (args.max_gates == 0) args.max_gates = 1500;
+  default_to_small_set(args);
+  const double margins_ps[] = {0.0, 10.0, 25.0, 50.0, 100.0, 1e9};
+
+  std::printf("Ablation B: slack margin sweep (AddMUX timing budget)\n\n");
+  std::printf("%-8s %12s %8s %8s %14s %12s\n", "circuit", "margin(ps)",
+              "muxed", "cells", "dyn(uW/Hz)", "static(uW)");
+  for (const PaperRow& row : paper_table1()) {
+    if (!args.selected(row.circuit)) continue;
+    const Netlist nl = prepare_circuit(row.circuit);
+    const NetlistStats st = compute_stats(nl);
+    if (st.num_comb_gates > static_cast<std::size_t>(args.max_gates)) continue;
+
+    FlowOptions base = tuned_options(st.num_comb_gates);
+    const TestSet tests = generate_tests(nl, base.tpg);
+    for (const double margin : margins_ps) {
+      FlowOptions opts = base;
+      opts.mux.slack_margin_ps = margin;
+      FlowResult details;
+      const ScanPowerResult r = run_proposed(nl, tests, opts, &details);
+      std::printf("%-7s* %12.0f %8zu %8zu %14.3e %12.2f\n", row.circuit,
+                  margin, details.mux_plan.num_multiplexed,
+                  details.mux_plan.multiplexed.size(), r.dynamic_per_hz_uw,
+                  r.static_uw);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation C: contribution of each flow stage.
+//
+// The proposed method = AddMUX + observability-directed blocking pattern
+// + min-leakage don't-care fill + pin reordering. This harness toggles
+// the stages one at a time (keeping everything else fixed) so the
+// per-stage contribution to the Table-I result is visible.
+//
+// Usage: ablation_stages [--circuits ...] [--max-gates N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "netlist/stats.hpp"
+
+using namespace scanpower;
+using namespace scanpower::benchtool;
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv);
+  if (args.max_gates == 0) args.max_gates = 1500;
+  default_to_small_set(args);
+
+  std::printf("Ablation C: per-stage contribution\n\n");
+  std::printf("%-8s %-22s %14s %12s\n", "circuit", "configuration",
+              "dyn(uW/Hz)", "static(uW)");
+  for (const PaperRow& row : paper_table1()) {
+    if (!args.selected(row.circuit)) continue;
+    const Netlist nl = prepare_circuit(row.circuit);
+    const NetlistStats st = compute_stats(nl);
+    if (st.num_comb_gates > static_cast<std::size_t>(args.max_gates)) continue;
+
+    FlowOptions base = tuned_options(st.num_comb_gates);
+    const TestSet tests = generate_tests(nl, base.tpg);
+
+    struct Config {
+      const char* name;
+      bool muxes, obs, fill, reorder;
+    };
+    const Config configs[] = {
+        {"full method", true, true, true, true},
+        {"- pin reorder", true, true, true, false},
+        {"- min-leak fill", true, true, false, true},
+        {"- observability", true, false, true, true},
+        {"- muxes (PI only)", false, true, true, true},
+        {"blocking only", true, false, false, false},
+    };
+    for (const Config& c : configs) {
+      FlowOptions opts = base;
+      opts.insert_muxes = c.muxes;
+      opts.use_observability_directive = c.obs;
+      opts.do_min_leakage_fill = c.fill;
+      opts.do_pin_reorder = c.reorder;
+      const ScanPowerResult r = run_proposed(nl, tests, opts, nullptr);
+      std::printf("%-7s* %-22s %14.3e %12.2f\n", row.circuit, c.name,
+                  r.dynamic_per_hz_uw, r.static_uw);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Throughput micro-benchmarks (google-benchmark) for the computational
+// kernels behind every experiment: logic simulation, packed fault
+// simulation, STA, leakage evaluation, observability and justification.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "atpg/fault_sim.hpp"
+#include "atpg/packed_sim.hpp"
+#include "atpg/tpg.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/justify.hpp"
+#include "power/leakage_model.hpp"
+#include "power/observability.hpp"
+#include "sim/simulator.hpp"
+#include "techmap/techmap.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace scanpower;
+
+const Netlist& circuit(const std::string& name) {
+  static std::map<std::string, Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, map_to_nand_nor_inv(make_iscas89_like(name))).first;
+  }
+  return it->second;
+}
+
+void BM_SimulatorFullEval(benchmark::State& state) {
+  const Netlist& nl = circuit(state.range(0) == 0 ? "s344" : "s1423");
+  Simulator sim(nl);
+  Rng rng(1);
+  for (auto _ : state) {
+    for (GateId pi : nl.inputs()) sim.set_input(pi, from_bool(rng.next_bool()));
+    for (GateId ff : nl.dffs()) sim.set_state(ff, from_bool(rng.next_bool()));
+    sim.eval();
+    benchmark::DoNotOptimize(sim.values().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_SimulatorFullEval)->Arg(0)->Arg(1);
+
+void BM_SimulatorIncrementalOneBit(benchmark::State& state) {
+  const Netlist& nl = circuit(state.range(0) == 0 ? "s344" : "s1423");
+  Simulator sim(nl);
+  for (GateId pi : nl.inputs()) sim.set_input(pi, Logic::Zero);
+  for (GateId ff : nl.dffs()) sim.set_state(ff, Logic::Zero);
+  sim.eval();
+  bool flip = false;
+  for (auto _ : state) {
+    sim.set_state(nl.dffs()[0], from_bool(flip));
+    flip = !flip;
+    sim.eval_incremental();
+    benchmark::DoNotOptimize(sim.values().data());
+  }
+}
+BENCHMARK(BM_SimulatorIncrementalOneBit)->Arg(0)->Arg(1);
+
+void BM_PackedSim64Patterns(benchmark::State& state) {
+  const Netlist& nl = circuit("s1423");
+  PackedSimulator sim(nl);
+  Rng rng(3);
+  for (auto _ : state) {
+    for (GateId pi : nl.inputs()) sim.set_source(pi, rng.next_u64());
+    for (GateId ff : nl.dffs()) sim.set_source(ff, rng.next_u64());
+    sim.eval();
+    benchmark::DoNotOptimize(sim.values().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_PackedSim64Patterns);
+
+void BM_FaultSim64Patterns(benchmark::State& state) {
+  const Netlist& nl = circuit("s344");
+  const auto faults = collapse_faults(nl);
+  FaultSimulator fsim(nl);
+  Rng rng(5);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 64; ++i) pats.push_back(random_pattern(nl, rng));
+  for (auto _ : state) {
+    const FaultSimResult res = fsim.run(pats, faults);
+    benchmark::DoNotOptimize(res.num_detected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_FaultSim64Patterns);
+
+void BM_StaticTimingAnalysis(benchmark::State& state) {
+  const Netlist& nl = circuit("s1423");
+  const DelayModel model;
+  for (auto _ : state) {
+    TimingAnalysis sta(nl, model);
+    benchmark::DoNotOptimize(sta.critical_delay_ps());
+  }
+}
+BENCHMARK(BM_StaticTimingAnalysis);
+
+void BM_CircuitLeakage(benchmark::State& state) {
+  const Netlist& nl = circuit("s1423");
+  const LeakageModel model;
+  Simulator sim(nl);
+  Rng rng(7);
+  for (GateId pi : nl.inputs()) sim.set_input(pi, from_bool(rng.next_bool()));
+  for (GateId ff : nl.dffs()) sim.set_state(ff, from_bool(rng.next_bool()));
+  sim.eval();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.circuit_leakage_na(nl, sim.values()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_CircuitLeakage);
+
+void BM_ObservabilityMonteCarlo(benchmark::State& state) {
+  const Netlist& nl = circuit("s344");
+  const LeakageModel model;
+  ObservabilityOptions opts;
+  opts.samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LeakageObservability obs(nl, model, opts);
+    benchmark::DoNotOptimize(obs.values().data());
+  }
+}
+BENCHMARK(BM_ObservabilityMonteCarlo)->Arg(64)->Arg(256);
+
+void BM_Justify(benchmark::State& state) {
+  const Netlist& nl = circuit("s344");
+  std::vector<bool> controllable(nl.num_gates(), false);
+  for (GateId pi : nl.inputs()) controllable[pi] = true;
+  for (GateId ff : nl.dffs()) controllable[ff] = true;
+  // Justify deep internal lines round-robin.
+  std::vector<GateId> targets;
+  for (GateId id : nl.topo_order()) {
+    if (nl.level(id) >= nl.depth() / 2) targets.push_back(id);
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    Justifier j(nl, controllable);
+    const GateId t = targets[k++ % targets.size()];
+    benchmark::DoNotOptimize(j.justify(t, true));
+  }
+}
+BENCHMARK(BM_Justify);
+
+void BM_TestGeneration(benchmark::State& state) {
+  const Netlist& nl = circuit("s344");
+  for (auto _ : state) {
+    const TestSet ts = generate_tests(nl);
+    benchmark::DoNotOptimize(ts.patterns.size());
+  }
+}
+BENCHMARK(BM_TestGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

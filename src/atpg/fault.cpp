@@ -1,0 +1,88 @@
+#include "atpg/fault.hpp"
+
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+std::string Fault::to_string(const Netlist& nl) const {
+  if (pin < 0) {
+    return strprintf("%s/sa%d", nl.gate_name(gate).c_str(), stuck_at ? 1 : 0);
+  }
+  return strprintf("%s.in%d/sa%d", nl.gate_name(gate).c_str(), pin,
+                   stuck_at ? 1 : 0);
+}
+
+namespace {
+
+/// Is this gate a fault site in the full-scan combinational view?
+bool is_fault_site(const Netlist& nl, GateId id) {
+  const GateType t = nl.type(id);
+  if (t == GateType::Const0 || t == GateType::Const1) return false;
+  if (t == GateType::Dff) return true;  // Q net = pseudo-input stem
+  return true;                          // PIs and combinational gates
+}
+
+/// Do input faults on this pin have an input-pin identity distinct from
+/// the stem? (Only fanout branches create distinct faults; with BENCH
+/// one-net-per-gate semantics, a pin fault is distinct from the driver's
+/// stem fault iff the driver has fanout > 1.)
+bool pin_fault_distinct(const Netlist& nl, GateId gate, int pin) {
+  const GateId driver = nl.fanins(gate)[static_cast<std::size_t>(pin)];
+  return nl.fanouts(driver).size() > 1;
+}
+
+}  // namespace
+
+std::vector<Fault> enumerate_faults(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (!is_fault_site(nl, id)) continue;
+    faults.push_back({id, -1, false});
+    faults.push_back({id, -1, true});
+    if (!is_combinational(nl.type(id)) && nl.type(id) != GateType::Dff) continue;
+    for (int pin = 0; pin < static_cast<int>(nl.fanins(id).size()); ++pin) {
+      faults.push_back({id, pin, false});
+      faults.push_back({id, pin, true});
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& nl) {
+  // Keep: both polarities on every stem; input-pin faults only where they
+  // are neither equivalent to the gate's output fault nor a non-branching
+  // copy of the driver's stem fault.
+  std::vector<Fault> faults;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (!is_fault_site(nl, id)) continue;
+    faults.push_back({id, -1, false});
+    faults.push_back({id, -1, true});
+    const GateType t = nl.type(id);
+    if (t == GateType::Dff) {
+      // The D pin is an observable branch; distinct fault only when the
+      // driver fans out elsewhere too.
+      if (pin_fault_distinct(nl, id, 0)) {
+        faults.push_back({id, 0, false});
+        faults.push_back({id, 0, true});
+      }
+      continue;
+    }
+    if (!is_combinational(t)) continue;
+
+    const auto cv = controlling_value(t);
+    for (int pin = 0; pin < static_cast<int>(nl.fanins(id).size()); ++pin) {
+      for (bool sa : {false, true}) {
+        // BUF/NOT: input faults are equivalent to output faults.
+        if (t == GateType::Buf || t == GateType::Not) continue;
+        // Controlling-value input faults are equivalent to an output fault.
+        if (cv && sa == *cv) continue;
+        // Non-branching pins mirror the driver stem fault exactly.
+        if (!pin_fault_distinct(nl, id, pin)) continue;
+        faults.push_back({id, pin, sa});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,174 @@
+#include "atpg/fault_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "atpg/packed_sim.hpp"
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+  SP_CHECK(nl.finalized(), "FaultSimulator requires a finalized netlist");
+  observable_.assign(nl.num_gates(), 0);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (nl.is_output(id)) observable_[id] = 1;
+  }
+  for (GateId dff : nl.dffs()) observable_[nl.fanins(dff)[0]] = 1;
+  cone_cache_.resize(nl.num_gates());
+  cone_cached_.assign(nl.num_gates(), 0);
+}
+
+const std::vector<GateId>& FaultSimulator::cone(GateId site) {
+  if (cone_cached_[site]) return cone_cache_[site];
+  // DFS over combinational fanout; site included. Sorted by level so a
+  // single sweep evaluates fanins before fanouts.
+  std::vector<GateId> out;
+  std::vector<std::uint8_t> seen(nl_->num_gates(), 0);
+  std::vector<GateId> stack{site};
+  seen[site] = 1;
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    for (GateId fo : nl_->fanouts(id)) {
+      if (!is_combinational(nl_->type(fo))) continue;
+      if (!seen[fo]) {
+        seen[fo] = 1;
+        stack.push_back(fo);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [this](GateId a, GateId b) {
+    const auto la = nl_->level(a);
+    const auto lb = nl_->level(b);
+    return la != lb ? la < lb : a < b;
+  });
+  cone_cache_[site] = std::move(out);
+  cone_cached_[site] = 1;
+  return cone_cache_[site];
+}
+
+FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
+                                   std::span<const Fault> faults,
+                                   const std::vector<bool>* initial_detected) {
+  const Netlist& nl = *nl_;
+  FaultSimResult res;
+  res.detected.assign(faults.size(), false);
+  res.detecting_pattern.assign(faults.size(), FaultSimResult::kNotDetected);
+  res.new_detects_per_pattern.assign(patterns.size(), 0);
+  if (initial_detected) {
+    SP_CHECK(initial_detected->size() == faults.size(),
+             "fault_sim: initial_detected size mismatch");
+  }
+
+  PackedSimulator good(nl);
+  std::vector<PatternWord> faulty(nl.num_gates());
+  std::vector<std::uint8_t> touched(nl.num_gates(), 0);
+  std::vector<PatternWord> ins;
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, patterns.size() - base);
+    // Load the batch into bit lanes.
+    for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
+      PatternWord w = 0;
+      for (std::size_t j = 0; j < batch; ++j) {
+        const Logic v = patterns[base + j].pi[k];
+        SP_CHECK(v != Logic::X, "fault_sim: patterns must be fully specified");
+        if (v == Logic::One) w |= PatternWord{1} << j;
+      }
+      good.set_source(nl.inputs()[k], w);
+    }
+    for (std::size_t k = 0; k < nl.dffs().size(); ++k) {
+      PatternWord w = 0;
+      for (std::size_t j = 0; j < batch; ++j) {
+        const Logic v = patterns[base + j].ppi[k];
+        SP_CHECK(v != Logic::X, "fault_sim: patterns must be fully specified");
+        if (v == Logic::One) w |= PatternWord{1} << j;
+      }
+      good.set_source(nl.dffs()[k], w);
+    }
+    good.eval();
+    const PatternWord lane_mask =
+        batch == 64 ? ~PatternWord{0} : ((PatternWord{1} << batch) - 1);
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (res.detected[fi]) continue;
+      if (initial_detected && (*initial_detected)[fi]) continue;
+      const Fault& f = faults[fi];
+      PatternWord detect = 0;
+
+      if (f.pin >= 0 && nl.type(f.gate) == GateType::Dff) {
+        // Fault on the D branch of a scan cell: directly observed.
+        const PatternWord good_d = good.value(nl.fanins(f.gate)[0]);
+        const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+        detect = (good_d ^ forced) & lane_mask;
+      } else {
+        const GateId site = f.gate;
+        const auto& cone_gates = cone(site);
+        // Seed the faulty machine at the site.
+        PatternWord site_val;
+        if (f.pin < 0) {
+          site_val = f.stuck_at ? ~PatternWord{0} : 0;
+        } else {
+          ins.clear();
+          const auto& fan = nl.fanins(site);
+          for (std::size_t p = 0; p < fan.size(); ++p) {
+            PatternWord w = good.value(fan[p]);
+            if (static_cast<int>(p) == f.pin) {
+              w = f.stuck_at ? ~PatternWord{0} : 0;
+            }
+            ins.push_back(w);
+          }
+          site_val = eval_type_packed(nl.type(site), ins);
+        }
+        if (((site_val ^ good.value(site)) & lane_mask) == 0) {
+          continue;  // fault not excited by any lane
+        }
+        faulty[site] = site_val;
+        touched[site] = 1;
+        if (observable_[site]) {
+          detect |= (site_val ^ good.value(site)) & lane_mask;
+        }
+        // Sweep the cone in level order.
+        for (GateId id : cone_gates) {
+          if (id == site) continue;
+          ins.clear();
+          for (GateId fin : nl.fanins(id)) {
+            ins.push_back(touched[fin] ? faulty[fin] : good.value(fin));
+          }
+          const PatternWord v = eval_type_packed(nl.type(id), ins);
+          faulty[id] = v;
+          touched[id] = 1;
+          if (observable_[id]) {
+            detect |= (v ^ good.value(id)) & lane_mask;
+          }
+        }
+        for (GateId id : cone_gates) touched[id] = 0;
+      }
+
+      if (detect != 0) {
+        res.detected[fi] = true;
+        const int lane = std::countr_zero(detect);
+        const std::size_t pat = base + static_cast<std::size_t>(lane);
+        res.detecting_pattern[fi] = pat;
+        res.new_detects_per_pattern[pat]++;
+        res.num_detected++;
+      }
+    }
+  }
+  return res;
+}
+
+double fault_coverage(const Netlist& nl,
+                      std::span<const TestPattern> patterns) {
+  const std::vector<Fault> faults = collapse_faults(nl);
+  FaultSimulator fsim(nl);
+  const FaultSimResult res = fsim.run(patterns, faults);
+  return faults.empty() ? 0.0
+                        : static_cast<double>(res.num_detected) /
+                              static_cast<double>(faults.size());
+}
+
+}  // namespace scanpower

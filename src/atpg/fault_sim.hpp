@@ -1,0 +1,50 @@
+#pragma once
+// Parallel-pattern, cone-restricted stuck-at fault simulation.
+//
+// Patterns are packed 64 per word; for each live fault only the fanout
+// cone of the fault site is re-evaluated against the good machine, and
+// detection is checked at the observable points inside the cone
+// (primary outputs and DFF D pins -- the full-scan response).
+
+#include <span>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+struct FaultSimResult {
+  static constexpr std::size_t kNotDetected = static_cast<std::size_t>(-1);
+  std::vector<bool> detected;                       ///< per fault
+  std::vector<std::size_t> detecting_pattern;       ///< first detecting pattern or kNotDetected
+  std::vector<std::uint32_t> new_detects_per_pattern;
+  std::size_t num_detected = 0;
+};
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& nl);
+
+  /// Simulates `patterns` (must be fully specified) against `faults`.
+  /// Faults already marked detected in `initial_detected` (optional,
+  /// same size as faults) are skipped (fault dropping across calls).
+  FaultSimResult run(std::span<const TestPattern> patterns,
+                     std::span<const Fault> faults,
+                     const std::vector<bool>* initial_detected = nullptr);
+
+ private:
+  /// Level-sorted combinational fanout cone of a gate (cached).
+  const std::vector<GateId>& cone(GateId site);
+
+  const Netlist* nl_;
+  std::vector<std::uint8_t> observable_;  ///< PO or drives a DFF D pin
+  std::vector<std::vector<GateId>> cone_cache_;
+  std::vector<std::uint8_t> cone_cached_;
+};
+
+/// Convenience: fault coverage of a pattern set over the collapsed list.
+double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns);
+
+}  // namespace scanpower

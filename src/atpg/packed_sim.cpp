@@ -1,0 +1,64 @@
+#include "atpg/packed_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+PatternWord eval_type_packed(GateType type, std::span<const PatternWord> ins) {
+  switch (type) {
+    case GateType::Const0:
+      return 0;
+    case GateType::Const1:
+      return ~PatternWord{0};
+    case GateType::Buf:
+      return ins[0];
+    case GateType::Not:
+      return ~ins[0];
+    case GateType::And:
+    case GateType::Nand: {
+      PatternWord acc = ~PatternWord{0};
+      for (PatternWord w : ins) acc &= w;
+      return type == GateType::And ? acc : ~acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      PatternWord acc = 0;
+      for (PatternWord w : ins) acc |= w;
+      return type == GateType::Or ? acc : ~acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      PatternWord acc = 0;
+      for (PatternWord w : ins) acc ^= w;
+      return type == GateType::Xor ? acc : ~acc;
+    }
+    case GateType::Mux:
+      return (~ins[0] & ins[1]) | (ins[0] & ins[2]);
+    case GateType::Input:
+    case GateType::Dff:
+      SP_ASSERT(false, "eval_type_packed on a source");
+  }
+  SP_ASSERT(false, "unhandled type in eval_type_packed");
+}
+
+PackedSimulator::PackedSimulator(const Netlist& nl) : nl_(&nl) {
+  SP_CHECK(nl.finalized(), "PackedSimulator requires a finalized netlist");
+  values_.assign(nl.num_gates(), 0);
+}
+
+void PackedSimulator::eval() {
+  std::vector<PatternWord> ins;
+  for (GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    ins.clear();
+    for (GateId f : g.fanins) ins.push_back(values_[f]);
+    values_[id] = eval_type_packed(g.type, ins);
+  }
+}
+
+PatternWord PackedSimulator::eval_gate_packed(
+    GateId id, std::span<const PatternWord> fanin_words) const {
+  return eval_type_packed(nl_->type(id), fanin_words);
+}
+
+}  // namespace scanpower

@@ -1,0 +1,44 @@
+#pragma once
+// 64-way parallel-pattern binary simulation.
+//
+// Each gate's value is a 64-bit word, one fully specified pattern per bit
+// lane. Used by the fault simulator (good machine + cone-restricted faulty
+// machine) and by random-phase test generation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+using PatternWord = std::uint64_t;
+
+class PackedSimulator {
+ public:
+  explicit PackedSimulator(const Netlist& nl);
+
+  /// Sets one source's word (bit lane = pattern index).
+  void set_source(GateId id, PatternWord w) { values_[id] = w; }
+  PatternWord value(GateId id) const { return values_[id]; }
+  const std::vector<PatternWord>& values() const { return values_; }
+
+  /// Full levelized evaluation (good machine).
+  void eval();
+
+  /// Evaluates one gate from current fanin words, with an optional forced
+  /// word on one input pin (used by the faulty machine). Exposed so the
+  /// fault simulator can sweep cones.
+  PatternWord eval_gate_packed(GateId id,
+                               std::span<const PatternWord> fanin_words) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<PatternWord> values_;
+};
+
+/// Pure combinational word evaluation for a gate type.
+PatternWord eval_type_packed(GateType type, std::span<const PatternWord> ins);
+
+}  // namespace scanpower

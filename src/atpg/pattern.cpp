@@ -1,0 +1,113 @@
+#include "atpg/pattern.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+bool TestPattern::fully_specified() const {
+  for (Logic v : pi) {
+    if (v == Logic::X) return false;
+  }
+  for (Logic v : ppi) {
+    if (v == Logic::X) return false;
+  }
+  return true;
+}
+
+void TestPattern::random_fill(Rng& rng) {
+  for (Logic& v : pi) {
+    if (v == Logic::X) v = from_bool(rng.next_bool());
+  }
+  for (Logic& v : ppi) {
+    if (v == Logic::X) v = from_bool(rng.next_bool());
+  }
+}
+
+std::string TestPattern::to_string() const {
+  return logic_string(pi) + "|" + logic_string(ppi);
+}
+
+TestPattern TestPattern::from_string(const std::string& s) {
+  const std::size_t bar = s.find('|');
+  SP_CHECK(bar != std::string::npos, "TestPattern: missing '|' separator");
+  TestPattern p;
+  p.pi = logic_vector(s.substr(0, bar));
+  p.ppi = logic_vector(s.substr(bar + 1));
+  return p;
+}
+
+void save_test_set(std::ostream& out, const TestSet& ts) {
+  out << "# scanpower test set\n";
+  out << "seed " << ts.seed << "\n";
+  out << "stats " << ts.total_faults << " " << ts.detected_faults << " "
+      << ts.untestable_faults << " " << ts.aborted_faults << "\n";
+  for (const TestPattern& p : ts.patterns) out << p.to_string() << "\n";
+}
+
+TestSet load_test_set(std::istream& in) {
+  TestSet ts;
+  std::string line;
+  std::size_t expected_pi = 0;
+  std::size_t expected_ppi = 0;
+  bool first_pattern = true;
+  while (std::getline(in, line)) {
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    if (starts_with(body, "seed ")) {
+      ts.seed = static_cast<std::uint64_t>(
+          std::strtoull(std::string(body.substr(5)).c_str(), nullptr, 10));
+      continue;
+    }
+    if (starts_with(body, "stats ")) {
+      const auto parts = split(body.substr(6), " ");
+      SP_CHECK(parts.size() == 4, "test set: malformed stats line");
+      ts.total_faults = std::strtoull(parts[0].c_str(), nullptr, 10);
+      ts.detected_faults = std::strtoull(parts[1].c_str(), nullptr, 10);
+      ts.untestable_faults = std::strtoull(parts[2].c_str(), nullptr, 10);
+      ts.aborted_faults = std::strtoull(parts[3].c_str(), nullptr, 10);
+      continue;
+    }
+    TestPattern p = TestPattern::from_string(std::string(body));
+    if (first_pattern) {
+      expected_pi = p.pi.size();
+      expected_ppi = p.ppi.size();
+      first_pattern = false;
+    }
+    SP_CHECK(p.pi.size() == expected_pi && p.ppi.size() == expected_ppi,
+             "test set: inconsistent pattern widths");
+    ts.patterns.push_back(std::move(p));
+  }
+  return ts;
+}
+
+void save_test_set_file(const std::string& path, const TestSet& ts) {
+  std::ofstream out(path);
+  SP_CHECK(out.good(), "cannot write test set file: " + path);
+  save_test_set(out, ts);
+}
+
+TestSet load_test_set_file(const std::string& path) {
+  std::ifstream in(path);
+  SP_CHECK(in.good(), "cannot open test set file: " + path);
+  return load_test_set(in);
+}
+
+TestPattern random_pattern(const Netlist& nl, Rng& rng) {
+  TestPattern p;
+  p.pi.reserve(nl.inputs().size());
+  p.ppi.reserve(nl.dffs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    p.pi.push_back(from_bool(rng.next_bool()));
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    p.ppi.push_back(from_bool(rng.next_bool()));
+  }
+  return p;
+}
+
+}  // namespace scanpower

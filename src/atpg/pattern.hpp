@@ -1,0 +1,66 @@
+#pragma once
+// Test patterns for the full-scan combinational view.
+//
+// A pattern assigns primary inputs (ordered like Netlist::inputs()) and
+// pseudo-inputs / scan-cell values (ordered like Netlist::dffs()). X
+// entries are care-free positions produced by PODEM before fill.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+
+struct TestPattern {
+  std::vector<Logic> pi;
+  std::vector<Logic> ppi;
+
+  bool fully_specified() const;
+  /// Replaces every X with a random bit.
+  void random_fill(Rng& rng);
+  /// "pi|ppi" string form, e.g. "01x1|100".
+  std::string to_string() const;
+  static TestPattern from_string(const std::string& s);
+};
+
+/// A generated test set plus bookkeeping for reports.
+struct TestSet {
+  std::vector<TestPattern> patterns;
+  std::size_t total_faults = 0;      ///< collapsed fault universe
+  std::size_t detected_faults = 0;
+  std::size_t untestable_faults = 0; ///< proven redundant by PODEM
+  std::size_t aborted_faults = 0;    ///< backtrack limit hit
+  std::uint64_t seed = 0;
+
+  double fault_coverage() const {
+    return total_faults ? static_cast<double>(detected_faults) /
+                              static_cast<double>(total_faults)
+                        : 0.0;
+  }
+  /// Coverage of the testable universe (excludes proven-untestable).
+  double test_efficiency() const {
+    const std::size_t testable = total_faults - untestable_faults;
+    return testable ? static_cast<double>(detected_faults) /
+                          static_cast<double>(testable)
+                    : 0.0;
+  }
+};
+
+/// Uniformly random fully specified pattern.
+TestPattern random_pattern(const Netlist& nl, Rng& rng);
+
+/// Plain-text test-set file format:
+///   # comments
+///   seed <n>
+///   stats <total> <detected> <untestable> <aborted>
+///   <pi bits>|<ppi bits>        (one pattern per line, x = don't care)
+void save_test_set(std::ostream& out, const TestSet& ts);
+TestSet load_test_set(std::istream& in);  ///< throws Error on bad input
+void save_test_set_file(const std::string& path, const TestSet& ts);
+TestSet load_test_set_file(const std::string& path);
+
+}  // namespace scanpower

@@ -1,0 +1,75 @@
+#pragma once
+// PODEM test generation for one stuck-at fault (full-scan combinational
+// view), using dual 3-valued good/faulty machines.
+//
+// Decisions are made only at controllable points (PIs and DFF outputs),
+// which keeps the search complete: if the decision tree is exhausted the
+// fault is proven untestable (redundant). The backtrace tie-break is
+// pluggable (BacktraceDirective); the same engine powers the paper's
+// Justify() when driven by the leakage-observability directive.
+
+#include <optional>
+
+#include "atpg/backtrace_directive.hpp"
+#include "atpg/fault.hpp"
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+struct PodemOptions {
+  int backtrack_limit = 4000;
+  const BacktraceDirective* directive = nullptr;  ///< default: DepthDirective
+};
+
+enum class PodemStatus { Detected, Untestable, Aborted };
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::Aborted;
+  TestPattern pattern;  ///< with X at unassigned positions (Detected only)
+  int backtracks = 0;
+};
+
+class Podem {
+ public:
+  explicit Podem(const Netlist& nl, PodemOptions opts = {});
+
+  PodemResult generate(const Fault& fault);
+
+ private:
+  struct Decision {
+    GateId point;
+    Logic value;
+    bool flipped;
+  };
+
+  void imply();
+  bool detected() const;
+  bool activation_impossible() const;
+  bool activated() const;
+  /// Gates that can still propagate the fault effect.
+  std::vector<GateId> d_frontier() const;
+  /// Objective (line, value) to pursue next; nullopt = dead end.
+  std::optional<std::pair<GateId, bool>> objective();
+  /// Maps an objective to an unassigned controllable point.
+  std::pair<GateId, Logic> backtrace(GateId node, bool value) const;
+  bool backtrack();  ///< false when the tree is exhausted
+
+  Logic faulty_input(GateId gate, std::size_t pin) const;
+  GateId activation_line() const;
+
+  const Netlist* nl_;
+  PodemOptions opts_;
+  DepthDirective default_directive_;
+  Fault fault_{};
+  bool dff_pin_fault_ = false;
+
+  std::vector<Logic> assign_;  ///< controllable-point assignment (by gate id)
+  std::vector<Logic> good_;
+  std::vector<Logic> faulty_;
+  std::vector<Decision> decisions_;
+  int backtracks_ = 0;
+};
+
+}  // namespace scanpower

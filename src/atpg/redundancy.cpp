@@ -1,0 +1,104 @@
+#include "atpg/redundancy.hpp"
+
+#include "atpg/fault.hpp"
+#include "atpg/podem.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/simplify.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+namespace {
+
+/// Ties the output net of `stem` to `value`: every reader is rewired to a
+/// tie cell. Returns the rewritten (finalized) netlist.
+Netlist tie_stem(const Netlist& nl, GateId stem, bool value) {
+  NetlistBuilder builder(nl.name());
+  const std::string tie_name = value ? "tie1$$" : "tie0$$";
+  bool tie_exists = nl.find(tie_name) != kInvalidGate;
+  if (!tie_exists) {
+    builder.add_gate(value ? GateType::Const1 : GateType::Const0, tie_name, {});
+  }
+  auto pin = [&](GateId f) -> std::string {
+    return f == stem ? tie_name : nl.gate_name(f);
+  };
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::Input) {
+      builder.add_input(g.name);
+      continue;
+    }
+    std::vector<std::string> fans;
+    fans.reserve(g.fanins.size());
+    for (GateId f : g.fanins) fans.push_back(pin(f));
+    builder.add_gate(g.type, g.name, fans);
+  }
+  for (GateId po : nl.outputs()) {
+    // A redundant PO stem keeps its own (now unread) gate; the PO itself
+    // is tied only through observability, which PODEM already ruled out
+    // for POs (a PO stem fault is always observable, so it can only be
+    // proven redundant if unexcitable -- in which case the gate is
+    // constant and simplify() handles it). Keep the original PO net.
+    builder.add_output(nl.gate_name(po));
+  }
+  return builder.link();
+}
+
+}  // namespace
+
+RedundancyResult remove_redundancies(const Netlist& nl,
+                                     const RedundancyOptions& opts) {
+  SP_CHECK(nl.finalized(), "remove_redundancies requires a finalized netlist");
+  RedundancyResult res{simplify(nl), 0, 0, 0};
+
+  std::size_t comb_before = 0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (is_combinational(nl.type(id)) && nl.type(id) != GateType::Const0 &&
+        nl.type(id) != GateType::Const1) {
+      ++comb_before;
+    }
+  }
+
+  PodemOptions popts;
+  popts.backtrack_limit = opts.podem_backtrack_limit;
+
+  bool changed = true;
+  while (changed && res.lines_tied < static_cast<std::size_t>(opts.max_ties)) {
+    changed = false;
+    ++res.rounds;
+    Podem podem(res.netlist, popts);
+    // Stem faults only: tying a branch would need fanout splitting.
+    for (GateId id = 0; id < res.netlist.num_gates() && !changed; ++id) {
+      const GateType t = res.netlist.type(id);
+      if (!is_combinational(t) || t == GateType::Const0 ||
+          t == GateType::Const1) {
+        continue;
+      }
+      if (res.netlist.fanouts(id).empty()) continue;  // dead already
+      for (const bool sa : {false, true}) {
+        const PodemResult pr = podem.generate({id, -1, sa});
+        if (pr.status != PodemStatus::Untestable) continue;
+        log_debug(strprintf("redundancy: tying %s to %d",
+                            res.netlist.gate_name(id).c_str(), sa ? 1 : 0));
+        res.netlist = simplify(tie_stem(res.netlist, id, sa));
+        ++res.lines_tied;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  std::size_t comb_after = 0;
+  for (GateId id = 0; id < res.netlist.num_gates(); ++id) {
+    const GateType t = res.netlist.type(id);
+    if (is_combinational(t) && t != GateType::Const0 && t != GateType::Const1) {
+      ++comb_after;
+    }
+  }
+  res.gates_removed = comb_before > comb_after ? comb_before - comb_after : 0;
+  return res;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,34 @@
+#pragma once
+// ATPG-based redundancy removal.
+//
+// A stuck-at fault with *no* test (proven by exhausting PODEM's decision
+// tree) is undetectable: replacing the faulted line by the stuck value
+// cannot change any primary output or next-state function. Repeatedly
+// proving a stem fault redundant, tying the stem to the constant, and
+// re-simplifying yields an irredundant (w.r.t. the proof budget) circuit
+// -- the classic ATPG-driven logic optimization.
+//
+// Removal is one-fault-at-a-time (tying a line can make other redundancy
+// proofs stale), so this pass is intended for small/medium circuits; a
+// round/backtrack budget bounds the work.
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+struct RedundancyOptions {
+  int podem_backtrack_limit = 2000;  ///< proof budget per fault
+  int max_ties = 1 << 20;            ///< stop after this many removals
+};
+
+struct RedundancyResult {
+  Netlist netlist;                ///< simplified, irredundant circuit
+  std::size_t lines_tied = 0;     ///< redundant stems replaced by constants
+  std::size_t gates_removed = 0;  ///< combinational gates eliminated
+  std::size_t rounds = 0;
+};
+
+RedundancyResult remove_redundancies(const Netlist& nl,
+                                     const RedundancyOptions& opts = {});
+
+}  // namespace scanpower

@@ -1,0 +1,27 @@
+#pragma once
+// Deterministic test-set generation (substitute for ATOM [Hamzaoglu &
+// Patel, VTS'98], which the paper uses to produce its test vectors).
+//
+// Flow: collapsed fault list -> random phase with fault dropping ->
+// PODEM top-off for the remaining faults -> reverse-order fault-sim
+// compaction. Produces compact, fully specified pattern sets with the
+// coverage statistics reported alongside every experiment.
+
+#include "atpg/fault.hpp"
+#include "atpg/pattern.hpp"
+#include "atpg/podem.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+struct TpgOptions {
+  std::uint64_t seed = 0xa70a70a7ULL;
+  int max_random_batches = 64;      ///< 64 patterns per batch
+  int unproductive_batch_limit = 2; ///< stop random phase after N dry batches
+  int podem_backtrack_limit = 4000;
+  bool compact = true;              ///< reverse-order compaction pass
+};
+
+TestSet generate_tests(const Netlist& nl, const TpgOptions& opts = {});
+
+}  // namespace scanpower

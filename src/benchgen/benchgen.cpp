@@ -1,0 +1,296 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+const char* s27_bench_text() {
+  // The genuine ISCAS89 s27 netlist.
+  return R"(# s27 -- ISCAS89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+}
+
+Netlist make_s27() { return parse_bench_string(s27_bench_text(), "s27"); }
+
+namespace {
+
+/// Gate-type menu for synthetic circuits, roughly matching ISCAS89 usage:
+/// 2-input NAND/NOR dominate, with AND/OR/NOT sprinkled in. Everything is
+/// later technology-mapped anyway.
+struct TypeChoice {
+  GateType type;
+  int min_w;
+  int max_w;
+  int weight;
+};
+constexpr TypeChoice kMenu[] = {
+    {GateType::Nand, 2, 3, 28}, {GateType::Nor, 2, 3, 22},
+    {GateType::And, 2, 4, 16},  {GateType::Or, 2, 4, 14},
+    {GateType::Not, 1, 1, 14},  {GateType::Nand, 4, 4, 3},
+    {GateType::Nor, 4, 4, 3},
+};
+
+}  // namespace
+
+Netlist generate_synthetic(const SynthProfile& profile) {
+  SP_CHECK(profile.num_pi >= 1 && profile.num_ff >= 1 && profile.num_po >= 1,
+           "generate_synthetic: profile needs at least one PI/PO/FF");
+  SP_CHECK(profile.num_gates >= profile.num_ff + profile.num_po,
+           "generate_synthetic: too few gates for the requested profile");
+  Rng rng(profile.seed);
+
+  // Signals are indexed in creation order; fanins always point backwards,
+  // which guarantees an acyclic combinational part. Levels are tracked so
+  // the logic depth follows the published circuit's profile: each gate
+  // draws a target level and only consumes shallower signals.
+  struct Sig {
+    std::string name;
+    int fanout = 0;
+    int level = 0;
+    std::uint64_t support = 0;  ///< hashed source-support bitset
+  };
+  std::vector<Sig> sigs;
+  std::vector<std::string> pi_names;
+  std::vector<std::string> ff_names;
+  for (int i = 0; i < profile.num_pi; ++i) {
+    pi_names.push_back(strprintf("I%d", i));
+    sigs.push_back({pi_names.back(), 0, 0,
+                    1ull << (sigs.size() % 64)});
+  }
+  for (int i = 0; i < profile.num_ff; ++i) {
+    ff_names.push_back(strprintf("F%d", i));
+    sigs.push_back({ff_names.back(), 0, 0,
+                    1ull << (sigs.size() % 64)});
+  }
+  const int max_depth = std::max(2, profile.max_depth);
+
+  int total_weight = 0;
+  for (const TypeChoice& c : kMenu) total_weight += c.weight;
+
+  struct GateSpec {
+    GateType type;
+    std::string name;
+    std::vector<std::string> fanins;
+  };
+  std::vector<GateSpec> gates;
+
+  // Fanin selection: mostly "recent" signals (builds structure), sometimes
+  // a uniform draw (builds reconvergence and wide fanout); signals with no
+  // fanout yet get priority so little logic dangles. `level_cap` keeps the
+  // resulting gate at or below its target level, and `support_so_far`
+  // steers away from fanins that add no new source support (heavily
+  // overlapping reconvergence breeds untestable redundancy).
+  auto pick_fanin = [&](std::vector<std::size_t>& used, int level_cap,
+                        std::uint64_t support_so_far) -> std::size_t {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      std::size_t idx;
+      const double roll = rng.next_double();
+      if (roll < 0.15) {
+        // Rescue an undriven signal (reservoir over the last 64 unused).
+        std::size_t best = sigs.size();
+        std::size_t seen = 0;
+        for (std::size_t k = sigs.size(); k-- > 0 && seen < 64;) {
+          if (sigs[k].fanout == 0 && sigs[k].level < level_cap) {
+            ++seen;
+            if (rng.next_below(seen) == 0) best = k;
+          }
+        }
+        idx = best != sigs.size() ? best : rng.next_below(sigs.size());
+      } else if (roll < 0.70) {
+        // Locality: among the most recent ~48 signals.
+        const std::size_t window = std::min<std::size_t>(48, sigs.size());
+        idx = sigs.size() - 1 - rng.next_below(window);
+      } else {
+        idx = rng.next_below(sigs.size());
+      }
+      if (sigs[idx].level >= level_cap) continue;
+      // First attempts insist on contributing fresh support bits.
+      if (attempt < 6 && support_so_far != 0 &&
+          (sigs[idx].support & ~support_so_far) == 0) {
+        continue;
+      }
+      if (std::find(used.begin(), used.end(), idx) == used.end()) {
+        used.push_back(idx);
+        return idx;
+      }
+    }
+    // Fallback: a fresh source (level 0 always satisfies the cap).
+    const std::size_t n_src =
+        static_cast<std::size_t>(profile.num_pi + profile.num_ff);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::size_t idx = rng.next_below(n_src);
+      if (std::find(used.begin(), used.end(), idx) == used.end()) {
+        used.push_back(idx);
+        return idx;
+      }
+    }
+    // Last resort: linear scan for any unused shallow signal.
+    for (std::size_t idx = 0; idx < sigs.size(); ++idx) {
+      if (sigs[idx].level < level_cap &&
+          std::find(used.begin(), used.end(), idx) == used.end()) {
+        used.push_back(idx);
+        return idx;
+      }
+    }
+    SP_ASSERT(false, "generate_synthetic: no distinct fanin available");
+  };
+
+  for (int g = 0; g < profile.num_gates; ++g) {
+    int roll = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(total_weight)));
+    const TypeChoice* choice = &kMenu[0];
+    for (const TypeChoice& c : kMenu) {
+      roll -= c.weight;
+      if (roll < 0) {
+        choice = &c;
+        break;
+      }
+    }
+    int width = choice->min_w +
+                static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(choice->max_w - choice->min_w + 1)));
+    width = std::min<int>(width, static_cast<int>(sigs.size()));
+    GateType type = choice->type;
+    if (width == 1 && type != GateType::Not) type = GateType::Not;
+
+    // Target level drawn uniformly: produces a roughly even distribution
+    // of gates across levels up to the profile depth.
+    const int target_level =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_depth)));
+    GateSpec spec;
+    spec.type = type;
+    spec.name = strprintf("N%d", g);
+    std::vector<std::size_t> used;
+    int level = 0;
+    std::uint64_t support = 0;
+    for (int k = 0; k < width; ++k) {
+      const std::size_t idx = pick_fanin(used, target_level, support);
+      sigs[idx].fanout++;
+      level = std::max(level, sigs[idx].level + 1);
+      support |= sigs[idx].support;
+      spec.fanins.push_back(sigs[idx].name);
+    }
+    gates.push_back(std::move(spec));
+    sigs.push_back({gates.back().name, 0, level, support});
+  }
+
+  const std::size_t first_gate_sig =
+      static_cast<std::size_t>(profile.num_pi + profile.num_ff);
+
+  // Drain pass: a dangling gate output becomes an extra fanin of some
+  // later, deeper gate (function-preserving for the consumer's level; the
+  // library allows up to 4-input cells). Whatever cannot be drained is
+  // offered to the PO/FF-D sinks below.
+  {
+    std::vector<std::size_t> dangling;
+    for (std::size_t k = first_gate_sig; k < sigs.size(); ++k) {
+      if (sigs[k].fanout == 0) dangling.push_back(k);
+    }
+    // Keep enough dangling signals to feed the sinks.
+    const std::size_t keep =
+        static_cast<std::size_t>(profile.num_po + profile.num_ff);
+    std::size_t to_drain = dangling.size() > keep ? dangling.size() - keep : 0;
+    for (std::size_t k : dangling) {
+      if (to_drain == 0) break;
+      bool drained = false;
+      for (std::size_t g = k - first_gate_sig + 1;
+           g < gates.size() && !drained; ++g) {
+        GateSpec& spec = gates[g];
+        const std::size_t consumer_sig = first_gate_sig + g;
+        if (spec.fanins.size() >= 4) continue;
+        if (sigs[consumer_sig].level <= sigs[k].level) continue;
+        if (spec.type == GateType::Not || spec.type == GateType::Buf) continue;
+        spec.fanins.push_back(sigs[k].name);
+        sigs[k].fanout++;
+        drained = true;
+        --to_drain;
+      }
+    }
+  }
+
+  // Sinks: FF D inputs and POs draw from undriven signals first so no
+  // logic dangles, then random gate outputs (skipping sources for POs to
+  // keep them interesting).
+  std::vector<std::size_t> undriven;
+  for (std::size_t k = first_gate_sig; k < sigs.size(); ++k) {
+    if (sigs[k].fanout == 0) undriven.push_back(k);
+  }
+  rng.shuffle(undriven);
+
+  auto draw_sink_source = [&]() -> std::size_t {
+    if (!undriven.empty()) {
+      const std::size_t idx = undriven.back();
+      undriven.pop_back();
+      return idx;
+    }
+    return first_gate_sig + rng.next_below(sigs.size() - first_gate_sig);
+  };
+
+  std::vector<std::string> ff_d(static_cast<std::size_t>(profile.num_ff));
+  for (auto& d : ff_d) d = sigs[draw_sink_source()].name;
+  // POs must be distinct signals (duplicates collapse when marked).
+  std::vector<std::string> po;
+  std::vector<std::uint8_t> is_po(sigs.size(), 0);
+  while (po.size() < static_cast<std::size_t>(profile.num_po)) {
+    std::size_t idx = draw_sink_source();
+    if (is_po[idx]) {
+      // Linear probe for the next free gate signal.
+      for (std::size_t k = 0; k < sigs.size(); ++k) {
+        idx = first_gate_sig + (idx + k - first_gate_sig + 1) %
+                                   (sigs.size() - first_gate_sig);
+        if (!is_po[idx]) break;
+      }
+    }
+    SP_CHECK(!is_po[idx], "generate_synthetic: not enough signals for POs");
+    is_po[idx] = 1;
+    po.push_back(sigs[idx].name);
+  }
+
+  // Assemble.
+  NetlistBuilder builder(profile.name);
+  for (const std::string& n : pi_names) builder.add_input(n);
+  for (int i = 0; i < profile.num_ff; ++i) {
+    builder.add_gate(GateType::Dff, ff_names[static_cast<std::size_t>(i)],
+                     {ff_d[static_cast<std::size_t>(i)]});
+  }
+  for (const GateSpec& g : gates) builder.add_gate(g.type, g.name, g.fanins);
+  for (const std::string& p : po) builder.add_output(p);
+  return builder.link();
+}
+
+Netlist make_iscas89_like(const std::string& name) {
+  for (const SynthProfile& p : iscas89_profiles()) {
+    if (p.name == name) return generate_synthetic(p);
+  }
+  throw Error("make_iscas89_like: unknown circuit " + name);
+}
+
+Netlist make_circuit(const std::string& name) {
+  if (name == "s27") return make_s27();
+  return make_iscas89_like(name);
+}
+
+}  // namespace scanpower

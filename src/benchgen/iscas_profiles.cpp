@@ -1,0 +1,27 @@
+#include "benchgen/benchgen.hpp"
+
+namespace scanpower {
+
+// Published structural profiles of the twelve ISCAS89 circuits used in
+// Table I of the paper (PI/PO/FF/gate counts and logic depths from the
+// benchmark distribution). Seeds are fixed so every experiment
+// regenerates identical circuits.
+const std::vector<SynthProfile>& iscas89_profiles() {
+  static const std::vector<SynthProfile> profiles = {
+      {"s344", 9, 11, 15, 160, 0x5344'0001ULL, 20},
+      {"s382", 3, 6, 21, 158, 0x5382'0001ULL, 9},
+      {"s444", 3, 6, 21, 181, 0x5444'0001ULL, 11},
+      {"s510", 19, 7, 6, 211, 0x5510'0001ULL, 12},
+      {"s641", 35, 24, 19, 379, 0x5641'0001ULL, 24},
+      {"s713", 35, 23, 19, 393, 0x5713'0001ULL, 26},
+      {"s1196", 14, 14, 18, 529, 0x51196'001ULL, 24},
+      {"s1238", 14, 14, 18, 508, 0x51238'001ULL, 22},
+      {"s1423", 17, 5, 74, 657, 0x51423'001ULL, 30},
+      {"s1494", 8, 19, 6, 647, 0x51494'001ULL, 17},
+      {"s5378", 35, 49, 179, 2779, 0x55378'001ULL, 25},
+      {"s9234", 36, 39, 211, 5597, 0x59234'001ULL, 28},
+  };
+  return profiles;
+}
+
+}  // namespace scanpower

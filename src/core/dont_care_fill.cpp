@@ -1,0 +1,79 @@
+#include "core/dont_care_fill.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+
+FillResult fill_dont_cares_min_leakage(const Netlist& nl,
+                                       const LeakageModel& model,
+                                       std::vector<Logic>& pi_pattern,
+                                       std::vector<Logic>& mux_pattern,
+                                       const std::vector<bool>& mux_eligible,
+                                       const FillOptions& opts) {
+  SP_CHECK(pi_pattern.size() == nl.inputs().size(),
+           "fill: pi_pattern size mismatch");
+  SP_CHECK(mux_pattern.size() == nl.dffs().size() &&
+               mux_eligible.size() == nl.dffs().size(),
+           "fill: mux_pattern size mismatch");
+
+  // Free positions: X PIs and X *eligible* mux cells.
+  std::vector<std::size_t> free_pi;
+  std::vector<std::size_t> free_mux;
+  for (std::size_t i = 0; i < pi_pattern.size(); ++i) {
+    if (pi_pattern[i] == Logic::X) free_pi.push_back(i);
+  }
+  for (std::size_t i = 0; i < mux_pattern.size(); ++i) {
+    if (mux_eligible[i] && mux_pattern[i] == Logic::X) free_mux.push_back(i);
+  }
+
+  FillResult res;
+  res.free_inputs = free_pi.size() + free_mux.size();
+
+  Rng rng(opts.seed);
+  Simulator sim(nl);
+
+  auto leakage_of = [&](const std::vector<Logic>& pi,
+                        const std::vector<Logic>& mux) {
+    for (std::size_t k = 0; k < pi.size(); ++k) {
+      sim.set_input(nl.inputs()[k], pi[k]);
+    }
+    for (std::size_t c = 0; c < mux.size(); ++c) {
+      // Non-multiplexed cells toggle during shift: X (expected leakage).
+      sim.set_state(nl.dffs()[c], mux_eligible[c] ? mux[c] : Logic::X);
+    }
+    sim.eval_incremental();
+    return model.circuit_leakage_na(nl, sim.values());
+  };
+
+  if (res.free_inputs == 0) {
+    res.best_leakage_na = res.first_leakage_na = leakage_of(pi_pattern, mux_pattern);
+    return res;
+  }
+
+  std::vector<Logic> best_pi = pi_pattern;
+  std::vector<Logic> best_mux = mux_pattern;
+  double best = 0.0;
+  const int trials = opts.minimize_leakage ? std::max(1, opts.trials) : 1;
+  std::vector<Logic> cand_pi = pi_pattern;
+  std::vector<Logic> cand_mux = mux_pattern;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t i : free_pi) cand_pi[i] = from_bool(rng.next_bool());
+    for (std::size_t i : free_mux) cand_mux[i] = from_bool(rng.next_bool());
+    const double leak = leakage_of(cand_pi, cand_mux);
+    if (t == 0) res.first_leakage_na = leak;
+    if (t == 0 || leak < best) {
+      best = leak;
+      best_pi = cand_pi;
+      best_mux = cand_mux;
+    }
+  }
+  res.best_leakage_na = best;
+  res.trials = trials;
+  pi_pattern = std::move(best_pi);
+  mux_pattern = std::move(best_mux);
+  return res;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,45 @@
+#pragma once
+// Don't-care filling for the controlled inputs that remain unassigned
+// after FindControlledInputPattern().
+//
+// The paper fills them with the input-vector-control recipe of
+// [Halter/Najm]: "applying several random inputs and examining the total
+// leakage for each of them" -- the number of required samples is far
+// smaller than the 2^k vector space. The non-controlled pseudo-inputs
+// stay X and contribute their expected leakage, so the objective is the
+// same X-aware leakage the scan-mode average measures.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "power/leakage_model.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+struct FillOptions {
+  int trials = 64;           ///< random candidates examined
+  std::uint64_t seed = 0xf111f111ULL;
+  bool minimize_leakage = true;  ///< false: take the first random fill
+                                 ///< (baseline behaviour)
+};
+
+struct FillResult {
+  double best_leakage_na = 0.0;   ///< expected leakage of the chosen fill
+  double first_leakage_na = 0.0;  ///< leakage of the first (random) fill
+  int trials = 0;
+  std::size_t free_inputs = 0;    ///< number of X positions filled
+};
+
+/// Fills every X in `pi_pattern` / `mux_pattern` in place. Positions of
+/// `mux_pattern` marked X that correspond to non-multiplexed cells must be
+/// excluded by the caller passing `mux_eligible` (true = cell is
+/// multiplexed and may be assigned).
+FillResult fill_dont_cares_min_leakage(const Netlist& nl,
+                                       const LeakageModel& model,
+                                       std::vector<Logic>& pi_pattern,
+                                       std::vector<Logic>& mux_pattern,
+                                       const std::vector<bool>& mux_eligible,
+                                       const FillOptions& opts = {});
+
+}  // namespace scanpower

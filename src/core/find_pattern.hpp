@@ -1,0 +1,72 @@
+#pragma once
+// FindControlledInputPattern() -- the paper's core procedure (Section 4).
+//
+// Inputs: a mapped netlist, the mux plan (which pseudo-inputs are
+// controlled), leakage observability of every line, and an output-
+// capacitance model. Output: one scan-mode pattern for the controlled
+// inputs that blocks as many scan-chain transitions as possible, biased
+// toward low leakage by the observability directive.
+//
+// Worklists:
+//   TNS (transition node set): lines that carry transitions during shift.
+//   TGS (transition gate set): gates fed by a transition whose outcome is
+//     still open (they have unassigned side inputs that could receive the
+//     controlling value).
+//
+// Main loop (paper pseudocode): pick the TGS gate with the largest output
+// capacitance (mc_tg), try to justify its controlling value on one of its
+// don't-care side inputs (candidate order and the Justify() backtrace are
+// both directed by leakage observability); on failure the transition
+// propagates: mc_tg's output joins TNS and its fanout gates are
+// (re)examined.
+//
+// Note on the published pseudocode: step f ("add all fan-out nodes of
+// mc_tg to TNS") is reached via the Goto in step d.iii even when blocking
+// *succeeded*; propagating a blocked gate's output would mark constant
+// lines as transitioning, so we implement the semantically consistent
+// reading -- fanouts are added only when every candidate fails.
+
+#include <vector>
+
+#include "atpg/backtrace_directive.hpp"
+#include "core/justify.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/add_mux.hpp"
+#include "sim/logic.hpp"
+#include "timing/delay_model.hpp"
+
+namespace scanpower {
+
+struct FindPatternOptions {
+  /// Leakage observability per line; enables the paper's directive for
+  /// candidate selection and backtrace. May be null (undirected baseline,
+  /// as in the input-control technique [8]).
+  const std::vector<double>* observability = nullptr;
+  int justify_backtrack_limit = 500;
+  /// Whether primary inputs are controllable (true for both the paper's
+  /// method and the input-control baseline).
+  bool control_primary_inputs = true;
+};
+
+struct FindPatternResult {
+  /// Pattern over primary inputs, ordered like Netlist::inputs(); X =
+  /// don't care (to be filled later).
+  std::vector<Logic> pi_pattern;
+  /// Constants for multiplexed cells, ordered like Netlist::dffs(); X for
+  /// non-multiplexed cells (and still-free multiplexed ones).
+  std::vector<Logic> mux_pattern;
+  /// Implied 3-valued internal values under the pattern (non-controlled
+  /// pseudo-inputs X).
+  std::vector<Logic> implied_values;
+  /// Lines marked as carrying transitions when the procedure finished.
+  std::vector<bool> transition_nodes;
+  std::size_t gates_blocked = 0;     ///< TGS entries resolved by justification
+  std::size_t gates_propagated = 0;  ///< TGS entries whose transition escaped
+  std::size_t transition_lines = 0;  ///< |TNS| at exit
+};
+
+FindPatternResult find_controlled_input_pattern(
+    const Netlist& nl, const MuxPlan& mux_plan, const CapacitanceModel& caps,
+    const FindPatternOptions& opts = {});
+
+}  // namespace scanpower

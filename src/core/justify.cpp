@@ -1,0 +1,170 @@
+#include "core/justify.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+Justifier::Justifier(const Netlist& nl, std::vector<bool> controllable,
+                     const BacktraceDirective* directive)
+    : nl_(&nl),
+      controllable_(std::move(controllable)),
+      directive_(directive ? directive : &default_directive_) {
+  SP_CHECK(nl.finalized(), "Justifier requires a finalized netlist");
+  SP_CHECK(controllable_.size() == nl.num_gates(),
+           "Justifier: controllable mask size mismatch");
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (!controllable_[id]) continue;
+    const GateType t = nl.type(id);
+    SP_CHECK(t == GateType::Input || t == GateType::Dff,
+             "Justifier: controllable point " + nl.gate_name(id) +
+                 " is not a source");
+  }
+  assign_.assign(nl.num_gates(), Logic::X);
+  values_.assign(nl.num_gates(), Logic::X);
+
+  // can_control: a line is influenceable iff it is a controlled input or
+  // any fanin is influenceable (monotone over the topological order).
+  can_control_.assign(nl.num_gates(), false);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (controllable_[id]) can_control_[id] = true;
+  }
+  for (GateId id : nl.topo_order()) {
+    for (GateId f : nl.fanins(id)) {
+      if (can_control_[f]) {
+        can_control_[id] = true;
+        break;
+      }
+    }
+  }
+  imply();
+}
+
+void Justifier::imply() {
+  const Netlist& nl = *nl_;
+  for (GateId pi : nl.inputs()) {
+    values_[pi] = controllable_[pi] ? assign_[pi] : Logic::X;
+  }
+  for (GateId ff : nl.dffs()) {
+    values_[ff] = controllable_[ff] ? assign_[ff] : Logic::X;
+  }
+  std::vector<Logic> ins;
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    ins.clear();
+    for (GateId f : g.fanins) ins.push_back(values_[f]);
+    values_[id] = eval_gate(g.type, ins);
+  }
+}
+
+void Justifier::preset(GateId source, bool value) {
+  SP_CHECK(controllable_[source], "preset on a non-controlled input");
+  SP_CHECK(assign_[source] == Logic::X || assign_[source] == from_bool(value),
+           "preset contradicts an earlier commitment on " +
+               nl_->gate_name(source));
+  assign_[source] = from_bool(value);
+  imply();
+}
+
+std::pair<GateId, Logic> Justifier::backtrace(GateId node, bool value) const {
+  const Netlist& nl = *nl_;
+  GateId cur = node;
+  bool v = value;
+  for (;;) {
+    const GateType t = nl.type(cur);
+    if (controllable_[cur]) return {cur, from_bool(v)};
+    if (t == GateType::Input || t == GateType::Dff || !can_control_[cur] ||
+        t == GateType::Const0 || t == GateType::Const1) {
+      return {kInvalidGate, Logic::X};  // dead end
+    }
+    const Gate& g = nl.gate(cur);
+    const bool want = is_inverting(t) ? !v : v;
+    std::vector<GateId> candidates;
+    for (GateId f : g.fanins) {
+      if (values_[f] == Logic::X && can_control_[f]) candidates.push_back(f);
+    }
+    if (candidates.empty()) return {kInvalidGate, Logic::X};
+    const auto cv = controlling_value(t);
+    GateId chosen;
+    bool next_value;
+    if (cv) {
+      const bool needs_controlling =
+          (want == (t == GateType::Or || t == GateType::Nor));
+      const bool target = needs_controlling ? *cv : !*cv;
+      chosen = directive_->choose(nl, cur, candidates, target);
+      next_value = target;
+    } else if (t == GateType::Buf || t == GateType::Not) {
+      chosen = g.fanins[0];
+      next_value = want;
+    } else {
+      chosen = directive_->choose(nl, cur, candidates, want);
+      next_value = want;
+    }
+    cur = chosen;
+    v = next_value;
+  }
+}
+
+bool Justifier::justify(GateId node, bool value, int backtrack_limit) {
+  const Logic target = from_bool(value);
+  if (values_[node] == target) return true;
+  if (values_[node] != Logic::X) return false;  // contradicts commitments
+  if (!can_control_[node]) return false;
+
+  std::vector<Decision> decisions;
+  int backtracks = 0;
+
+  auto rollback_all = [&]() {
+    for (const Decision& d : decisions) assign_[d.point] = Logic::X;
+    decisions.clear();
+    imply();
+  };
+
+  // Flips the most recent unflipped decision of *this* call; false when
+  // the local decision tree is exhausted (or the budget ran out).
+  auto backtrack = [&]() -> bool {
+    while (!decisions.empty()) {
+      Decision& d = decisions.back();
+      if (!d.flipped && backtracks < backtrack_limit) {
+        d.flipped = true;
+        d.value = logic_not(d.value);
+        assign_[d.point] = d.value;
+        ++backtracks;
+        imply();
+        return true;
+      }
+      assign_[d.point] = Logic::X;
+      decisions.pop_back();
+    }
+    return false;
+  };
+
+  for (;;) {
+    if (values_[node] == target) return true;  // committed
+    if (values_[node] != Logic::X) {
+      if (!backtrack()) {
+        rollback_all();
+        return false;
+      }
+      continue;
+    }
+    // values_[node] == X: extend the assignment toward the objective.
+    const auto [point, pv] = backtrace(node, value);
+    if (point == kInvalidGate) {
+      // No controllable X line supports the objective from here.
+      if (!backtrack()) {
+        rollback_all();
+        return false;
+      }
+      continue;
+    }
+    SP_ASSERT(assign_[point] == Logic::X,
+              "justify backtrace chose an assigned point");
+    assign_[point] = pv;
+    decisions.push_back({point, pv, false});
+    imply();
+  }
+}
+
+}  // namespace scanpower

@@ -1,0 +1,75 @@
+#pragma once
+// Justify(): PODEM-like line justification over the *controlled inputs*
+// (primary inputs + multiplexed pseudo-inputs), the engine behind
+// FindControlledInputPattern().
+//
+// Differences from ATPG PODEM:
+//  - no fault machine: one 3-valued circuit;
+//  - decision points are the controlled inputs only; non-controlled
+//    pseudo-inputs are permanently X (their values change every shift
+//    cycle, so nothing may depend on them);
+//  - justifications are *cumulative*: each successful justify() commits
+//    its assignments and later calls must respect them. A failed call
+//    rolls back everything it assigned.
+//
+// The backtrace tie-break is the pluggable BacktraceDirective; the paper
+// drives it with leakage observability so that, of the many blocking
+// vectors, a low-leakage one is found.
+
+#include <vector>
+
+#include "atpg/backtrace_directive.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+class Justifier {
+ public:
+  /// `controllable[g]` marks gates (must be Input/Dff) whose value the
+  /// scan-mode pattern may fix.
+  Justifier(const Netlist& nl, std::vector<bool> controllable,
+            const BacktraceDirective* directive = nullptr);
+
+  /// Attempts to set line `node` to `value`. Commits on success; restores
+  /// the previous state on failure. Returns success.
+  bool justify(GateId node, bool value, int backtrack_limit = 500);
+
+  /// Pre-assigns a controlled input (e.g. an externally chosen constant).
+  /// Throws if it contradicts an earlier commitment.
+  void preset(GateId source, bool value);
+
+  /// Current 3-valued circuit values under the committed assignment
+  /// (non-controlled sources X).
+  const std::vector<Logic>& values() const { return values_; }
+  Logic value(GateId id) const { return values_[id]; }
+
+  /// Committed controlled-input assignment (X = still free).
+  const std::vector<Logic>& assignment() const { return assign_; }
+
+  const std::vector<bool>& controllable() const { return controllable_; }
+
+  /// True if the line's value can be influenced by controlled inputs
+  /// (i.e. its fanin cone reaches at least one controlled input).
+  bool can_control(GateId id) const { return can_control_[id]; }
+
+ private:
+  struct Decision {
+    GateId point;
+    Logic value;
+    bool flipped;
+  };
+
+  void imply();
+  std::pair<GateId, Logic> backtrace(GateId node, bool value) const;
+
+  const Netlist* nl_;
+  std::vector<bool> controllable_;
+  std::vector<bool> can_control_;
+  DepthDirective default_directive_;
+  const BacktraceDirective* directive_;
+  std::vector<Logic> assign_;
+  std::vector<Logic> values_;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,70 @@
+#include "core/pin_reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+ReorderResult reorder_pins_for_leakage(Netlist& nl, const LeakageModel& model,
+                                       std::span<const Logic> scan_values) {
+  SP_CHECK(scan_values.size() == nl.num_gates(),
+           "reorder_pins_for_leakage: value vector size mismatch");
+  ReorderResult res;
+  std::vector<Logic> ins;
+  std::vector<Logic> permuted;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (!is_symmetric(g.type)) continue;
+    const std::size_t width = g.fanins.size();
+    if (width < 2 || width > 6) continue;  // factorial guard
+    ++res.gates_considered;
+
+    ins.clear();
+    for (GateId f : g.fanins) ins.push_back(scan_values[f]);
+    const double before = model.cell_expected_leakage_na(g.type, ins);
+
+    // Try every distinct permutation of the observed value multiset.
+    std::vector<int> perm(width);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<int> best_perm = perm;
+    double best = before;
+    std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+      return static_cast<int>(ins[static_cast<std::size_t>(a)]) <
+             static_cast<int>(ins[static_cast<std::size_t>(b)]);
+    });
+    // Iterate permutations of pin sources; skip value-identical repeats by
+    // permuting the sorted order with next_permutation over *values*.
+    std::vector<int> p = perm;
+    do {
+      permuted.clear();
+      for (int src : p) permuted.push_back(ins[static_cast<std::size_t>(src)]);
+      const double leak = model.cell_expected_leakage_na(g.type, permuted);
+      if (leak + 1e-12 < best) {
+        best = leak;
+        best_perm = p;
+      }
+    } while (std::next_permutation(p.begin(), p.end(), [&](int a, int b) {
+      // Order permutations by (value, source index) so next_permutation
+      // enumerates each arrangement once.
+      const int va = static_cast<int>(ins[static_cast<std::size_t>(a)]);
+      const int vb = static_cast<int>(ins[static_cast<std::size_t>(b)]);
+      return va != vb ? va < vb : a < b;
+    }));
+
+    res.leakage_before_na += before;
+    res.leakage_after_na += best;
+    bool identity = true;
+    for (std::size_t i = 0; i < width; ++i) {
+      if (best_perm[i] != static_cast<int>(i)) identity = false;
+    }
+    if (!identity) {
+      nl.permute_fanins(id, best_perm);
+      ++res.gates_permuted;
+    }
+  }
+  return res;
+}
+
+}  // namespace scanpower

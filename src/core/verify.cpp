@@ -1,0 +1,114 @@
+#include "core/verify.hpp"
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "timing/sta.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+
+namespace {
+
+/// Compares PO values and DFF next states of the original circuit and the
+/// muxed circuit (shift-enable forced to `se`) on one source assignment.
+bool responses_match(const Netlist& orig, Simulator& sim_orig,
+                     const Netlist& muxed, Simulator& sim_muxed, GateId se,
+                     std::span<const Logic> pi, std::span<const Logic> state) {
+  sim_orig.set_inputs(pi);
+  sim_orig.set_states(state);
+  sim_orig.eval_incremental();
+
+  for (std::size_t k = 0; k < orig.inputs().size(); ++k) {
+    const GateId mpi = muxed.find(orig.gate_name(orig.inputs()[k]));
+    sim_muxed.set_input(mpi, pi[k]);
+  }
+  sim_muxed.set_input(se, Logic::Zero);
+  for (std::size_t c = 0; c < orig.dffs().size(); ++c) {
+    const GateId mff = muxed.find(orig.gate_name(orig.dffs()[c]));
+    sim_muxed.set_state(mff, state[c]);
+  }
+  sim_muxed.eval_incremental();
+
+  for (GateId po : orig.outputs()) {
+    const GateId mpo = muxed.find(orig.gate_name(po));
+    if (sim_orig.value(po) != sim_muxed.value(mpo)) return false;
+  }
+  for (GateId dff : orig.dffs()) {
+    const GateId mff = muxed.find(orig.gate_name(dff));
+    if (sim_orig.next_state(dff) != sim_muxed.next_state(mff)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StructureVerification verify_mux_structure(const Netlist& nl,
+                                           const MuxPlan& plan,
+                                           std::span<const Logic> mux_values,
+                                           const DelayModel& model,
+                                           const TestSet* tests,
+                                           const VerifyOptions& opts) {
+  StructureVerification ver;
+  GateId se = kInvalidGate;
+  const Netlist muxed = insert_muxes_physically(nl, plan, mux_values, &se);
+  SP_ASSERT(se != kInvalidGate, "muxed netlist lost its shift-enable input");
+
+  // --- timing -----------------------------------------------------------
+  const TimingAnalysis sta_before(nl, model);
+  const TimingAnalysis sta_after(muxed, model);
+  ver.critical_delay_before_ps = sta_before.critical_delay_ps();
+  ver.critical_delay_after_ps = sta_after.critical_delay_ps();
+  ver.critical_delay_unchanged =
+      std::abs(ver.critical_delay_after_ps - ver.critical_delay_before_ps) <=
+      opts.delay_epsilon_ps;
+
+  // --- normal-mode equivalence (SE = 0) ----------------------------------
+  Rng rng(opts.seed);
+  Simulator sim_orig(nl);
+  Simulator sim_muxed(muxed);
+  bool equivalent = true;
+  std::vector<Logic> pi(nl.inputs().size());
+  std::vector<Logic> state(nl.dffs().size());
+  for (int v = 0; v < opts.random_vectors && equivalent; ++v) {
+    for (Logic& x : pi) x = from_bool(rng.next_bool());
+    for (Logic& x : state) x = from_bool(rng.next_bool());
+    equivalent = responses_match(nl, sim_orig, muxed, sim_muxed, se, pi, state);
+    ++ver.vectors_checked;
+  }
+  if (tests) {
+    for (const TestPattern& t : tests->patterns) {
+      if (!equivalent) break;
+      if (!t.fully_specified()) continue;
+      equivalent =
+          responses_match(nl, sim_orig, muxed, sim_muxed, se, t.pi, t.ppi);
+      ++ver.vectors_checked;
+    }
+  }
+  ver.normal_mode_equivalent = equivalent;
+
+  // --- scan-mode constants (SE = 1) --------------------------------------
+  bool constants_ok = true;
+  sim_muxed.set_input(se, Logic::One);
+  for (Logic& x : pi) x = from_bool(rng.next_bool());
+  for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
+    sim_muxed.set_input(muxed.find(nl.gate_name(nl.inputs()[k])), pi[k]);
+  }
+  for (std::size_t c = 0; c < nl.dffs().size(); ++c) {
+    sim_muxed.set_state(muxed.find(nl.gate_name(nl.dffs()[c])),
+                        from_bool(rng.next_bool()));
+  }
+  sim_muxed.eval_incremental();
+  for (std::size_t c = 0; c < nl.dffs().size(); ++c) {
+    if (!plan.multiplexed[c]) continue;
+    const GateId mux_gate =
+        muxed.find("mux$" + nl.gate_name(nl.dffs()[c]));
+    SP_ASSERT(mux_gate != kInvalidGate, "planned mux missing");
+    if (sim_muxed.value(mux_gate) != mux_values[c]) constants_ok = false;
+  }
+  ver.scan_mode_constants_ok = constants_ok;
+  return ver;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,52 @@
+#pragma once
+// Structural verification of the proposed scan architecture (the claims
+// illustrated by Figure 1 of the paper):
+//  - inserting the muxes does not change the critical path delay (no
+//    impact on the normal-mode working frequency);
+//  - with shift-enable low the modified circuit is functionally identical
+//    to the original (fault coverage is preserved: the same tests produce
+//    the same responses);
+//  - with shift-enable high every multiplexed pseudo-input presents its
+//    planned constant.
+
+#include <cstdint>
+#include <span>
+
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/add_mux.hpp"
+#include "sim/logic.hpp"
+#include "timing/delay_model.hpp"
+
+namespace scanpower {
+
+struct StructureVerification {
+  double critical_delay_before_ps = 0.0;
+  double critical_delay_after_ps = 0.0;
+  bool critical_delay_unchanged = false;
+  bool normal_mode_equivalent = false;  ///< SE=0: same POs and next states
+  bool scan_mode_constants_ok = false;  ///< SE=1: muxed lines at constants
+  std::size_t vectors_checked = 0;
+
+  bool all_ok() const {
+    return critical_delay_unchanged && normal_mode_equivalent &&
+           scan_mode_constants_ok;
+  }
+};
+
+struct VerifyOptions {
+  int random_vectors = 256;
+  std::uint64_t seed = 0x5eed5eedULL;
+  double delay_epsilon_ps = 1e-6;
+};
+
+/// Builds the physical muxed netlist and checks the three properties.
+/// `tests` (optional) are additionally replayed for response equality.
+StructureVerification verify_mux_structure(const Netlist& nl,
+                                           const MuxPlan& plan,
+                                           std::span<const Logic> mux_values,
+                                           const DelayModel& model,
+                                           const TestSet* tests = nullptr,
+                                           const VerifyOptions& opts = {});
+
+}  // namespace scanpower

@@ -1,0 +1,141 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+namespace {
+
+/// Parses "OP(a, b, c" -- the operator name and comma-separated operand
+/// list; the caller strips the closing paren.
+struct Call {
+  std::string op;
+  std::vector<std::string> operands;
+};
+
+Call parse_call(std::string_view text, const std::string& file, int lineno) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    throw ParseError(file, lineno, "expected OP(...) call");
+  }
+  Call call;
+  call.op = std::string(trim(text.substr(0, open)));
+  const std::string_view args = text.substr(open + 1, close - open - 1);
+  for (const std::string& tok : split(args, ",")) {
+    const std::string operand(trim(tok));
+    if (!operand.empty()) call.operands.push_back(operand);
+  }
+  if (call.op.empty()) throw ParseError(file, lineno, "missing operator name");
+  return call;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& source_name) {
+  NetlistBuilder builder(source_name);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      // Declaration form: INPUT(net) / OUTPUT(net).
+      const Call call = parse_call(body, source_name, lineno);
+      const std::string op = to_upper(call.op);
+      if (call.operands.size() != 1) {
+        throw ParseError(source_name, lineno,
+                         op + " takes exactly one net name");
+      }
+      if (op == "INPUT") {
+        builder.add_input(call.operands[0]);
+      } else if (op == "OUTPUT") {
+        builder.add_output(call.operands[0]);
+      } else {
+        throw ParseError(source_name, lineno, "unknown declaration " + op);
+      }
+      continue;
+    }
+
+    // Assignment form: net = OP(a, b, ...).
+    const std::string out(trim(body.substr(0, eq)));
+    if (out.empty()) throw ParseError(source_name, lineno, "missing net name");
+    const Call call = parse_call(body.substr(eq + 1), source_name, lineno);
+    const auto type = gate_type_from_name(call.op);
+    if (!type) {
+      throw ParseError(source_name, lineno, "unknown gate type " + call.op);
+    }
+    if (*type == GateType::Input) {
+      throw ParseError(source_name, lineno, "INPUT cannot appear as a gate");
+    }
+    // Single-input AND/OR/NAND/NOR degenerate to BUF/NOT (seen in some
+    // .bench dialects).
+    GateType t = *type;
+    if (call.operands.size() == 1) {
+      if (t == GateType::And || t == GateType::Or) t = GateType::Buf;
+      if (t == GateType::Nand || t == GateType::Nor) t = GateType::Not;
+    }
+    builder.add_gate(t, out, call.operands);
+  }
+  try {
+    return builder.link();
+  } catch (const Error& e) {
+    throw ParseError(source_name, lineno, e.what());
+  }
+}
+
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& source_name) {
+  std::istringstream in(text);
+  return parse_bench(in, source_name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  SP_CHECK(in.good(), "cannot open bench file: " + path);
+  // Netlist name = basename without extension.
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.erase(dot);
+  return parse_bench(in, name);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " -- written by scanpower\n";
+  for (GateId id : nl.inputs()) out << "INPUT(" << nl.gate_name(id) << ")\n";
+  for (GateId id : nl.outputs()) out << "OUTPUT(" << nl.gate_name(id) << ")\n";
+  out << "\n";
+  for (std::size_t i = 0; i < nl.num_gates(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    if (g.type == GateType::Input) continue;
+    out << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      if (pin) out << ", ";
+      out << nl.gate_name(g.fanins[pin]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace scanpower

@@ -1,0 +1,27 @@
+#pragma once
+// ISCAS89 .bench reader/writer.
+//
+// Grammar handled (case-insensitive operators, '#' comments):
+//   INPUT(net)
+//   OUTPUT(net)
+//   net = OP(a, b, ...)          OP in {AND OR NAND NOR NOT BUF/BUFF
+//                                       XOR XNOR DFF MUX CONST0 CONST1}
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+/// Parses .bench text. `source_name` is used in error messages and as the
+/// netlist name. Throws ParseError on malformed input.
+Netlist parse_bench(std::istream& in, const std::string& source_name);
+Netlist parse_bench_string(const std::string& text, const std::string& source_name);
+Netlist parse_bench_file(const std::string& path);
+
+/// Serializes back to .bench. Round-trips through parse_bench.
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace scanpower

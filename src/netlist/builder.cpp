@@ -1,0 +1,52 @@
+#include "netlist/builder.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+void NetlistBuilder::add_input(const std::string& net) {
+  entries_.push_back({GateType::Input, net, {}});
+}
+
+void NetlistBuilder::add_output(const std::string& net) {
+  output_marks_.push_back(net);
+}
+
+void NetlistBuilder::add_gate(GateType type, const std::string& out,
+                              const std::vector<std::string>& fanin_nets) {
+  entries_.push_back({type, out, fanin_nets});
+}
+
+Netlist NetlistBuilder::link() const {
+  // Ids are assigned in entry order, so names can be resolved up front and
+  // forward references become plain indices.
+  std::unordered_map<std::string, GateId> ids;
+  ids.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    SP_CHECK(ids.emplace(entries_[i].out, static_cast<GateId>(i)).second,
+             "net defined more than once: " + entries_[i].out);
+  }
+  Netlist nl(name_);
+  for (const Entry& e : entries_) {
+    std::vector<GateId> fan;
+    fan.reserve(e.fanins.size());
+    for (const std::string& f : e.fanins) {
+      auto it = ids.find(f);
+      SP_CHECK(it != ids.end(),
+               "gate " + e.out + " references undefined net " + f);
+      fan.push_back(it->second);
+    }
+    nl.add_gate(e.type, e.out, std::move(fan));
+  }
+  for (const std::string& net : output_marks_) {
+    auto it = ids.find(net);
+    SP_CHECK(it != ids.end(), "OUTPUT references undefined net " + net);
+    nl.mark_output(it->second);
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,40 @@
+#pragma once
+// Name-based netlist construction.
+//
+// .bench files (and synthetic generators) reference nets before they are
+// defined, so construction is two-phase: declare everything by name, then
+// link() resolves names to GateIds, builds the Netlist and finalizes it.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string name = "top") : name_(std::move(name)) {}
+
+  void add_input(const std::string& net);
+  void add_output(const std::string& net);  ///< marks net as PO (may pre-date its definition)
+  void add_gate(GateType type, const std::string& out,
+                const std::vector<std::string>& fanin_nets);
+
+  /// Resolves all names and returns the finalized netlist.
+  /// Throws Error on undefined nets, duplicate definitions, or structural
+  /// problems (arity, combinational cycles).
+  Netlist link() const;
+
+ private:
+  struct Entry {
+    GateType type;
+    std::string out;
+    std::vector<std::string> fanins;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> output_marks_;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,130 @@
+#include "netlist/gate_types.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::Input: return "INPUT";
+    case GateType::Dff: return "DFF";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+  }
+  SP_ASSERT(false, "unknown gate type");
+}
+
+std::optional<GateType> gate_type_from_name(const std::string& name) {
+  const std::string up = to_upper(name);
+  if (up == "INPUT") return GateType::Input;
+  if (up == "DFF") return GateType::Dff;
+  if (up == "CONST0") return GateType::Const0;
+  if (up == "CONST1") return GateType::Const1;
+  if (up == "BUF" || up == "BUFF") return GateType::Buf;
+  if (up == "NOT" || up == "INV") return GateType::Not;
+  if (up == "AND") return GateType::And;
+  if (up == "NAND") return GateType::Nand;
+  if (up == "OR") return GateType::Or;
+  if (up == "NOR") return GateType::Nor;
+  if (up == "XOR") return GateType::Xor;
+  if (up == "XNOR") return GateType::Xnor;
+  if (up == "MUX") return GateType::Mux;
+  return std::nullopt;
+}
+
+bool is_combinational(GateType type) {
+  return type != GateType::Input && type != GateType::Dff;
+}
+
+bool is_structural_source(GateType type) {
+  return type == GateType::Input || type == GateType::Const0 ||
+         type == GateType::Const1;
+}
+
+std::optional<bool> controlling_value(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+      return false;
+    case GateType::Or:
+    case GateType::Nor:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> controlled_output(GateType type) {
+  switch (type) {
+    case GateType::And: return false;
+    case GateType::Nand: return true;
+    case GateType::Or: return true;
+    case GateType::Nor: return false;
+    default: return std::nullopt;
+  }
+}
+
+bool is_inverting(GateType type) {
+  return type == GateType::Not || type == GateType::Nand ||
+         type == GateType::Nor || type == GateType::Xnor;
+}
+
+bool is_symmetric(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int min_fanins(GateType type) {
+  switch (type) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    case GateType::Mux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+int max_fanins(GateType type) {
+  switch (type) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    case GateType::Mux:
+      return 3;
+    default:
+      return 0;  // unbounded
+  }
+}
+
+}  // namespace scanpower

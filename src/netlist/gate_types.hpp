@@ -1,0 +1,71 @@
+#pragma once
+// Gate primitive types and their static properties.
+//
+// The IR follows ISCAS89 .bench semantics: every gate drives exactly one
+// net, and the net is identified with the gate that drives it. DFFs are
+// state elements (their outputs are the pseudo-inputs of the combinational
+// core in full-scan mode); everything else is combinational.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace scanpower {
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input (no fanins)
+  Dff,     ///< D flip-flop; fanin[0] = D; output = Q
+  Const0,  ///< constant logic 0 (no fanins)
+  Const1,  ///< constant logic 1 (no fanins)
+  Buf,     ///< 1-input buffer
+  Not,     ///< 1-input inverter
+  And,     ///< n-input AND (n >= 2)
+  Nand,    ///< n-input NAND (n >= 2)
+  Or,      ///< n-input OR (n >= 2)
+  Nor,     ///< n-input NOR (n >= 2)
+  Xor,     ///< n-input parity (n >= 2)
+  Xnor,    ///< n-input complemented parity (n >= 2)
+  Mux,     ///< 2:1 multiplexer; fanins = {select, a, b}; out = select ? b : a
+};
+
+constexpr int kNumGateTypes = static_cast<int>(GateType::Mux) + 1;
+
+/// Canonical upper-case name ("NAND", "DFF", ...).
+const char* gate_type_name(GateType type);
+
+/// Parse a .bench operator name (case-insensitive). Returns nullopt for
+/// unknown names.
+std::optional<GateType> gate_type_from_name(const std::string& name);
+
+/// True for gates evaluated by the combinational simulator (everything
+/// except Input/Dff; constants are treated as combinational sources with
+/// fixed values).
+bool is_combinational(GateType type);
+
+/// True for gates with no fanins (Input, Const0, Const1). Dff is *not* a
+/// source structurally (it has a D fanin) but acts as a combinational
+/// source in the full-scan view.
+bool is_structural_source(GateType type);
+
+/// Controlling value for simple gates: a single input at this value forces
+/// the output regardless of other inputs. AND/NAND -> 0, OR/NOR -> 1.
+/// nullopt for gates without a controlling value (XOR/XNOR/BUF/NOT/MUX/...).
+std::optional<bool> controlling_value(GateType type);
+
+/// Output value produced when a controlling-value input is present
+/// (e.g. NAND with a 0 input -> 1).
+std::optional<bool> controlled_output(GateType type);
+
+/// True if the gate output inverts relative to the dominant sense
+/// (NOT/NAND/NOR/XNOR).
+bool is_inverting(GateType type);
+
+/// True if the gate function is invariant under any permutation of its
+/// inputs (pin reordering legality).
+bool is_symmetric(GateType type);
+
+/// Minimum/maximum legal fanin count. max = 0 means unbounded.
+int min_fanins(GateType type);
+int max_fanins(GateType type);
+
+}  // namespace scanpower

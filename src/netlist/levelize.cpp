@@ -1,0 +1,70 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+
+namespace scanpower {
+
+std::vector<GateId> fanin_cone(const Netlist& nl,
+                               const std::vector<GateId>& sinks) {
+  std::vector<bool> seen(nl.num_gates(), false);
+  std::vector<GateId> stack = sinks;
+  std::vector<GateId> cone;
+  for (GateId s : stack) seen[s] = true;
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    cone.push_back(id);
+    // Sequential edge D->DFF is part of the sink's cone only when the sink
+    // itself is the DFF; we do traverse its D fanin (callers asking for the
+    // cone of a DFF want the logic feeding it).
+    for (GateId f : nl.fanins(id)) {
+      if (!seen[f]) {
+        seen[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+std::vector<GateId> fanout_cone(const Netlist& nl,
+                                const std::vector<GateId>& sources) {
+  std::vector<bool> seen = reachable_from(nl, sources);
+  std::vector<GateId> cone;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (seen[id]) cone.push_back(id);
+  }
+  return cone;
+}
+
+std::vector<bool> reachable_from(const Netlist& nl,
+                                 const std::vector<GateId>& sources) {
+  std::vector<bool> seen(nl.num_gates(), false);
+  std::vector<GateId> stack;
+  for (GateId s : sources) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    for (GateId fo : nl.fanouts(id)) {
+      // Do not propagate through a DFF: its output changes only on capture,
+      // not combinationally.
+      if (nl.type(fo) == GateType::Dff) {
+        if (!seen[fo]) seen[fo] = true;  // mark the sink itself
+        continue;
+      }
+      if (!seen[fo]) {
+        seen[fo] = true;
+        stack.push_back(fo);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,26 @@
+#pragma once
+// Graph traversal utilities over the combinational core: cones and
+// reachability. Used by timing (path tracing), ATPG (fault cones) and the
+// core algorithm (transition propagation regions).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+/// Transitive fanin of `sinks` (combinational edges only; stops at
+/// Input/Dff/Const sources, which are included). Returned as a sorted
+/// vector of unique GateIds.
+std::vector<GateId> fanin_cone(const Netlist& nl, const std::vector<GateId>& sinks);
+
+/// Transitive fanout of `sources` (combinational edges only; DFF D-pins
+/// terminate propagation, the DFF itself is included as a sink marker).
+std::vector<GateId> fanout_cone(const Netlist& nl, const std::vector<GateId>& sources);
+
+/// Boolean reachability mask: out[g] is true iff g is in the combinational
+/// transitive fanout of any source. Cheaper than fanout_cone when the
+/// caller wants a mask.
+std::vector<bool> reachable_from(const Netlist& nl, const std::vector<GateId>& sources);
+
+}  // namespace scanpower

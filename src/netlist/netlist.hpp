@@ -1,0 +1,107 @@
+#pragma once
+// Gate-level netlist IR.
+//
+// Storage model: gates live in one contiguous vector; a GateId is an index
+// into it. Every gate drives exactly one net, named after the gate
+// (.bench semantics), so "net" and "gate output" are the same thing.
+// Fanouts and levels are derived data, rebuilt by finalize() after any
+// structural edit.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_types.hpp"
+
+namespace scanpower {
+
+using GateId = std::uint32_t;
+constexpr GateId kInvalidGate = static_cast<GateId>(-1);
+
+struct Gate {
+  GateType type = GateType::Input;
+  std::string name;              ///< output net name, unique per netlist
+  std::vector<GateId> fanins;    ///< driver gates, in pin order
+  std::vector<GateId> fanouts;   ///< derived: gates reading this output
+  std::uint32_t level = 0;       ///< derived: combinational level (sources = 0)
+  bool is_output = false;        ///< marked by OUTPUT(...) in .bench
+};
+
+/// A gate-level circuit. Construct through NetlistBuilder (name-based) or
+/// the id-based mutators here, then call finalize() before analysis.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- construction --------------------------------------------------
+  /// Adds a gate; fanin ids must already exist. Returns its id.
+  GateId add_gate(GateType type, std::string name, std::vector<GateId> fanins = {});
+  /// Marks an existing gate's output as a primary output.
+  void mark_output(GateId id);
+  /// Replaces every use of `from` as a fanin with `to` (does not delete
+  /// `from`). Call finalize() afterwards.
+  void replace_uses(GateId from, GateId to);
+  /// Rewires a single fanin pin of `gate` to a new driver.
+  void set_fanin(GateId gate, int pin, GateId driver);
+  /// Permutes the fanin pins of a gate (pin reordering). `perm[i]` is the
+  /// old pin index that moves to position i. Only legal for symmetric gates
+  /// (asserted).
+  void permute_fanins(GateId gate, const std::vector<int>& perm);
+
+  /// Rebuilds fanouts and levels, and validates structure. Must be called
+  /// after construction or any structural edit and before analysis.
+  /// Throws Error on malformed structure (bad arity, combinational cycle).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- access ---------------------------------------------------------
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  GateType type(GateId id) const { return gates_[id].type; }
+  const std::string& gate_name(GateId id) const { return gates_[id].name; }
+  const std::vector<GateId>& fanins(GateId id) const { return gates_[id].fanins; }
+  const std::vector<GateId>& fanouts(GateId id) const { return gates_[id].fanouts; }
+  std::uint32_t level(GateId id) const { return gates_[id].level; }
+  bool is_output(GateId id) const { return gates_[id].is_output; }
+
+  /// Lookup by net name. Returns kInvalidGate if absent.
+  GateId find(const std::string& name) const;
+
+  const std::vector<GateId>& inputs() const { return inputs_; }    ///< PIs
+  const std::vector<GateId>& outputs() const { return outputs_; }  ///< POs
+  const std::vector<GateId>& dffs() const { return dffs_; }        ///< state elements
+
+  /// Combinational gates in topological order (fanins before fanouts);
+  /// excludes Input/Dff. Valid after finalize().
+  const std::vector<GateId>& topo_order() const;
+
+  /// Maximum combinational level (logic depth). Valid after finalize().
+  std::uint32_t depth() const { return depth_; }
+
+  /// Pseudo-inputs of the full-scan combinational core: DFF outputs.
+  /// (Identical to dffs(): the DFF gate id *is* its Q net.)
+  const std::vector<GateId>& pseudo_inputs() const { return dffs_; }
+
+ private:
+  friend class NetlistBuilder;
+
+  void compute_fanouts();
+  void compute_levels_and_topo();  // throws on combinational cycle
+  void validate_arity() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> topo_;
+  std::uint32_t depth_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace scanpower

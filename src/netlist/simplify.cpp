@@ -1,0 +1,358 @@
+#include "netlist/simplify.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+namespace {
+
+/// Per-gate simplification outcome for one pass.
+struct Outcome {
+  enum class Kind { Keep, Const, Alias } kind = Kind::Keep;
+  bool const_value = false;
+  GateId alias = kInvalidGate;     ///< same-polarity replacement
+  GateType type = GateType::Buf;   ///< for Keep: possibly rewritten type
+  std::vector<GateId> fanins;      ///< for Keep: resolved fanins
+};
+
+/// One forward pass: resolve every gate against the outcomes of its
+/// (earlier-in-topo) fanins.
+std::vector<Outcome> analyze(const Netlist& nl, SimplifyStats* stats) {
+  std::vector<Outcome> out(nl.num_gates());
+
+  // Resolve a fanin to (constant | representative id).
+  auto resolve = [&](GateId f) -> std::pair<std::optional<bool>, GateId> {
+    GateId cur = f;
+    for (;;) {
+      const Outcome& o = out[cur];
+      if (o.kind == Outcome::Kind::Const) return {o.const_value, kInvalidGate};
+      if (o.kind == Outcome::Kind::Alias) {
+        cur = o.alias;
+        continue;
+      }
+      return {std::nullopt, cur};
+    }
+  };
+
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.type(id);
+    if (t == GateType::Input) {
+      out[id].kind = Outcome::Kind::Keep;
+      out[id].type = t;
+      continue;
+    }
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      out[id].kind = Outcome::Kind::Const;
+      out[id].const_value = (t == GateType::Const1);
+      continue;
+    }
+  }
+
+  for (GateId id : nl.topo_order()) {
+    const GateType t = nl.type(id);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    Outcome& o = out[id];
+
+    // Resolve fanins, folding constants per gate semantics.
+    switch (t) {
+      case GateType::Buf:
+      case GateType::Not: {
+        const auto [cv, ref] = resolve(nl.fanins(id)[0]);
+        if (cv) {
+          o.kind = Outcome::Kind::Const;
+          o.const_value = (t == GateType::Not) ? !*cv : *cv;
+          if (stats) stats->constants_folded++;
+        } else if (t == GateType::Buf) {
+          o.kind = Outcome::Kind::Alias;
+          o.alias = ref;
+          if (stats) stats->gates_rewritten++;
+        } else {
+          o.kind = Outcome::Kind::Keep;
+          o.type = GateType::Not;
+          o.fanins = {ref};
+        }
+        break;
+      }
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor: {
+        const bool cvv = *controlling_value(t);  // 0 for AND-family
+        const bool inv = is_inverting(t);
+        bool controlled = false;
+        std::vector<GateId> pins;
+        for (GateId f : nl.fanins(id)) {
+          const auto [cv, ref] = resolve(f);
+          if (cv) {
+            if (*cv == cvv) {
+              controlled = true;
+              break;
+            }
+            continue;  // non-controlling constant: pin drops
+          }
+          // Duplicate pins are idempotent for AND/OR semantics.
+          if (std::find(pins.begin(), pins.end(), ref) == pins.end()) {
+            pins.push_back(ref);
+          }
+        }
+        if (controlled) {
+          o.kind = Outcome::Kind::Const;
+          o.const_value = *controlled_output(t);
+          if (stats) stats->constants_folded++;
+        } else if (pins.empty()) {
+          // All pins were non-controlling constants.
+          o.kind = Outcome::Kind::Const;
+          o.const_value = inv ? cvv : !cvv;  // AND()->1, NAND()->0, ...
+          if (stats) stats->constants_folded++;
+        } else if (pins.size() == 1) {
+          if (inv) {
+            o.kind = Outcome::Kind::Keep;
+            o.type = GateType::Not;
+            o.fanins = pins;
+          } else {
+            o.kind = Outcome::Kind::Alias;
+            o.alias = pins[0];
+          }
+          if (stats) stats->gates_rewritten++;
+        } else {
+          o.kind = Outcome::Kind::Keep;
+          o.type = t;
+          o.fanins = std::move(pins);
+          if (o.fanins.size() != nl.fanins(id).size() && stats) {
+            stats->gates_rewritten++;
+          }
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        bool phase = (t == GateType::Xnor);
+        std::vector<GateId> pins;
+        for (GateId f : nl.fanins(id)) {
+          const auto [cv, ref] = resolve(f);
+          if (cv) {
+            phase ^= *cv;
+            continue;
+          }
+          // Pairs of identical inputs cancel.
+          const auto it = std::find(pins.begin(), pins.end(), ref);
+          if (it != pins.end()) {
+            pins.erase(it);
+          } else {
+            pins.push_back(ref);
+          }
+        }
+        if (pins.empty()) {
+          o.kind = Outcome::Kind::Const;
+          o.const_value = phase;
+          if (stats) stats->constants_folded++;
+        } else if (pins.size() == 1) {
+          if (phase) {
+            o.kind = Outcome::Kind::Keep;
+            o.type = GateType::Not;
+            o.fanins = pins;
+          } else {
+            o.kind = Outcome::Kind::Alias;
+            o.alias = pins[0];
+          }
+          if (stats) stats->gates_rewritten++;
+        } else {
+          o.kind = Outcome::Kind::Keep;
+          o.type = phase ? GateType::Xnor : GateType::Xor;
+          o.fanins = std::move(pins);
+          if ((o.fanins.size() != nl.fanins(id).size() || o.type != t) &&
+              stats) {
+            stats->gates_rewritten++;
+          }
+        }
+        break;
+      }
+      case GateType::Mux: {
+        const auto [sv, sref] = resolve(nl.fanins(id)[0]);
+        const auto [av, aref] = resolve(nl.fanins(id)[1]);
+        const auto [bv, bref] = resolve(nl.fanins(id)[2]);
+        if (sv) {
+          // Select constant: alias to the chosen leg.
+          const auto leg_v = *sv ? bv : av;
+          const GateId leg_r = *sv ? bref : aref;
+          if (leg_v) {
+            o.kind = Outcome::Kind::Const;
+            o.const_value = *leg_v;
+            if (stats) stats->constants_folded++;
+          } else {
+            o.kind = Outcome::Kind::Alias;
+            o.alias = leg_r;
+            if (stats) stats->gates_rewritten++;
+          }
+        } else if (!av && !bv && aref == bref) {
+          o.kind = Outcome::Kind::Alias;  // both legs identical
+          o.alias = aref;
+          if (stats) stats->gates_rewritten++;
+        } else {
+          // Keep; constant legs stay (they need tie cells at emit).
+          o.kind = Outcome::Kind::Keep;
+          o.type = GateType::Mux;
+          o.fanins = nl.fanins(id);  // re-resolved at emit
+        }
+        break;
+      }
+      default:
+        SP_ASSERT(false, "unexpected type in simplify pass");
+    }
+  }
+
+  // DFFs: keep; fanin re-resolved at emit time.
+  for (GateId dff : nl.dffs()) {
+    out[dff].kind = Outcome::Kind::Keep;
+    out[dff].type = GateType::Dff;
+    out[dff].fanins = nl.fanins(dff);
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist simplify(const Netlist& nl, SimplifyStats* stats) {
+  SP_CHECK(nl.finalized(), "simplify requires a finalized netlist");
+  SimplifyStats local;
+  Netlist current = nl;
+
+  for (int round = 0; round < 16; ++round) {
+    SimplifyStats pass_stats;
+    const std::vector<Outcome> out = analyze(current, &pass_stats);
+
+    // Resolve helper over final outcomes.
+    auto resolve = [&](GateId f) -> std::pair<std::optional<bool>, GateId> {
+      GateId cur = f;
+      for (;;) {
+        const Outcome& o = out[cur];
+        if (o.kind == Outcome::Kind::Const) {
+          return {o.const_value, kInvalidGate};
+        }
+        if (o.kind == Outcome::Kind::Alias) {
+          cur = o.alias;
+          continue;
+        }
+        return {std::nullopt, cur};
+      }
+    };
+
+    // Liveness over kept gates: POs and DFF D cones.
+    std::vector<bool> live(current.num_gates(), false);
+    std::vector<GateId> work;
+    auto mark = [&](GateId g) {
+      const auto [cv, ref] = resolve(g);
+      if (cv) return;  // constant: tie cell emitted on demand
+      if (!live[ref]) {
+        live[ref] = true;
+        work.push_back(ref);
+      }
+    };
+    for (GateId po : current.outputs()) mark(po);
+    for (GateId dff : current.dffs()) {
+      live[dff] = true;
+      mark(current.fanins(dff)[0]);
+    }
+    for (GateId pi : current.inputs()) live[pi] = true;
+    while (!work.empty()) {
+      const GateId g = work.back();
+      work.pop_back();
+      if (out[g].kind != Outcome::Kind::Keep) continue;
+      for (GateId f : out[g].fanins) mark(f);
+    }
+
+    // Emit.
+    NetlistBuilder builder(current.name());
+    bool need_tie0 = false;
+    bool need_tie1 = false;
+    auto pin_name = [&](GateId f) -> std::string {
+      const auto [cv, ref] = resolve(f);
+      if (cv) {
+        (*cv ? need_tie1 : need_tie0) = true;
+        return *cv ? "tie1$$" : "tie0$$";
+      }
+      return current.gate_name(ref);
+    };
+
+    // First collect everything (tie flags fill in), then build.
+    struct Emit {
+      GateType type;
+      std::string name;
+      std::vector<std::string> fanins;
+    };
+    std::vector<Emit> emits;
+    std::size_t kept_gates = 0;
+    for (GateId id = 0; id < current.num_gates(); ++id) {
+      const GateType t = current.type(id);
+      if (t == GateType::Input) {
+        emits.push_back({t, current.gate_name(id), {}});
+        continue;
+      }
+      if (!live[id]) continue;
+      const Outcome& o = out[id];
+      if (o.kind != Outcome::Kind::Keep) continue;  // replaced everywhere
+      if (t == GateType::Const0 || t == GateType::Const1) continue;
+      std::vector<std::string> fans;
+      for (GateId f : o.fanins) fans.push_back(pin_name(f));
+      emits.push_back({o.type, current.gate_name(id), std::move(fans)});
+      if (is_combinational(o.type)) ++kept_gates;
+    }
+    // POs that simplified to constants or aliases need surrogates keeping
+    // their net names.
+    std::vector<std::pair<std::string, std::string>> po_surrogates;
+    for (GateId po : current.outputs()) {
+      const Outcome& o = out[po];
+      if (o.kind == Outcome::Kind::Keep && live[po]) continue;
+      const std::string surrogate = pin_name(po);
+      po_surrogates.emplace_back(current.gate_name(po), surrogate);
+    }
+
+    if (need_tie0) builder.add_gate(GateType::Const0, "tie0$$", {});
+    if (need_tie1) builder.add_gate(GateType::Const1, "tie1$$", {});
+    for (const Emit& e : emits) {
+      if (e.type == GateType::Input) {
+        builder.add_input(e.name);
+      } else {
+        builder.add_gate(e.type, e.name, e.fanins);
+      }
+    }
+    for (const auto& [name, target] : po_surrogates) {
+      builder.add_gate(GateType::Buf, name, {target});
+    }
+    for (GateId po : current.outputs()) {
+      builder.add_output(current.gate_name(po));
+    }
+    Netlist next = builder.link();
+
+    // Account removals.
+    std::size_t before_comb = 0;
+    std::size_t after_comb = 0;
+    for (GateId id = 0; id < current.num_gates(); ++id) {
+      if (is_combinational(current.type(id))) ++before_comb;
+    }
+    for (GateId id = 0; id < next.num_gates(); ++id) {
+      if (is_combinational(next.type(id))) ++after_comb;
+    }
+    if (after_comb < before_comb) {
+      pass_stats.gates_removed += before_comb - after_comb;
+    }
+
+    local.constants_folded += pass_stats.constants_folded;
+    local.gates_rewritten += pass_stats.gates_rewritten;
+    local.gates_removed += pass_stats.gates_removed;
+    const bool converged = !pass_stats.changed() ||
+                           (after_comb == before_comb &&
+                            pass_stats.constants_folded == 0);
+    current = std::move(next);
+    if (converged) break;
+  }
+  if (stats) *stats = local;
+  return current;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,37 @@
+#pragma once
+// Structural netlist simplification: constant propagation, trivial-gate
+// rewrites and dead-logic sweep.
+//
+// Used by the redundancy-removal pass (atpg/redundancy) after tying a
+// proven-redundant line to its stuck value, and usable standalone to
+// clean up generated or hand-written netlists.
+//
+// The rewrite is functionality-preserving at the PI/PO/DFF interface:
+// primary inputs, outputs and flip-flops are never deleted (a DFF whose
+// logic becomes constant still captures that constant).
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+struct SimplifyStats {
+  std::size_t constants_folded = 0;  ///< gates replaced by constants
+  std::size_t gates_rewritten = 0;   ///< width reductions / buf collapses
+  std::size_t gates_removed = 0;     ///< dead logic swept
+  bool changed() const {
+    return constants_folded || gates_rewritten || gates_removed;
+  }
+};
+
+/// Returns a simplified, finalized copy of `nl`:
+///  - constant inputs are folded through AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF
+///    and MUX (controlling values collapse the gate, non-controlling
+///    values drop the pin; single-pin survivors become BUF/NOT);
+///  - BUF chains collapse onto their drivers;
+///  - combinational logic driving nothing (no path to a PO or DFF) is
+///    removed.
+/// Iterates to a fixpoint. `stats` (optional) receives the rewrite
+/// counters.
+Netlist simplify(const Netlist& nl, SimplifyStats* stats = nullptr);
+
+}  // namespace scanpower

@@ -1,0 +1,50 @@
+#include "netlist/stats.hpp"
+
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_inputs = nl.inputs().size();
+  s.num_outputs = nl.outputs().size();
+  s.num_dffs = nl.dffs().size();
+  s.depth = nl.depth();
+  std::size_t fanout_sum = 0;
+  std::size_t drivers = 0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    s.by_type[static_cast<std::size_t>(g.type)]++;
+    if (is_combinational(g.type) && g.type != GateType::Const0 &&
+        g.type != GateType::Const1) {
+      s.num_comb_gates++;
+    }
+    if (!g.fanouts.empty()) {
+      fanout_sum += g.fanouts.size();
+      drivers++;
+      s.max_fanout = std::max(s.max_fanout, g.fanouts.size());
+    }
+  }
+  s.avg_fanout = drivers ? static_cast<double>(fanout_sum) / static_cast<double>(drivers) : 0.0;
+  return s;
+}
+
+std::string NetlistStats::to_string() const {
+  std::string out = strprintf(
+      "PI=%zu PO=%zu FF=%zu gates=%zu depth=%u avg_fanout=%.2f max_fanout=%zu",
+      num_inputs, num_outputs, num_dffs, num_comb_gates, depth, avg_fanout,
+      max_fanout);
+  out += " [";
+  bool first = true;
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    if (by_type[static_cast<std::size_t>(t)] == 0) continue;
+    if (!first) out += " ";
+    first = false;
+    out += strprintf("%s=%zu", gate_type_name(static_cast<GateType>(t)),
+                     by_type[static_cast<std::size_t>(t)]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,29 @@
+#pragma once
+// Netlist statistics: the circuit-profile numbers reported in experiment
+// headers and used by benchgen to validate synthetic circuits against the
+// published ISCAS89 profiles.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+struct NetlistStats {
+  std::size_t num_inputs = 0;      ///< primary inputs
+  std::size_t num_outputs = 0;     ///< primary outputs
+  std::size_t num_dffs = 0;        ///< state elements
+  std::size_t num_comb_gates = 0;  ///< combinational gates excl. constants
+  std::uint32_t depth = 0;         ///< logic depth (levels)
+  double avg_fanout = 0.0;         ///< mean fanout of driving gates
+  std::size_t max_fanout = 0;
+  std::array<std::size_t, kNumGateTypes> by_type{};
+
+  std::string to_string() const;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+}  // namespace scanpower

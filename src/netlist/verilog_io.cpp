@@ -1,0 +1,389 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Punct, Const0, Const1, End } kind = Kind::End;
+  std::string text;
+  int line = 0;
+};
+
+/// Strips comments and splits the stream into identifiers, punctuation
+/// and 1'b0/1'b1 literals.
+class Lexer {
+ public:
+  Lexer(std::string text, std::string file)
+      : text_(std::move(text)), file_(std::move(file)) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;  // End
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+      t.kind = Token::Kind::Ident;
+      if (c == '\\') ++pos_;  // escaped identifier: read to whitespace
+      const std::size_t start = pos_;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        const bool ok = c == '\\'
+                            ? !std::isspace(static_cast<unsigned char>(d))
+                            : (std::isalnum(static_cast<unsigned char>(d)) ||
+                               d == '_' || d == '$');
+        if (!ok) break;
+        ++pos_;
+      }
+      t.text = text_.substr(start, pos_ - start);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Only 1'b0 / 1'b1 are meaningful here.
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      const std::string lit = text_.substr(start, pos_ - start);
+      if (lit == "1'b0") {
+        t.kind = Token::Kind::Const0;
+      } else if (lit == "1'b1") {
+        t.kind = Token::Kind::Const1;
+      } else {
+        throw ParseError(file_, line_, "unsupported literal " + lit);
+      }
+      t.text = lit;
+      return t;
+    }
+    t.kind = Token::Kind::Punct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        SP_CHECK(pos_ + 1 < text_.size(), "unterminated block comment");
+        pos_ += 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string text_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string file)
+      : lexer_(text, file), file_(std::move(file)) {
+    advance();
+  }
+
+  Netlist run() {
+    expect_ident("module");
+    const std::string mod_name = take_ident("module name");
+    NetlistBuilder builder(mod_name);
+    // Port list (names only; direction comes from declarations).
+    expect_punct("(");
+    while (!at_punct(")")) {
+      take_ident("port name");
+      if (at_punct(",")) advance();
+    }
+    expect_punct(")");
+    expect_punct(";");
+
+    std::size_t const_counter = 0;
+    auto const_net = [&](bool value) {
+      const std::string name = strprintf("const$%zu", const_counter++);
+      builder.add_gate(value ? GateType::Const1 : GateType::Const0, name, {});
+      return name;
+    };
+
+    while (!at_ident("endmodule")) {
+      SP_CHECK(cur_.kind != Token::Kind::End,
+               file_ + ": unexpected end of file (missing endmodule?)");
+      const int line = cur_.line;
+      const std::string head = take_ident("statement");
+      if (head == "input" || head == "output" || head == "wire") {
+        for (;;) {
+          if (at_punct("[")) {
+            throw ParseError(file_, line, "vector nets are not supported");
+          }
+          const std::string net = take_ident("net name");
+          if (head == "input") builder.add_input(net);
+          if (head == "output") outputs_.push_back(net);
+          if (at_punct(",")) {
+            advance();
+            continue;
+          }
+          break;
+        }
+        expect_punct(";");
+        continue;
+      }
+      if (head == "assign") {
+        const std::string lhs = take_ident("assign target");
+        expect_punct("=");
+        if (cur_.kind == Token::Kind::Const0 ||
+            cur_.kind == Token::Kind::Const1) {
+          builder.add_gate(cur_.kind == Token::Kind::Const1 ? GateType::Const1
+                                                            : GateType::Const0,
+                           lhs, {});
+          advance();
+        } else {
+          const std::string rhs = take_ident("assign source");
+          builder.add_gate(GateType::Buf, lhs, {rhs});
+        }
+        expect_punct(";");
+        continue;
+      }
+      // Primitive or dff instance.
+      GateType type;
+      if (head == "dff" || head == "DFF") {
+        type = GateType::Dff;
+      } else {
+        const auto t = gate_type_from_name(head);
+        if (!t || *t == GateType::Input || *t == GateType::Const0 ||
+            *t == GateType::Const1) {
+          throw ParseError(file_, line, "unknown construct '" + head + "'");
+        }
+        type = *t;
+      }
+      if (cur_.kind == Token::Kind::Ident) advance();  // instance name
+      expect_punct("(");
+      std::vector<std::string> conns;
+      std::string q_net, d_net;
+      bool named = false;
+      while (!at_punct(")")) {
+        if (at_punct(".")) {
+          named = true;
+          advance();
+          const std::string port = take_ident("port name");
+          expect_punct("(");
+          std::string net;
+          if (cur_.kind == Token::Kind::Const0 ||
+              cur_.kind == Token::Kind::Const1) {
+            net = const_net(cur_.kind == Token::Kind::Const1);
+            advance();
+          } else {
+            net = take_ident("net");
+          }
+          expect_punct(")");
+          if (port == "q" || port == "Q") {
+            q_net = net;
+          } else if (port == "d" || port == "D") {
+            d_net = net;
+          } else {
+            throw ParseError(file_, line, "unknown named port ." + port);
+          }
+        } else if (cur_.kind == Token::Kind::Const0 ||
+                   cur_.kind == Token::Kind::Const1) {
+          conns.push_back(const_net(cur_.kind == Token::Kind::Const1));
+          advance();
+        } else {
+          conns.push_back(take_ident("net"));
+        }
+        if (at_punct(",")) advance();
+      }
+      expect_punct(")");
+      expect_punct(";");
+
+      if (type == GateType::Dff) {
+        if (named) {
+          SP_CHECK(!q_net.empty() && !d_net.empty(),
+                   file_ + ": dff needs .q and .d");
+        } else {
+          if (conns.size() != 2) {
+            throw ParseError(file_, line, "dff expects (q, d)");
+          }
+          q_net = conns[0];
+          d_net = conns[1];
+        }
+        builder.add_gate(GateType::Dff, q_net, {d_net});
+        continue;
+      }
+      if (named) {
+        throw ParseError(file_, line,
+                         "named connections are only supported on dff");
+      }
+      if (conns.size() < 2) {
+        throw ParseError(file_, line, "primitive needs an output and inputs");
+      }
+      const std::string out = conns.front();
+      conns.erase(conns.begin());
+      builder.add_gate(type, out, conns);
+    }
+    for (const std::string& net : outputs_) builder.add_output(net);
+    return builder.link();
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+  bool at_punct(const std::string& p) const {
+    return cur_.kind == Token::Kind::Punct && cur_.text == p;
+  }
+  bool at_ident(const std::string& s) const {
+    return cur_.kind == Token::Kind::Ident && cur_.text == s;
+  }
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) {
+      throw ParseError(file_, cur_.line, "expected '" + p + "'");
+    }
+    advance();
+  }
+  void expect_ident(const std::string& s) {
+    if (!at_ident(s)) {
+      throw ParseError(file_, cur_.line, "expected '" + s + "'");
+    }
+    advance();
+  }
+  std::string take_ident(const std::string& what) {
+    if (cur_.kind != Token::Kind::Ident) {
+      throw ParseError(file_, cur_.line, "expected " + what);
+    }
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+
+  Lexer lexer_;
+  std::string file_;
+  Token cur_;
+  std::vector<std::string> outputs_;
+};
+
+const char* verilog_primitive(GateType t) {
+  switch (t) {
+    case GateType::And: return "and";
+    case GateType::Or: return "or";
+    case GateType::Nand: return "nand";
+    case GateType::Nor: return "nor";
+    case GateType::Xor: return "xor";
+    case GateType::Xnor: return "xnor";
+    case GateType::Not: return "not";
+    case GateType::Buf: return "buf";
+    case GateType::Mux: return "mux";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& in, const std::string& source_name) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parser(buf.str(), source_name).run();
+}
+
+Netlist parse_verilog_string(const std::string& text,
+                             const std::string& source_name) {
+  return Parser(text, source_name).run();
+}
+
+Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  SP_CHECK(in.good(), "cannot open verilog file: " + path);
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.erase(dot);
+  (void)name;
+  return parse_verilog(in, path);
+}
+
+void write_verilog(std::ostream& out, const Netlist& nl) {
+  out << "// " << nl.name() << " -- written by scanpower\n";
+  out << "module " << nl.name() << " (";
+  bool first = true;
+  for (GateId id : nl.inputs()) {
+    out << (first ? "" : ", ") << nl.gate_name(id);
+    first = false;
+  }
+  for (GateId id : nl.outputs()) {
+    out << (first ? "" : ", ") << nl.gate_name(id);
+    first = false;
+  }
+  out << ");\n";
+  for (GateId id : nl.inputs()) {
+    out << "  input " << nl.gate_name(id) << ";\n";
+  }
+  for (GateId id : nl.outputs()) {
+    out << "  output " << nl.gate_name(id) << ";\n";
+  }
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (nl.type(id) == GateType::Input || nl.is_output(id)) continue;
+    out << "  wire " << nl.gate_name(id) << ";\n";
+  }
+  std::size_t n = 0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::Input:
+        break;
+      case GateType::Const0:
+        out << "  assign " << g.name << " = 1'b0;\n";
+        break;
+      case GateType::Const1:
+        out << "  assign " << g.name << " = 1'b1;\n";
+        break;
+      case GateType::Dff:
+        out << "  dff ff" << n++ << " (.q(" << g.name << "), .d("
+            << nl.gate_name(g.fanins[0]) << "));\n";
+        break;
+      default: {
+        const char* prim = verilog_primitive(g.type);
+        SP_ASSERT(prim != nullptr, "unwritable gate type");
+        out << "  " << prim << " g" << n++ << " (" << g.name;
+        for (GateId f : g.fanins) out << ", " << nl.gate_name(f);
+        out << ");\n";
+      }
+    }
+  }
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_verilog(out, nl);
+  return out.str();
+}
+
+}  // namespace scanpower

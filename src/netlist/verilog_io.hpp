@@ -1,0 +1,36 @@
+#pragma once
+// Structural (gate-level) Verilog reader/writer.
+//
+// Supported subset -- one module, scalar nets only:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire w1;
+//     nand g1 (w1, a, b);        // primitives: and or nand nor xor xnor
+//     not     (y_n, w1);         //             not buf; instance name optional
+//     mux m0  (y2, s, d0, d1);   // 2:1 mux (out, select, a, b) -- library cell
+//     dff q0  (q, d);            // positional (q, d) or named (.q(q), .d(d))
+//     assign y = w1;             // plain alias, or constants 1'b0 / 1'b1
+//   endmodule
+//
+// Comments (// and /* */) are stripped; vectors/buses, expressions,
+// parameters and hierarchies are rejected with a ParseError. The writer
+// emits exactly this dialect, so write -> parse round-trips.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+Netlist parse_verilog(std::istream& in, const std::string& source_name);
+Netlist parse_verilog_string(const std::string& text,
+                             const std::string& source_name);
+Netlist parse_verilog_file(const std::string& path);
+
+void write_verilog(std::ostream& out, const Netlist& nl);
+std::string write_verilog_string(const Netlist& nl);
+
+}  // namespace scanpower

@@ -1,0 +1,94 @@
+#include "power/bsim.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+namespace {
+constexpr double kBoltzmannOverQ = 8.617333262e-5;  // V/K
+
+double thermal_voltage(const BsimParams& p) {
+  return kBoltzmannOverQ * p.temperature_k;
+}
+}  // namespace
+
+double bsim_subthreshold_a(const BsimParams& p, double vgs, double vds,
+                           double vsb, bool pmos) {
+  const double vt = thermal_voltage(p);
+  const double u0 = pmos ? p.mobility_p : p.mobility_n;
+  const double w = pmos ? p.w_eff_p_m : p.w_eff_n_m;
+  const double vt0 = pmos ? p.vt0_p : p.vt0_n;
+  const double a0 = u0 * p.cox_f_per_m2 * (w / p.l_eff_m) * vt * vt *
+                    std::exp(1.8);
+  const double exponent =
+      (vgs - vt0 - p.body_delta * vsb + p.dibl_eta * vds) /
+      (p.subthreshold_n * vt);
+  const double drain_factor = 1.0 - std::exp(-vds / vt);
+  return a0 * std::exp(exponent) * drain_factor;
+}
+
+double bsim_gate_tunneling_a(const BsimParams& p, double vox, bool pmos) {
+  if (vox <= 0.0) return 0.0;
+  SP_CHECK(vox < p.phi_ox_v, "bsim: V_ox must be below the barrier height");
+  const double field = vox / p.tox_m;  // V/m
+  const double shape = 1.0 - std::pow(1.0 - vox / p.phi_ox_v, 1.5);
+  const double density = p.tunnel_a * field * field *
+                         std::exp(-p.tunnel_b * shape / field);  // A/m^2
+  const double w = pmos ? p.w_eff_p_m : p.w_eff_n_m;
+  // Hole tunneling through the thicker effective barrier is weaker.
+  const double polarity = pmos ? 0.12 : 1.0;
+  return polarity * density * w * p.l_eff_m;
+}
+
+LeakageParams derive_leakage_params(const BsimParams& p) {
+  constexpr double kToNa = 1e9;
+  LeakageParams out;
+
+  // Single off device with grounded source, full V_DS: the "weak"
+  // (bottom-of-stack) and parallel-bank cases.
+  const double n_off_full =
+      bsim_subthreshold_a(p, 0.0, p.vdd, 0.0, /*pmos=*/false) * kToNa;
+  const double p_off_full =
+      bsim_subthreshold_a(p, 0.0, p.vdd, 0.0, /*pmos=*/true) * kToNa;
+  out.nmos_off_weak = n_off_full;
+  out.nmos_off_parallel = 1.1 * n_off_full;  // junction/band components
+  out.pmos_off_parallel = p_off_full;
+  out.pmos_off_weak = 0.85 * p_off_full;
+
+  // "Strong" stack position: the off device sits above ON devices, so its
+  // source floats up by the internal-node voltage V_x. Self-consistent
+  // V_x solves I(V_x) continuity; a fixed small bias captures the
+  // first-order effect (negative V_GS + body reverse bias + reduced
+  // V_DS).
+  const double vx = 0.065;
+  out.nmos_off_strong =
+      bsim_subthreshold_a(p, -vx, p.vdd - vx, vx, /*pmos=*/false) * kToNa;
+  out.pmos_off_strong =
+      bsim_subthreshold_a(p, -vx, p.vdd - vx, vx, /*pmos=*/true) * kToNa;
+
+  // Two stacked off devices: the internal node settles where the upper
+  // and lower currents match; the net effect is a further suppression
+  // relative to the strong single-off case.
+  const double vx2 = 0.065 + 0.003;
+  const double two_off =
+      bsim_subthreshold_a(p, -vx2, p.vdd - vx2, vx2, /*pmos=*/false) * kToNa;
+  out.nmos_stack_beta =
+      out.nmos_off_strong > 0 ? std::min(1.0, two_off / out.nmos_off_strong)
+                              : 0.9;
+  out.pmos_stack_beta = out.nmos_stack_beta * 0.97;
+
+  // Gate tunneling of ON devices at V_ox ~ VDD.
+  out.gate_leak_nmos_on =
+      bsim_gate_tunneling_a(p, p.vdd, /*pmos=*/false) * kToNa;
+  out.gate_leak_pmos_on =
+      bsim_gate_tunneling_a(p, p.vdd, /*pmos=*/true) * kToNa;
+  return out;
+}
+
+LeakageModel physical_leakage_model(const BsimParams& p) {
+  return LeakageModel(derive_leakage_params(p));
+}
+
+}  // namespace scanpower

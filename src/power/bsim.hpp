@@ -1,0 +1,68 @@
+#pragma once
+// Device-level leakage physics (Section 3 of the paper).
+//
+// The paper estimates leakage from two mechanisms:
+//   (2) BSIM subthreshold conduction
+//         I_sub = A0 * exp(q (V_GS - V_T0 - delta*V_SB + eta*V_DS)/(n k T))
+//                    * (1 - exp(-q V_DS / (k T)))
+//         A0    = u0 Cox (W/L) (kT/q)^2 e^1.8
+//   (4) direct gate-oxide tunneling
+//         J_DT  = A (V_ox/T_ox)^2
+//                 exp( -B (1 - (1 - V_ox/phi_ox)^1.5) / (V_ox/T_ox) )
+//
+// The production tables in LeakageModel are *calibrated* to the paper's
+// HSPICE NAND2 data; this module provides the physics path: evaluate the
+// equations for a 45 nm-class device, derive the atomic LeakageParams
+// (single-device off currents, stack factors, gate-leak contributions)
+// from them, and let experiments explore technology trends (V_T, T_ox,
+// temperature) that the paper argues make static power dominant.
+
+#include "power/leakage_model.hpp"
+
+namespace scanpower {
+
+struct BsimParams {
+  // Electrical / technology parameters (45 nm-class defaults, 0.9 V).
+  double temperature_k = 300.0;
+  double vdd = 0.9;
+  double vt0_n = 0.20;        ///< NMOS zero-bias threshold (V)
+  double vt0_p = 0.195;        ///< PMOS magnitude (V)
+  double subthreshold_n = 1.5;   ///< swing coefficient n
+  double dibl_eta = 0.08;     ///< drain-induced barrier lowering
+  double body_delta = 0.12;   ///< body-effect coefficient
+  double mobility_n = 0.045;  ///< u0, m^2/Vs (effective, short channel)
+  double mobility_p = 0.020;
+  double cox_f_per_m2 = 0.017;  ///< gate capacitance per area (F/m^2)
+  double w_eff_n_m = 90e-9;   ///< effective width
+  double w_eff_p_m = 135e-9;
+  double l_eff_m = 45e-9;     ///< effective channel length
+  // Tunneling (eq. 4) parameters.
+  double tox_m = 1.2e-9;          ///< oxide thickness
+  double phi_ox_v = 3.1;          ///< barrier height (electrons, Si/SiO2)
+  double tunnel_a = 4.8e-6;       ///< A (A/V^2), lumped prefactor
+  double tunnel_b = 2.5e10;       ///< B (V/m)
+};
+
+/// Subthreshold current (amperes) of one device per eq. (2).
+/// `pmos` selects the PMOS parameter set (voltages passed as magnitudes).
+double bsim_subthreshold_a(const BsimParams& p, double vgs, double vds,
+                           double vsb, bool pmos);
+
+/// Direct-tunneling gate current (amperes) of one ON device per eq. (4):
+/// density times gate area.
+double bsim_gate_tunneling_a(const BsimParams& p, double vox, bool pmos);
+
+/// Derives the atomic LeakageParams (in nA) from the device equations:
+///  - parallel off currents at full V_DS,
+///  - stack-position asymmetry from the internal-node bias of a series
+///    stack (strong position ~ source raised, body reverse-biased),
+///  - stack factors from the two-off internal equilibrium,
+///  - gate tunneling of ON devices at V_ox = VDD.
+LeakageParams derive_leakage_params(const BsimParams& p);
+
+/// Convenience: a LeakageModel built from physics instead of the
+/// calibrated table. Useful for technology-trend sweeps; not bit-exact
+/// with Figure 2.
+LeakageModel physical_leakage_model(const BsimParams& p = {});
+
+}  // namespace scanpower

@@ -1,0 +1,243 @@
+#include "power/observability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+
+LeakageObservability::LeakageObservability(const Netlist& nl,
+                                           const LeakageModel& model,
+                                           ObservabilityOptions opts) {
+  SP_CHECK(nl.finalized(), "observability requires a finalized netlist");
+  obs_.assign(nl.num_gates(), 0.0);
+  if (opts.method == ObservabilityMethod::MonteCarlo) {
+    compute_monte_carlo(nl, model, opts);
+  } else {
+    compute_probabilistic(nl, model);
+  }
+}
+
+void LeakageObservability::compute_monte_carlo(
+    const Netlist& nl, const LeakageModel& model,
+    const ObservabilityOptions& opts) {
+  SP_CHECK(opts.samples > 1, "observability: need at least 2 samples");
+  Rng rng(opts.seed);
+  Simulator sim(nl);
+  const std::size_t n = nl.num_gates();
+  std::vector<double> sum1(n, 0.0);
+  std::vector<double> sum0(n, 0.0);
+  std::vector<std::uint32_t> cnt1(n, 0);
+
+  double leak_total = 0.0;
+  for (int s = 0; s < opts.samples; ++s) {
+    for (GateId pi : nl.inputs()) sim.set_input(pi, from_bool(rng.next_bool()));
+    for (GateId ff : nl.dffs()) sim.set_state(ff, from_bool(rng.next_bool()));
+    sim.eval_incremental();
+    const double leak = model.circuit_leakage_na(nl, sim.values());
+    leak_total += leak;
+    for (GateId id = 0; id < n; ++id) {
+      if (sim.value(id) == Logic::One) {
+        sum1[id] += leak;
+        ++cnt1[id];
+      } else {
+        sum0[id] += leak;
+      }
+    }
+  }
+  mean_leakage_na_ = leak_total / opts.samples;
+  for (GateId id = 0; id < n; ++id) {
+    const std::uint32_t c1 = cnt1[id];
+    const std::uint32_t c0 = static_cast<std::uint32_t>(opts.samples) - c1;
+    if (c1 == 0 || c0 == 0) {
+      obs_[id] = 0.0;  // line never observed both ways: no preference signal
+      continue;
+    }
+    obs_[id] = sum1[id] / c1 - sum0[id] / c0;
+  }
+}
+
+std::vector<double> signal_probabilities(const Netlist& nl) {
+  std::vector<double> p(nl.num_gates(), 0.5);
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    auto pin = [&](std::size_t i) { return p[g.fanins[i]]; };
+    switch (g.type) {
+      case GateType::Const0: p[id] = 0.0; break;
+      case GateType::Const1: p[id] = 1.0; break;
+      case GateType::Buf: p[id] = pin(0); break;
+      case GateType::Not: p[id] = 1.0 - pin(0); break;
+      case GateType::And:
+      case GateType::Nand: {
+        double prod = 1.0;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) prod *= pin(i);
+        p[id] = g.type == GateType::And ? prod : 1.0 - prod;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        double prod = 1.0;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) prod *= 1.0 - pin(i);
+        p[id] = g.type == GateType::Nor ? prod : 1.0 - prod;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        double podd = 0.0;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          const double q = pin(i);
+          podd = podd * (1.0 - q) + (1.0 - podd) * q;
+        }
+        p[id] = g.type == GateType::Xor ? podd : 1.0 - podd;
+        break;
+      }
+      case GateType::Mux:
+        p[id] = (1.0 - pin(0)) * pin(1) + pin(0) * pin(2);
+        break;
+      case GateType::Input:
+      case GateType::Dff:
+        break;  // stays 0.5
+    }
+  }
+  return p;
+}
+
+double expected_gate_leakage_na(const LeakageModel& model, GateType type,
+                                const std::vector<double>& fanin_probs) {
+  const int width = static_cast<int>(fanin_probs.size());
+  SP_CHECK(width <= 12, "expected_gate_leakage_na: gate too wide");
+  double total = 0.0;
+  const unsigned combos = 1u << width;
+  for (unsigned pat = 0; pat < combos; ++pat) {
+    double prob = 1.0;
+    for (int i = 0; i < width; ++i) {
+      const double q = fanin_probs[static_cast<std::size_t>(i)];
+      prob *= ((pat >> i) & 1u) ? q : (1.0 - q);
+    }
+    if (prob > 0.0) total += prob * model.cell_leakage_na(type, width, pat);
+  }
+  return total;
+}
+
+void LeakageObservability::compute_probabilistic(const Netlist& nl,
+                                                 const LeakageModel& model) {
+  const std::vector<double> base_p = signal_probabilities(nl);
+
+  // Expected leakage of a gate from current probabilities.
+  auto gate_leak = [&](GateId id, const std::vector<double>& p) {
+    const Gate& g = nl.gate(id);
+    if (!is_combinational(g.type) || g.type == GateType::Const0 ||
+        g.type == GateType::Const1) {
+      return 0.0;
+    }
+    std::vector<double> fp;
+    fp.reserve(g.fanins.size());
+    for (GateId f : g.fanins) fp.push_back(p[f]);
+    return expected_gate_leakage_na(model, g.type, fp);
+  };
+
+  double base_total = 0.0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) base_total += gate_leak(id, base_p);
+  mean_leakage_na_ = base_total;
+
+  // For each line, force p=1 and p=0, re-propagate through its fanout cone
+  // (levels are monotone along combinational edges, so a level-ordered
+  // sweep of the cone is a valid evaluation order), and measure the total
+  // expected leakage of the gates whose inputs changed.
+  std::vector<double> p = base_p;
+  std::vector<GateId> cone;
+  std::vector<std::uint8_t> in_cone(nl.num_gates(), 0);
+
+  auto collect_cone = [&](GateId src) {
+    cone.clear();
+    std::vector<GateId> stack{src};
+    in_cone[src] = 1;
+    while (!stack.empty()) {
+      const GateId id = stack.back();
+      stack.pop_back();
+      cone.push_back(id);
+      for (GateId fo : nl.fanouts(id)) {
+        if (!is_combinational(nl.type(fo))) continue;
+        if (!in_cone[fo]) {
+          in_cone[fo] = 1;
+          stack.push_back(fo);
+        }
+      }
+    }
+    std::sort(cone.begin(), cone.end(), [&](GateId a, GateId b) {
+      return nl.level(a) < nl.level(b);
+    });
+  };
+
+  auto eval_forced = [&](GateId src, double forced) {
+    p[src] = forced;
+    // Re-propagate probabilities through the cone (skipping src itself).
+    for (GateId id : cone) {
+      if (id == src) continue;
+      const Gate& g = nl.gate(id);
+      std::vector<double> fp;
+      fp.reserve(g.fanins.size());
+      for (GateId f : g.fanins) fp.push_back(p[f]);
+      // Reuse signal-probability formulas by local evaluation:
+      switch (g.type) {
+        case GateType::Buf: p[id] = fp[0]; break;
+        case GateType::Not: p[id] = 1.0 - fp[0]; break;
+        case GateType::And:
+        case GateType::Nand: {
+          double prod = 1.0;
+          for (double q : fp) prod *= q;
+          p[id] = g.type == GateType::And ? prod : 1.0 - prod;
+          break;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+          double prod = 1.0;
+          for (double q : fp) prod *= 1.0 - q;
+          p[id] = g.type == GateType::Nor ? prod : 1.0 - prod;
+          break;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+          double podd = 0.0;
+          for (double q : fp) podd = podd * (1.0 - q) + (1.0 - podd) * q;
+          p[id] = g.type == GateType::Xor ? podd : 1.0 - podd;
+          break;
+        }
+        case GateType::Mux:
+          p[id] = (1.0 - fp[0]) * fp[1] + fp[0] * fp[2];
+          break;
+        default:
+          break;
+      }
+    }
+    // Affected leakage: gates in the cone plus immediate fanouts of cone
+    // members (their input distribution changed even if their own output
+    // is outside the cone -- covered because such fanouts are *in* the
+    // cone by construction; the only gates with changed inputs outside
+    // cone are fanouts of src when src is a source -- also in cone).
+    double total = 0.0;
+    for (GateId id : cone) total += gate_leak(id, p);
+    // Include fanouts of src that are DFFs? They carry no leakage; skip.
+    return total;
+  };
+
+  for (GateId src = 0; src < nl.num_gates(); ++src) {
+    collect_cone(src);
+    // Gates whose *inputs* include cone members but are not cone members
+    // themselves do not exist (fanouts of cone members are cone members).
+    const double l1 = eval_forced(src, 1.0);
+    const double l0 = eval_forced(src, 0.0);
+    obs_[src] = l1 - l0;
+    // Restore probabilities.
+    p[src] = base_p[src];
+    for (GateId id : cone) {
+      p[id] = base_p[id];
+      in_cone[id] = 0;
+    }
+  }
+}
+
+}  // namespace scanpower

@@ -1,0 +1,71 @@
+#pragma once
+// Leakage observability, extended from primary inputs to every line.
+//
+// Definition (eq. (6) of the paper, after [Johnson/Somasekhar/Roy]):
+//   L_obs(i) = L_avg(i, 1) - L_avg(i, 0)
+// where L_avg(i, v) is the average total leakage when line i is forced to
+// v. A large magnitude means the line's value strongly influences total
+// leakage; the sign says which value is cheaper (positive -> prefer 0).
+//
+// The paper uses the attribute as a *directive* at the two decision points
+// of FindControlledInputPattern(): when a value must be set to '1' pick
+// the line with minimum observability, when '0' pick maximum.
+//
+// Two estimation engines:
+//  - MonteCarlo: sample random source vectors, simulate, and average total
+//    leakage conditioned on each line's value. Exact in expectation,
+//    including reconvergent fanout correlations.
+//  - Probabilistic: independence-assumption signal probabilities; the
+//    conditional averages are computed by forcing p(line) to 1/0 and
+//    re-propagating probabilities through the line's fanout cone (in the
+//    spirit of the reverse-topological computation of [15]).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "power/leakage_model.hpp"
+
+namespace scanpower {
+
+enum class ObservabilityMethod { MonteCarlo, Probabilistic };
+
+struct ObservabilityOptions {
+  ObservabilityMethod method = ObservabilityMethod::MonteCarlo;
+  int samples = 256;                ///< MonteCarlo sample count
+  std::uint64_t seed = 0xb5eeccaa11dd22ffULL;
+};
+
+class LeakageObservability {
+ public:
+  LeakageObservability(const Netlist& nl, const LeakageModel& model,
+                       ObservabilityOptions opts = {});
+
+  /// L_obs of a line (the output net of gate id), in nA.
+  double obs(GateId id) const { return obs_[id]; }
+  const std::vector<double>& values() const { return obs_; }
+
+  /// Expected total leakage under random inputs (nA) -- a byproduct used
+  /// as a baseline by reports.
+  double mean_leakage_na() const { return mean_leakage_na_; }
+
+ private:
+  void compute_monte_carlo(const Netlist& nl, const LeakageModel& model,
+                           const ObservabilityOptions& opts);
+  void compute_probabilistic(const Netlist& nl, const LeakageModel& model);
+
+  std::vector<double> obs_;
+  double mean_leakage_na_ = 0.0;
+};
+
+/// Signal probabilities under the independence assumption:
+/// p[g] = P(line g = 1) with sources at 0.5 (or forced values).
+/// Exposed for tests and for the probabilistic observability engine.
+std::vector<double> signal_probabilities(const Netlist& nl);
+
+/// Expected leakage (nA) of one gate given fanin 1-probabilities (treated
+/// as independent).
+double expected_gate_leakage_na(const LeakageModel& model, GateType type,
+                                const std::vector<double>& fanin_probs);
+
+}  // namespace scanpower

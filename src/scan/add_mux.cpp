@@ -1,0 +1,104 @@
+#include "scan/add_mux.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+MuxPlan plan_muxes(const Netlist& nl, const DelayModel& model,
+                   const MuxPlanOptions& opts) {
+  SP_CHECK(nl.finalized(), "plan_muxes requires a finalized netlist");
+  // Step 1: critical path delay of the unmodified circuit.
+  TimingAnalysis sta(nl, model);
+  MuxPlan plan;
+  plan.base_critical_delay_ps = sta.critical_delay_ps();
+  plan.multiplexed.assign(nl.dffs().size(), false);
+
+  // Step 2: tentative insertion per pseudo-input. The mux drives the
+  // cell's original load; the critical delay with the mux present is
+  // critical_delay_with_extra_source_delay(cell, mux_delay).
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    const GateId dff = nl.dffs()[i];
+    if (nl.fanouts(dff).empty()) continue;  // nothing to isolate
+    const double load = model.caps().load_ff(nl, dff);
+    const double d_mux = model.mux_delay_ps(load);
+    // The margin demands extra headroom beyond the mux delay itself
+    // (slack >= d_mux + margin), so it scales the timing budget rather
+    // than the (unreachable) target delay.
+    const double with_mux = sta.critical_delay_with_extra_source_delay(
+        dff, d_mux + opts.slack_margin_ps);
+    if (with_mux <= plan.base_critical_delay_ps + opts.epsilon_ps) {
+      plan.multiplexed[i] = true;
+      ++plan.num_multiplexed;
+    }
+  }
+  log_info(strprintf("AddMUX[%s]: %zu/%zu scan cells multiplexed (Tcrit=%.1f ps)",
+                     nl.name().c_str(), plan.num_multiplexed,
+                     plan.multiplexed.size(), plan.base_critical_delay_ps));
+  return plan;
+}
+
+Netlist insert_muxes_physically(const Netlist& nl, const MuxPlan& plan,
+                                std::span<const Logic> mux_values,
+                                GateId* se_out) {
+  SP_CHECK(plan.multiplexed.size() == nl.dffs().size(),
+           "mux plan does not match the netlist");
+  SP_CHECK(mux_values.size() == nl.dffs().size(),
+           "mux_values size mismatch");
+
+  // Name of the mux output net for each planned cell.
+  std::vector<std::string> mux_net(nl.num_gates());
+  bool need_c0 = false;
+  bool need_c1 = false;
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    if (!plan.multiplexed[i]) continue;
+    const GateId dff = nl.dffs()[i];
+    SP_CHECK(mux_values[i] != Logic::X,
+             "insert_muxes_physically: planned cell " + nl.gate_name(dff) +
+                 " has no constant value");
+    mux_net[dff] = "mux$" + nl.gate_name(dff);
+    (mux_values[i] == Logic::Zero ? need_c0 : need_c1) = true;
+  }
+
+  NetlistBuilder builder(nl.name() + "_muxed");
+  builder.add_input("shift_enable$");
+  if (need_c0) builder.add_gate(GateType::Const0, "tie0$", {});
+  if (need_c1) builder.add_gate(GateType::Const1, "tie1$", {});
+
+  auto mapped_name = [&](GateId driver) -> const std::string& {
+    return mux_net[driver].empty() ? nl.gate_name(driver) : mux_net[driver];
+  };
+
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::Input) {
+      builder.add_input(g.name);
+      continue;
+    }
+    std::vector<std::string> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) fanins.push_back(mapped_name(f));
+    builder.add_gate(g.type, g.name, fanins);
+  }
+  // The muxes themselves: out = SE ? constant : Q.
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    if (!plan.multiplexed[i]) continue;
+    const GateId dff = nl.dffs()[i];
+    const std::string tie = mux_values[i] == Logic::Zero ? "tie0$" : "tie1$";
+    builder.add_gate(GateType::Mux, mux_net[dff],
+                     {"shift_enable$", nl.gate_name(dff), tie});
+  }
+  for (GateId id : nl.outputs()) {
+    // A DFF Q marked as PO observes the mux output in scan mode; keep the
+    // original net as the PO (pads connect before the mux), matching the
+    // paper's "no impact on functionality".
+    builder.add_output(nl.gate_name(id));
+  }
+  Netlist out = builder.link();
+  if (se_out) *se_out = out.find("shift_enable$");
+  return out;
+}
+
+}  // namespace scanpower

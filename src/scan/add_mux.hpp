@@ -1,0 +1,69 @@
+#pragma once
+// AddMUX(): timing-constrained multiplexer insertion at scan-cell outputs
+// (Section 4 of the paper).
+//
+//   1. Find the delay of the critical path(s).
+//   2. For each pseudo-input, add a multiplexer; if the critical path
+//      delay changed, remove it again.
+//
+// The select line is the existing Shift-Enable signal, so the hardware
+// cost is one 2:1 mux per eligible cell and no routing overhead (the mux
+// constant input ties locally to VCC/GND once the control pattern is
+// known).
+//
+// The inserted mux drives the scan cell's original combinational load, so
+// inserting it stretches every path through that cell by the mux delay.
+// The timing check is therefore equivalent to: keep the mux iff
+// mux_delay <= slack(cell) (+ optional user margin). plan_muxes() uses the
+// slack form; insert_muxes_physically() rewrites the netlist so tests can
+// verify the equivalence with a full STA re-run and a normal-mode
+// functional equivalence check.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/sta.hpp"
+
+namespace scanpower {
+
+struct MuxPlanOptions {
+  /// Extra slack (ps) demanded beyond the mux delay itself; 0 reproduces
+  /// the paper's "critical path delay unchanged" rule. Used by the
+  /// mux-coverage ablation sweep.
+  double slack_margin_ps = 0.0;
+  /// Tolerance when comparing critical delays.
+  double epsilon_ps = 1e-6;
+};
+
+struct MuxPlan {
+  /// multiplexed[i] corresponds to netlist().dffs()[i].
+  std::vector<bool> multiplexed;
+  double base_critical_delay_ps = 0.0;
+  std::size_t num_multiplexed = 0;
+
+  double coverage() const {
+    return multiplexed.empty()
+               ? 0.0
+               : static_cast<double>(num_multiplexed) /
+                     static_cast<double>(multiplexed.size());
+  }
+};
+
+/// The paper's AddMUX() procedure.
+MuxPlan plan_muxes(const Netlist& nl, const DelayModel& model,
+                   const MuxPlanOptions& opts = {});
+
+/// Physically inserts the planned muxes: adds a `shift_enable` primary
+/// input, one CONST0/CONST1 tie per needed polarity, and a MUX per planned
+/// cell (select = shift_enable, a = scan-cell Q, b = the constant from
+/// `mux_values`). Every original reader of the Q net is rewired to the mux
+/// output. `mux_values[i]` must be 0/1 for planned cells (X allowed only
+/// for unplanned ones). Returns the rewritten netlist; `se_out` (optional)
+/// receives the shift-enable gate id in the new netlist.
+Netlist insert_muxes_physically(const Netlist& nl, const MuxPlan& plan,
+                                std::span<const Logic> mux_values,
+                                GateId* se_out = nullptr);
+
+}  // namespace scanpower

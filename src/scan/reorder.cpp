@@ -1,0 +1,164 @@
+#include "scan/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+ScanChainOrder ScanChainOrder::identity(std::size_t n) {
+  ScanChainOrder o;
+  o.order.resize(n);
+  std::iota(o.order.begin(), o.order.end(), 0);
+  return o;
+}
+
+bool ScanChainOrder::is_permutation() const {
+  std::vector<bool> seen(order.size(), false);
+  for (std::size_t v : order) {
+    if (v >= order.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+double chain_transition_cost(const TestSet& tests,
+                             const ScanChainOrder& order) {
+  SP_CHECK(order.is_permutation(), "chain_transition_cost: invalid order");
+  const std::size_t len = order.order.size();
+  if (len == 0 || tests.patterns.empty()) return 0.0;
+  // Heuristic session model: chain starts at all-0; each pattern's bits
+  // are shifted in while the previous stimulus (stand-in for the unknown
+  // response) shifts out. Each cell-value change during a shift cycle
+  // costs 1.
+  std::vector<Logic> chain(len, Logic::Zero);
+  double cost = 0.0;
+  for (const TestPattern& t : tests.patterns) {
+    SP_CHECK(t.ppi.size() == len, "chain_transition_cost: size mismatch");
+    for (std::size_t cyc = 0; cyc < len; ++cyc) {
+      const Logic incoming = t.ppi[order.order[len - 1 - cyc]];
+      for (std::size_t pos = len; pos-- > 1;) {
+        if (chain[pos] != chain[pos - 1]) cost += 1.0;
+        chain[pos] = chain[pos - 1];
+      }
+      if (chain[0] != incoming) cost += 1.0;
+      chain[0] = incoming;
+    }
+  }
+  return cost;
+}
+
+ScanChainOrder reorder_scan_cells(const Netlist& nl, const TestSet& tests) {
+  const std::size_t len = nl.dffs().size();
+  ScanChainOrder result = ScanChainOrder::identity(len);
+  if (len < 3 || tests.patterns.empty()) return result;
+
+  // Agreement matrix: A[i][j] = #patterns where cell i and cell j carry
+  // the same stimulus bit. Adjacent chain cells with high agreement
+  // produce few 0/1 boundaries travelling down the chain.
+  std::vector<std::vector<int>> agree(len, std::vector<int>(len, 0));
+  for (const TestPattern& t : tests.patterns) {
+    for (std::size_t i = 0; i < len; ++i) {
+      for (std::size_t j = i + 1; j < len; ++j) {
+        if (t.ppi[i] == t.ppi[j]) {
+          agree[i][j]++;
+          agree[j][i]++;
+        }
+      }
+    }
+  }
+
+  // Greedy chaining: seed with the globally best pair, then repeatedly
+  // append the unplaced cell with the highest agreement to either end.
+  std::vector<bool> placed(len, false);
+  std::size_t best_i = 0, best_j = 1;
+  int best = -1;
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t j = i + 1; j < len; ++j) {
+      if (agree[i][j] > best) {
+        best = agree[i][j];
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  std::vector<std::size_t> chain{best_i, best_j};
+  placed[best_i] = placed[best_j] = true;
+  while (chain.size() < len) {
+    const std::size_t head = chain.front();
+    const std::size_t tail = chain.back();
+    std::size_t pick = len;
+    bool at_tail = true;
+    int pick_score = -1;
+    for (std::size_t c = 0; c < len; ++c) {
+      if (placed[c]) continue;
+      if (agree[tail][c] > pick_score) {
+        pick_score = agree[tail][c];
+        pick = c;
+        at_tail = true;
+      }
+      if (agree[head][c] > pick_score) {
+        pick_score = agree[head][c];
+        pick = c;
+        at_tail = false;
+      }
+    }
+    SP_ASSERT(pick < len, "reorder_scan_cells: no cell to place");
+    placed[pick] = true;
+    if (at_tail) {
+      chain.push_back(pick);
+    } else {
+      chain.insert(chain.begin(), pick);
+    }
+  }
+  result.order = std::move(chain);
+  SP_ASSERT(result.is_permutation(), "reorder_scan_cells: broken permutation");
+  // Keep the better of {identity, greedy} under the cost model.
+  const ScanChainOrder identity = ScanChainOrder::identity(len);
+  if (chain_transition_cost(tests, identity) <
+      chain_transition_cost(tests, result)) {
+    return identity;
+  }
+  return result;
+}
+
+TestSet reorder_test_vectors(const TestSet& tests) {
+  TestSet out = tests;
+  const std::size_t n = tests.patterns.size();
+  if (n < 3) return out;
+  auto distance = [&](const TestPattern& a, const TestPattern& b) {
+    int d = 0;
+    for (std::size_t k = 0; k < a.ppi.size(); ++k) {
+      if (a.ppi[k] != b.ppi[k]) ++d;
+    }
+    for (std::size_t k = 0; k < a.pi.size(); ++k) {
+      if (a.pi[k] != b.pi[k]) ++d;
+    }
+    return d;
+  };
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> tour{0};
+  used[0] = true;
+  while (tour.size() < n) {
+    const TestPattern& cur = tests.patterns[tour.back()];
+    std::size_t best = n;
+    int best_d = 1 << 30;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (used[c]) continue;
+      const int d = distance(cur, tests.patterns[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    used[best] = true;
+    tour.push_back(best);
+  }
+  out.patterns.clear();
+  out.patterns.reserve(n);
+  for (std::size_t idx : tour) out.patterns.push_back(tests.patterns[idx]);
+  return out;
+}
+
+}  // namespace scanpower

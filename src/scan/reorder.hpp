@@ -1,0 +1,54 @@
+#pragma once
+// Scan-cell and test-vector reordering (the paper's explicit future-work
+// hook: "No test vector reordering or scan cell reordering was performed
+// in these experiments. By applying reordering techniques, further
+// improvements can be achieved.").
+//
+// Both are classic scan-power optimizations orthogonal to the proposed
+// structure:
+//  - Test-vector reordering picks a vector sequence with small
+//    consecutive Hamming distance, so scan-out/scan-in overlap produces
+//    fewer chain transitions (greedy nearest-neighbour TSP heuristic).
+//  - Scan-cell reordering permutes chain positions so bits that agree
+//    across the test set sit next to each other, reducing the number of
+//    0/1 boundaries that travel down the chain during shift (greedy
+//    chaining on column agreement).
+//
+// Neither changes any pattern's *applied* value: cell reordering permutes
+// only the chain order (ScanChainOrder tells the shift simulator which
+// cell loads which bit), and vector reordering permutes whole patterns.
+// Fault coverage is therefore untouched.
+
+#include <vector>
+
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+/// A permutation of scan-chain positions: order[k] = index into
+/// Netlist::dffs() of the cell at chain position k (position 0 receives
+/// the scan-in bit first).
+struct ScanChainOrder {
+  std::vector<std::size_t> order;
+
+  static ScanChainOrder identity(std::size_t n);
+  bool is_permutation() const;
+};
+
+/// Weighted transitions the chain itself sees while shifting the test set
+/// (sum over patterns and shift cycles of adjacent-bit differences); the
+/// standard cost function for scan reordering. Lower = fewer transitions
+/// entering the logic.
+double chain_transition_cost(const TestSet& tests, const ScanChainOrder& order);
+
+/// Greedy scan-cell reordering: chains cells so adjacent chain positions
+/// have maximal bit agreement across the test set.
+ScanChainOrder reorder_scan_cells(const Netlist& nl, const TestSet& tests);
+
+/// Greedy test-vector reordering (nearest neighbour on Hamming distance
+/// over ppi bits). Returns the permuted test set; coverage statistics are
+/// copied through.
+TestSet reorder_test_vectors(const TestSet& tests);
+
+}  // namespace scanpower

@@ -1,0 +1,97 @@
+#pragma once
+// Test-per-scan shift-power simulation.
+//
+// Protocol (full scan, one chain, no reordering -- as in the paper's
+// experiments): for each test vector, L shift cycles move the stimulus in
+// while the previous response moves out; one capture cycle follows. The
+// combinational part is re-evaluated at every shift cycle and fed to a
+// PowerEstimator, yielding exactly the two Table-I quantities: dynamic
+// power per Hz and static (leakage) power, both for the combinational
+// logic.
+//
+// Scan-mode input control is expressed per method:
+//  - traditional scan  : PIs hold the previous test's values; every cell's
+//    Q drives the logic directly.
+//  - input control [8] : PIs are driven with a blocking pattern during
+//    shift; cells drive the logic directly.
+//  - proposed          : PIs driven with the found pattern AND muxed cells
+//    present constants to the logic during shift.
+
+#include <functional>
+#include <span>
+
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+#include "power/power_est.hpp"
+#include "scan/add_mux.hpp"
+#include "scan/reorder.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+struct ScanPowerResult {
+  double dynamic_per_hz_uw = 0.0;  ///< multiply by f for absolute power
+  double static_uw = 0.0;
+  double mean_toggled_cap_ff = 0.0;
+  double mean_leakage_na = 0.0;
+  double peak_dynamic_per_hz_uw = 0.0;  ///< worst single shift cycle
+  double peak_leakage_na = 0.0;
+  std::size_t cycles = 0;          ///< observed clock cycles
+};
+
+struct ScanSimOptions {
+  /// Include the capture cycle (shift-enable low) in the power average.
+  /// It is identical across methods; the paper's scan-mode framing is
+  /// shift-only, so the default is off.
+  bool include_capture_cycles = false;
+  /// Chain state before the first pattern is shifted in.
+  Logic initial_state = Logic::Zero;
+  /// Optional scan-cell ordering (chain position -> dffs() index); null =
+  /// netlist order, i.e. the paper's "no scan cell reordering" setup.
+  const ScanChainOrder* chain_order = nullptr;
+  /// Number of parallel scan chains. Cells are dealt round-robin over the
+  /// (possibly reordered) position sequence; all chains shift together
+  /// for ceil(L / num_chains) cycles per pattern, shorter chains padded
+  /// with leading zero bits. 1 = the paper's single-chain setup.
+  int num_chains = 1;
+  /// Optional per-cycle observer (waveform dumps, custom metrics): called
+  /// with the cycle index and the settled value vector for every observed
+  /// cycle. Not part of the power accounting.
+  std::function<void(std::size_t cycle, std::span<const Logic> values)>
+      cycle_observer;
+};
+
+/// Pure chain-register model of the multi-chain shift protocol: starting
+/// from `initial`, shifts `ppi` (cell-indexed, remapped through `order`)
+/// into `num_chains` parallel chains for ceil(L/num_chains) cycles and
+/// returns the final position-indexed chain state. Exposed for protocol
+/// tests; the power evaluator follows exactly this sequence.
+std::vector<Logic> simulate_chain_loading(const ScanChainOrder& order,
+                                          std::span<const Logic> ppi,
+                                          int num_chains,
+                                          Logic initial = Logic::Zero);
+
+class ScanPowerEvaluator {
+ public:
+  ScanPowerEvaluator(const Netlist& nl, const LeakageModel& leakage,
+                     const CapacitanceModel& caps, PowerConfig config = {});
+
+  /// Runs the whole test session.
+  /// `pi_control`: per-PI value driven during shift; X = hold the
+  ///   previously applied test's PI value (traditional-scan behaviour).
+  /// `mux_control`: per-DFF constant presented during shift; X = the cell
+  ///   is not multiplexed (its chain bit drives the logic).
+  /// Sizes must match inputs()/dffs(); pass empty spans for all-X.
+  ScanPowerResult evaluate(const TestSet& tests,
+                           std::span<const Logic> pi_control = {},
+                           std::span<const Logic> mux_control = {},
+                           const ScanSimOptions& opts = {});
+
+ private:
+  const Netlist* nl_;
+  const LeakageModel* leakage_;
+  const CapacitanceModel* caps_;
+  PowerConfig config_;
+};
+
+}  // namespace scanpower

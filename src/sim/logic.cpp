@@ -1,0 +1,112 @@
+#include "sim/logic.hpp"
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+char logic_char(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One: return '1';
+    case Logic::X: return 'x';
+  }
+  return '?';
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::Zero;
+    case '1': return Logic::One;
+    case 'x':
+    case 'X':
+    case '-': return Logic::X;
+    default:
+      throw Error(std::string("invalid logic character: ") + c);
+  }
+}
+
+std::string logic_string(std::span<const Logic> values) {
+  std::string out;
+  out.reserve(values.size());
+  for (Logic v : values) out.push_back(logic_char(v));
+  return out;
+}
+
+std::vector<Logic> logic_vector(const std::string& s) {
+  std::vector<Logic> out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(logic_from_char(c));
+  return out;
+}
+
+namespace {
+
+/// AND-reduce with Kleene semantics: any 0 dominates; else X if any X.
+Logic and_reduce(std::span<const Logic> ins) {
+  bool saw_x = false;
+  for (Logic v : ins) {
+    if (v == Logic::Zero) return Logic::Zero;
+    if (v == Logic::X) saw_x = true;
+  }
+  return saw_x ? Logic::X : Logic::One;
+}
+
+Logic or_reduce(std::span<const Logic> ins) {
+  bool saw_x = false;
+  for (Logic v : ins) {
+    if (v == Logic::One) return Logic::One;
+    if (v == Logic::X) saw_x = true;
+  }
+  return saw_x ? Logic::X : Logic::Zero;
+}
+
+Logic parity_reduce(std::span<const Logic> ins) {
+  bool acc = false;
+  for (Logic v : ins) {
+    if (v == Logic::X) return Logic::X;
+    acc ^= as_bool(v);
+  }
+  return from_bool(acc);
+}
+
+}  // namespace
+
+Logic eval_gate(GateType type, std::span<const Logic> ins) {
+  switch (type) {
+    case GateType::Const0:
+      return Logic::Zero;
+    case GateType::Const1:
+      return Logic::One;
+    case GateType::Buf:
+      return ins[0];
+    case GateType::Not:
+      return logic_not(ins[0]);
+    case GateType::And:
+      return and_reduce(ins);
+    case GateType::Nand:
+      return logic_not(and_reduce(ins));
+    case GateType::Or:
+      return or_reduce(ins);
+    case GateType::Nor:
+      return logic_not(or_reduce(ins));
+    case GateType::Xor:
+      return parity_reduce(ins);
+    case GateType::Xnor:
+      return logic_not(parity_reduce(ins));
+    case GateType::Mux: {
+      const Logic s = ins[0];
+      const Logic a = ins[1];
+      const Logic b = ins[2];
+      if (s == Logic::Zero) return a;
+      if (s == Logic::One) return b;
+      // X select: output known only if both data inputs agree.
+      return (a == b) ? a : Logic::X;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      SP_ASSERT(false, "eval_gate called on a source (Input/Dff)");
+  }
+  SP_ASSERT(false, "unhandled gate type in eval_gate");
+}
+
+}  // namespace scanpower

@@ -1,0 +1,39 @@
+#pragma once
+// Three-valued (Kleene) logic: 0, 1, X.
+//
+// X serves two roles in this library: "unknown/don't-care" during
+// justification and pattern search, and "unassigned controlled input"
+// in power evaluation (where it is interpreted as an expectation over
+// {0,1}; see power/leakage_eval).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/gate_types.hpp"
+
+namespace scanpower {
+
+enum class Logic : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+inline Logic from_bool(bool b) { return b ? Logic::One : Logic::Zero; }
+inline bool is_known(Logic v) { return v != Logic::X; }
+inline bool as_bool(Logic v) { return v == Logic::One; }
+
+inline Logic logic_not(Logic v) {
+  if (v == Logic::X) return Logic::X;
+  return v == Logic::Zero ? Logic::One : Logic::Zero;
+}
+
+char logic_char(Logic v);                 ///< '0', '1', 'x'
+Logic logic_from_char(char c);            ///< throws Error on other chars
+std::string logic_string(std::span<const Logic> values);
+std::vector<Logic> logic_vector(const std::string& s);
+
+/// Kleene evaluation of one gate over its input values.
+/// For Mux, ins = {select, a, b}. Input/Dff gates are sources and must not
+/// be passed here (asserted).
+Logic eval_gate(GateType type, std::span<const Logic> ins);
+
+}  // namespace scanpower

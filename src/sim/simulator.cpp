@@ -1,0 +1,125 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  SP_CHECK(nl.finalized(), "Simulator requires a finalized netlist");
+  values_.assign(nl.num_gates(), Logic::X);
+  in_dirty_.assign(nl.num_gates(), 0);
+}
+
+void Simulator::touch_source(GateId id, Logic v) {
+  if (values_[id] == v) return;
+  values_[id] = v;
+  if (!in_dirty_[id]) {
+    in_dirty_[id] = 1;
+    dirty_.push_back(id);
+  }
+}
+
+void Simulator::set_input(GateId id, Logic v) {
+  SP_ASSERT(nl_->type(id) == GateType::Input, "set_input on non-input");
+  touch_source(id, v);
+}
+
+void Simulator::set_state(GateId id, Logic v) {
+  SP_ASSERT(nl_->type(id) == GateType::Dff, "set_state on non-DFF");
+  touch_source(id, v);
+}
+
+void Simulator::set_source(GateId id, Logic v) {
+  const GateType t = nl_->type(id);
+  SP_ASSERT(t == GateType::Input || t == GateType::Dff,
+            "set_source on non-source");
+  touch_source(id, v);
+}
+
+void Simulator::clear_sources() {
+  for (GateId id : nl_->inputs()) touch_source(id, Logic::X);
+  for (GateId id : nl_->dffs()) touch_source(id, Logic::X);
+}
+
+void Simulator::set_inputs(std::span<const Logic> values) {
+  SP_CHECK(values.size() == nl_->inputs().size(),
+           "set_inputs: size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    touch_source(nl_->inputs()[i], values[i]);
+  }
+}
+
+void Simulator::set_states(std::span<const Logic> values) {
+  SP_CHECK(values.size() == nl_->dffs().size(), "set_states: size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    touch_source(nl_->dffs()[i], values[i]);
+  }
+}
+
+void Simulator::eval() {
+  std::vector<Logic> ins;
+  for (GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    ins.clear();
+    for (GateId f : g.fanins) ins.push_back(values_[f]);
+    values_[id] = eval_gate(g.type, ins);
+  }
+  for (GateId id : dirty_) in_dirty_[id] = 0;
+  dirty_.clear();
+  full_pass_done_ = true;
+}
+
+void Simulator::eval_incremental() {
+  if (!full_pass_done_) {
+    eval();
+    return;
+  }
+  // Level-ordered event propagation: a min-heap keyed by level guarantees
+  // each gate is evaluated at most once with final fanin values.
+  using Item = std::pair<std::uint32_t, GateId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  std::vector<std::uint8_t> queued(nl_->num_gates(), 0);
+  auto schedule_fanouts = [&](GateId id) {
+    for (GateId fo : nl_->fanouts(id)) {
+      if (!is_combinational(nl_->type(fo))) continue;  // stop at DFF D pins
+      if (!queued[fo]) {
+        queued[fo] = 1;
+        heap.emplace(nl_->level(fo), fo);
+      }
+    }
+  };
+  for (GateId id : dirty_) schedule_fanouts(id);
+  for (GateId id : dirty_) in_dirty_[id] = 0;
+  dirty_.clear();
+
+  std::vector<Logic> ins;
+  while (!heap.empty()) {
+    const GateId id = heap.top().second;
+    heap.pop();
+    queued[id] = 0;
+    const Gate& g = nl_->gate(id);
+    ins.clear();
+    for (GateId f : g.fanins) ins.push_back(values_[f]);
+    const Logic v = eval_gate(g.type, ins);
+    if (v != values_[id]) {
+      values_[id] = v;
+      schedule_fanouts(id);
+    }
+  }
+}
+
+Logic Simulator::next_state(GateId dff) const {
+  SP_ASSERT(nl_->type(dff) == GateType::Dff, "next_state on non-DFF");
+  return values_[nl_->fanins(dff)[0]];
+}
+
+void Simulator::capture() {
+  for (GateId dff : nl_->dffs()) {
+    touch_source(dff, values_[nl_->fanins(dff)[0]]);
+  }
+}
+
+}  // namespace scanpower

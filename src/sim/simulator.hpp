@@ -1,0 +1,65 @@
+#pragma once
+// Levelized 3-valued logic simulator with an incremental (event-driven)
+// evaluation path.
+//
+// Sources are primary inputs (set_input) and DFF outputs / present state
+// (set_state). eval() performs a full topological pass; eval_incremental()
+// propagates only from sources whose values changed since the last eval,
+// which is what the scan-shift loop and Monte-Carlo sampling use.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Sets a primary-input value. `id` must be an Input gate.
+  void set_input(GateId id, Logic v);
+  /// Sets a present-state (DFF output) value. `id` must be a Dff gate.
+  void set_state(GateId id, Logic v);
+  /// Sets any source (Input or Dff).
+  void set_source(GateId id, Logic v);
+  /// Resets every source to X.
+  void clear_sources();
+
+  /// Sets all primary inputs from a vector ordered like netlist().inputs().
+  void set_inputs(std::span<const Logic> values);
+  /// Sets all DFF outputs from a vector ordered like netlist().dffs().
+  void set_states(std::span<const Logic> values);
+
+  /// Full levelized evaluation of the combinational core.
+  void eval();
+
+  /// Propagates only from sources changed since the previous eval*/capture.
+  /// Falls back to a full pass on first use. Produces values identical to
+  /// eval().
+  void eval_incremental();
+
+  Logic value(GateId id) const { return values_[id]; }
+  const std::vector<Logic>& values() const { return values_; }
+
+  /// Next-state value of a DFF (the value at its D pin after eval()).
+  Logic next_state(GateId dff) const;
+
+  /// Clock edge: copies every DFF's D value into its output (capture).
+  /// Marks the DFFs as changed sources for the next incremental eval.
+  void capture();
+
+ private:
+  void touch_source(GateId id, Logic v);
+
+  const Netlist* nl_;
+  std::vector<Logic> values_;
+  std::vector<GateId> dirty_;          ///< changed sources since last eval
+  std::vector<std::uint8_t> in_dirty_; ///< membership flag for dirty_
+  bool full_pass_done_ = false;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,49 @@
+#pragma once
+// Weighted toggle counting between consecutive circuit states.
+//
+// Dynamic power per eq.(1) of the paper is f * 1/2 * VDD^2 * sum_i a_i*C_i;
+// under a zero-delay model the switching activity contribution of one
+// clock cycle is the set of gates whose output value changed. The counter
+// accumulates sum(C_i over toggled gates) so the caller can average over
+// cycles and apply the voltage/frequency factors.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace scanpower {
+
+/// Weighted toggle sum between two full value vectors.
+/// Transitions to or from X count half a toggle (expectation over the
+/// unknown value); X -> X counts zero.
+double weighted_toggles(std::span<const Logic> before,
+                        std::span<const Logic> after,
+                        std::span<const double> weights);
+
+/// Convenience accumulator for per-cycle series.
+class ToggleAccumulator {
+ public:
+  explicit ToggleAccumulator(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  /// Records the first state without counting, then accumulates toggles
+  /// against the previous state.
+  void observe(std::span<const Logic> state);
+
+  double total() const { return total_; }
+  std::size_t cycles() const { return cycles_; }
+  /// Mean weighted toggles per observed transition (cycle).
+  double per_cycle() const { return cycles_ ? total_ / static_cast<double>(cycles_) : 0.0; }
+  void reset();
+
+ private:
+  std::vector<double> weights_;
+  std::vector<Logic> prev_;
+  double total_ = 0.0;
+  std::size_t cycles_ = 0;
+  bool has_prev_ = false;
+};
+
+}  // namespace scanpower

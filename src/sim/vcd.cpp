@@ -1,0 +1,82 @@
+#include "sim/vcd.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+namespace {
+/// Compact printable VCD identifier codes: base-94 over '!'..'~'.
+std::string vcd_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+char vcd_char(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One: return '1';
+    case Logic::X: return 'x';
+  }
+  return 'x';
+}
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, const Netlist& nl,
+                     const std::string& top, std::vector<GateId> signals)
+    : out_(&out), signals_(std::move(signals)) {
+  if (signals_.empty()) {
+    signals_.reserve(nl.num_gates());
+    for (GateId id = 0; id < nl.num_gates(); ++id) signals_.push_back(id);
+  }
+  codes_.reserve(signals_.size());
+  last_.assign(signals_.size(), Logic::X);
+
+  *out_ << "$timescale 1ns $end\n";
+  *out_ << "$scope module " << top << " $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    codes_.push_back(vcd_code(i));
+    *out_ << "$var wire 1 " << codes_[i] << " " << nl.gate_name(signals_[i])
+          << " $end\n";
+  }
+  *out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(std::uint64_t time, std::span<const Logic> values) {
+  SP_CHECK(!finished_, "VcdWriter: sample after finish");
+  bool any = first_;
+  if (!any) {
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      if (values[signals_[i]] != last_[i]) {
+        any = true;
+        break;
+      }
+    }
+  }
+  if (!any) return;
+  *out_ << "#" << time << "\n";
+  if (first_) *out_ << "$dumpvars\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const Logic v = values[signals_[i]];
+    if (first_ || v != last_[i]) {
+      *out_ << vcd_char(v) << codes_[i] << "\n";
+      last_[i] = v;
+      ++changes_;
+    }
+  }
+  if (first_) *out_ << "$end\n";
+  first_ = false;
+}
+
+void VcdWriter::finish() {
+  finished_ = true;
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+}  // namespace scanpower

@@ -1,0 +1,106 @@
+#include "timing/delay_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+double CapacitanceModel::pin_cap_ff(GateType type, int width) const {
+  // Wider cells present slightly larger pins (device sizing for equal
+  // drive); inverters are the smallest.
+  switch (type) {
+    case GateType::Not:
+    case GateType::Buf:
+      return 1.2;
+    case GateType::Nand:
+    case GateType::And:
+      return 1.4 + 0.15 * (width - 2);
+    case GateType::Nor:
+    case GateType::Or:
+      return 1.6 + 0.20 * (width - 2);  // PMOS stacks are wider
+    case GateType::Xor:
+    case GateType::Xnor:
+      return 2.2;
+    case GateType::Mux:
+      return 1.8;
+    case GateType::Dff:
+      return 1.9;  // D pin
+    default:
+      return 1.4;
+  }
+}
+
+double CapacitanceModel::load_ff(const Netlist& nl, GateId id) const {
+  const Gate& g = nl.gate(id);
+  double load = 0.0;
+  for (GateId fo : g.fanouts) {
+    load += pin_cap_ff(nl.type(fo), static_cast<int>(nl.fanins(fo).size()));
+    load += wire_cap_per_fanout_ff();
+  }
+  if (g.is_output) load += output_pad_cap_ff();
+  return load;
+}
+
+std::vector<double> CapacitanceModel::load_vector(const Netlist& nl) const {
+  std::vector<double> loads(nl.num_gates());
+  for (GateId id = 0; id < nl.num_gates(); ++id) loads[id] = load_ff(nl, id);
+  return loads;
+}
+
+double DelayModel::intrinsic_ps(GateType type, int width) const {
+  switch (type) {
+    case GateType::Not:
+      return 6.0;
+    case GateType::Buf:
+      return 10.0;
+    case GateType::Nand:
+    case GateType::And:
+      return 9.0 + 2.5 * (width - 2);
+    case GateType::Nor:
+    case GateType::Or:
+      return 11.0 + 3.5 * (width - 2);  // series PMOS is slower
+    case GateType::Xor:
+    case GateType::Xnor:
+      return 18.0 + 4.0 * (width - 2);
+    case GateType::Mux:
+      return 14.0;
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0.0;
+    case GateType::Input:
+    case GateType::Dff:
+      return 0.0;  // source arrival handled by the STA
+  }
+  SP_ASSERT(false, "unhandled gate type in intrinsic_ps");
+}
+
+double DelayModel::drive_res_ps_per_ff(GateType type, int width) const {
+  switch (type) {
+    case GateType::Not:
+      return 1.6;
+    case GateType::Buf:
+      return 1.4;
+    case GateType::Nand:
+    case GateType::And:
+      return 1.9 + 0.25 * (width - 2);
+    case GateType::Nor:
+    case GateType::Or:
+      return 2.3 + 0.40 * (width - 2);
+    case GateType::Xor:
+    case GateType::Xnor:
+      return 2.6;
+    case GateType::Mux:
+      return 2.0;
+    default:
+      return 0.0;
+  }
+}
+
+double DelayModel::gate_delay_ps(const Netlist& nl, GateId id) const {
+  const Gate& g = nl.gate(id);
+  if (!is_combinational(g.type)) return 0.0;
+  const int width = static_cast<int>(g.fanins.size());
+  return intrinsic_ps(g.type, width) +
+         drive_res_ps_per_ff(g.type, width) * caps_.load_ff(nl, id);
+}
+
+}  // namespace scanpower

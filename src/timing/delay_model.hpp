@@ -1,0 +1,67 @@
+#pragma once
+// Load-dependent linear delay model and pin/wire capacitance model.
+//
+// delay(g) = intrinsic(type, width) + drive_res(type, width) * load(g)
+// load(g)  = sum over fanout pins of pin_cap + wire_cap_per_fanout
+//
+// Constants approximate a 45 nm standard-cell library at 0.9 V (the
+// technology of the paper's evaluation): picosecond intrinsics,
+// femtofarad pin caps, ps/fF drive resistance. Absolute accuracy is not
+// required -- AddMUX() only needs a consistent notion of "critical path
+// delay changed", and dynamic power needs per-gate load capacitance.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+class CapacitanceModel {
+ public:
+  /// Input-pin capacitance in fF for one pin of a gate.
+  double pin_cap_ff(GateType type, int width) const;
+
+  /// Estimated wire capacitance added per fanout branch (fF).
+  double wire_cap_per_fanout_ff() const { return 0.35; }
+
+  /// Total load on a gate's output net (fF): fanout pin caps + wire.
+  /// Primary outputs add an external load.
+  double load_ff(const Netlist& nl, GateId id) const;
+
+  /// Per-gate load vector for the whole netlist (dynamic-power weights).
+  std::vector<double> load_vector(const Netlist& nl) const;
+
+  double output_pad_cap_ff() const { return 3.0; }
+};
+
+class DelayModel {
+ public:
+  DelayModel() = default;
+  explicit DelayModel(CapacitanceModel caps) : caps_(caps) {}
+
+  const CapacitanceModel& caps() const { return caps_; }
+
+  /// Intrinsic (unloaded) delay in ps.
+  double intrinsic_ps(GateType type, int width) const;
+
+  /// Drive resistance in ps/fF.
+  double drive_res_ps_per_ff(GateType type, int width) const;
+
+  /// Full gate delay in ps given its load in the netlist.
+  double gate_delay_ps(const Netlist& nl, GateId id) const;
+
+  /// clk->Q delay of a scan cell (arrival of pseudo-inputs).
+  double clk_to_q_ps() const { return 35.0; }
+
+  /// Delay of the 2:1 multiplexer AddMUX inserts at a scan-cell output,
+  /// driving that cell's original load.
+  double mux_delay_ps(double load_ff) const {
+    return intrinsic_ps(GateType::Mux, 2) +
+           drive_res_ps_per_ff(GateType::Mux, 2) * load_ff;
+  }
+
+ private:
+  CapacitanceModel caps_;
+};
+
+}  // namespace scanpower

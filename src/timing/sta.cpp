@@ -1,0 +1,130 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+TimingAnalysis::TimingAnalysis(const Netlist& nl, const DelayModel& model)
+    : nl_(&nl), model_(&model) {
+  SP_CHECK(nl.finalized(), "TimingAnalysis requires a finalized netlist");
+  const std::size_t n = nl.num_gates();
+  arrival_.assign(n, 0.0);
+  required_.assign(n, 0.0);
+  delay_.assign(n, 0.0);
+
+  for (GateId id = 0; id < n; ++id) {
+    delay_[id] = model.gate_delay_ps(nl, id);
+    if (nl.type(id) == GateType::Dff) arrival_[id] = model.clk_to_q_ps();
+  }
+
+  // Forward pass: arrival(g) = max fanin arrival + delay(g).
+  for (GateId id : nl.topo_order()) {
+    double arr = 0.0;
+    for (GateId f : nl_->fanins(id)) arr = std::max(arr, arrival_[f]);
+    arrival_[id] = arr + delay_[id];
+  }
+
+  // Critical delay = max arrival over sinks (POs and DFF D pins). If the
+  // circuit has no sinks (degenerate), fall back to max arrival anywhere.
+  critical_delay_ = 0.0;
+  bool saw_sink = false;
+  auto visit_sink = [&](GateId g) {
+    critical_delay_ = std::max(critical_delay_, arrival_[g]);
+    saw_sink = true;
+  };
+  for (GateId id : nl.outputs()) visit_sink(id);
+  for (GateId id : nl.dffs()) visit_sink(nl.fanins(id)[0]);
+  if (!saw_sink) {
+    for (GateId id = 0; id < n; ++id) {
+      critical_delay_ = std::max(critical_delay_, arrival_[id]);
+    }
+  }
+
+  // Backward pass: required(g) = min over fanouts (required(fo) -
+  // delay(fo)); sinks are required at the critical delay.
+  std::vector<double> req(n, std::numeric_limits<double>::infinity());
+  for (GateId id : nl.outputs()) req[id] = critical_delay_;
+  for (GateId dff : nl.dffs()) {
+    const GateId d = nl.fanins(dff)[0];
+    req[d] = std::min(req[d], critical_delay_);
+  }
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    for (GateId f : nl_->fanins(id)) {
+      req[f] = std::min(req[f], req[id] - delay_[id]);
+    }
+  }
+  // Sources feeding only DFF D pins or nothing: handled above; isolated
+  // gates keep +inf -> clamp to critical delay (they constrain nothing).
+  for (GateId id = 0; id < n; ++id) {
+    if (req[id] == std::numeric_limits<double>::infinity()) {
+      req[id] = critical_delay_;
+    }
+    required_[id] = req[id];
+  }
+}
+
+std::vector<GateId> TimingAnalysis::critical_path() const {
+  // Find the worst sink, then walk backwards along max-arrival fanins.
+  GateId sink = kInvalidGate;
+  double best = kNegInf;
+  auto consider = [&](GateId g) {
+    if (arrival_[g] > best + 1e-12 ||
+        (sink == kInvalidGate && arrival_[g] >= best)) {
+      best = arrival_[g];
+      sink = g;
+    }
+  };
+  for (GateId id : nl_->outputs()) consider(id);
+  for (GateId dff : nl_->dffs()) consider(nl_->fanins(dff)[0]);
+  if (sink == kInvalidGate) return {};
+
+  std::vector<GateId> path;
+  GateId cur = sink;
+  for (;;) {
+    path.push_back(cur);
+    const auto& fans = nl_->fanins(cur);
+    if (fans.empty() || !is_combinational(nl_->type(cur))) break;
+    GateId next = kInvalidGate;
+    double want = arrival_[cur] - delay_[cur];
+    for (GateId f : fans) {
+      if (std::abs(arrival_[f] - want) < 1e-9) {
+        next = f;
+        break;
+      }
+    }
+    if (next == kInvalidGate) break;  // numeric mismatch; stop gracefully
+    cur = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<GateId> TimingAnalysis::critical_gates(double epsilon_ps) const {
+  std::vector<GateId> out;
+  for (GateId id = 0; id < nl_->num_gates(); ++id) {
+    if (slack_ps(id) <= epsilon_ps) out.push_back(id);
+  }
+  return out;
+}
+
+double TimingAnalysis::critical_delay_with_extra_source_delay(
+    GateId src, double extra_ps) const {
+  const GateType t = nl_->type(src);
+  SP_ASSERT(t == GateType::Input || t == GateType::Dff,
+            "extra source delay only applies to sources");
+  // Longest path through src = D - slack(src); adding extra_ps stretches
+  // exactly those paths.
+  const double through = critical_delay_ - slack_ps(src);
+  return std::max(critical_delay_, through + extra_ps);
+}
+
+}  // namespace scanpower

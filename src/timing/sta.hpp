@@ -1,0 +1,54 @@
+#pragma once
+// Static timing analysis of the combinational core.
+//
+// Sources: primary inputs arrive at 0; DFF outputs (pseudo-inputs) arrive
+// at clk->Q. Sinks: primary outputs and DFF D pins. The analysis computes
+// arrival, required (against the circuit's own critical delay) and slack
+// for every gate, plus critical-path extraction.
+//
+// AddMUX() uses the source-slack query: inserting a mux with delay d at a
+// scan-cell output lengthens every path through that cell by d (the mux
+// drives the cell's original load), so the critical delay changes iff
+// d > slack(cell). mux insertion verification re-runs full STA on the
+// physically rewritten netlist as a cross-check.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/delay_model.hpp"
+
+namespace scanpower {
+
+class TimingAnalysis {
+ public:
+  TimingAnalysis(const Netlist& nl, const DelayModel& model);
+
+  /// Longest source-to-sink combinational delay (ps).
+  double critical_delay_ps() const { return critical_delay_; }
+
+  double arrival_ps(GateId id) const { return arrival_[id]; }
+  double required_ps(GateId id) const { return required_[id]; }
+  double slack_ps(GateId id) const { return required_[id] - arrival_[id]; }
+
+  /// One critical path, source first. When several paths tie, the one
+  /// following lowest gate ids is returned (deterministic).
+  std::vector<GateId> critical_path() const;
+
+  /// All gates lying on at least one critical path (slack ~ 0).
+  std::vector<GateId> critical_gates(double epsilon_ps = 1e-6) const;
+
+  /// Critical delay if an extra delay `extra_ps` were inserted at source
+  /// `src` (a DFF or PI), without rewriting the netlist:
+  /// max(D, D - slack(src) + extra).
+  double critical_delay_with_extra_source_delay(GateId src, double extra_ps) const;
+
+ private:
+  const Netlist* nl_;
+  const DelayModel* model_;
+  std::vector<double> arrival_;
+  std::vector<double> required_;
+  std::vector<double> delay_;  ///< per-gate delay cache
+  double critical_delay_ = 0.0;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,55 @@
+#pragma once
+// Internal invariant checking and recoverable-error helpers.
+//
+// SP_ASSERT(cond, msg)  -- internal invariant; aborts with a diagnostic.
+//                          Violations indicate a bug in this library.
+// SP_CHECK(cond, msg)   -- recoverable precondition on user-supplied data;
+//                          throws scanpower::Error so callers can handle it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace scanpower {
+
+/// Base exception for all recoverable errors raised by the library
+/// (malformed netlists, bad parameters, inconsistent scan configurations).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by parsers on malformed input files.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what)
+      : Error(file + ":" + std::to_string(line) + ": " + what),
+        file_(file),
+        line_(line) {}
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "scanpower: internal invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace scanpower
+
+#define SP_ASSERT(cond, msg)                                         \
+  do {                                                               \
+    if (!(cond)) ::scanpower::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SP_CHECK(cond, msg)                    \
+  do {                                         \
+    if (!(cond)) throw ::scanpower::Error(msg); \
+  } while (0)

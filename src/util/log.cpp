@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace scanpower {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[scanpower %s] %s\n", level_tag(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace scanpower

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (Level::Warn); experiment drivers raise
+// the level with set_log_level(Level::Info) to narrate flow progress.
+
+#include <string>
+
+namespace scanpower {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+inline void log_debug(const std::string& msg) {
+  detail::log_emit(LogLevel::Debug, msg);
+}
+inline void log_info(const std::string& msg) {
+  detail::log_emit(LogLevel::Info, msg);
+}
+inline void log_warn(const std::string& msg) {
+  detail::log_emit(LogLevel::Warn, msg);
+}
+inline void log_error(const std::string& msg) {
+  detail::log_emit(LogLevel::Error, msg);
+}
+
+}  // namespace scanpower

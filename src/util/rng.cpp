@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Header-only today; this translation unit anchors the library target and
+// keeps a stable home for future out-of-line additions.

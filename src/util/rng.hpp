@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All stochastic phases of the library (random test patterns, Monte-Carlo
+// leakage observability, don't-care filling) draw from Rng so that every
+// experiment is reproducible bit-for-bit from its reported seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace scanpower {
+
+/// splitmix64 -- used to expand a single 64-bit seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, high quality; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ca9f0e11eaca6e5ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child generator (for parallel phases).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,25 @@
+#pragma once
+// Small string helpers shared by parsers and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scanpower {
+
+/// Remove leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace scanpower

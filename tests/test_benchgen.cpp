@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "benchgen/benchgen.hpp"
+#include "netlist/stats.hpp"
+
+namespace scanpower {
+namespace {
+
+TEST(Benchgen, S27IsTheGenuineNetlist) {
+  const Netlist nl = make_s27();
+  // Spot-check known structure: G11 = NOR(G5, G9).
+  const GateId g11 = nl.find("G11");
+  ASSERT_NE(g11, kInvalidGate);
+  EXPECT_EQ(nl.type(g11), GateType::Nor);
+  EXPECT_EQ(nl.gate_name(nl.fanins(g11)[0]), "G5");
+  EXPECT_EQ(nl.gate_name(nl.fanins(g11)[1]), "G9");
+  // G7 = DFF(G13).
+  const GateId g7 = nl.find("G7");
+  EXPECT_EQ(nl.type(g7), GateType::Dff);
+  EXPECT_EQ(nl.gate_name(nl.fanins(g7)[0]), "G13");
+}
+
+class ProfileTest : public ::testing::TestWithParam<SynthProfile> {};
+
+TEST_P(ProfileTest, MatchesPublishedProfile) {
+  const SynthProfile& p = GetParam();
+  const Netlist nl = generate_synthetic(p);
+  const NetlistStats st = compute_stats(nl);
+  EXPECT_EQ(st.num_inputs, static_cast<std::size_t>(p.num_pi)) << p.name;
+  EXPECT_EQ(st.num_outputs, static_cast<std::size_t>(p.num_po)) << p.name;
+  EXPECT_EQ(st.num_dffs, static_cast<std::size_t>(p.num_ff)) << p.name;
+  EXPECT_EQ(st.num_comb_gates, static_cast<std::size_t>(p.num_gates)) << p.name;
+}
+
+TEST_P(ProfileTest, NoDanglingLogic) {
+  const SynthProfile& p = GetParam();
+  const Netlist nl = generate_synthetic(p);
+  // Every combinational gate must drive something (a gate, PO, or FF).
+  std::size_t dangling = 0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (!is_combinational(nl.type(id))) continue;
+    if (nl.fanouts(id).empty() && !nl.is_output(id)) ++dangling;
+  }
+  // The generator drains undriven signals into POs/FF-Ds; a few can
+  // remain when the undriven pool exceeds the sink count.
+  EXPECT_LE(dangling, static_cast<std::size_t>(p.num_gates) / 50) << p.name;
+}
+
+TEST_P(ProfileTest, DeterministicForSeed) {
+  const SynthProfile& p = GetParam();
+  const Netlist a = generate_synthetic(p);
+  const Netlist b = generate_synthetic(p);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId id = 0; id < a.num_gates(); ++id) {
+    EXPECT_EQ(a.gate_name(id), b.gate_name(id));
+    EXPECT_EQ(a.type(id), b.type(id));
+    EXPECT_EQ(a.fanins(id), b.fanins(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Iscas89, ProfileTest, ::testing::ValuesIn(iscas89_profiles()),
+    [](const ::testing::TestParamInfo<SynthProfile>& info) {
+      return info.param.name;
+    });
+
+TEST(Benchgen, DifferentSeedsDifferentCircuits) {
+  SynthProfile a{"x", 5, 5, 5, 50, 1};
+  SynthProfile b{"x", 5, 5, 5, 50, 2};
+  const Netlist na = generate_synthetic(a);
+  const Netlist nb = generate_synthetic(b);
+  bool differ = na.num_gates() != nb.num_gates();
+  for (GateId id = 0; !differ && id < na.num_gates(); ++id) {
+    differ = na.type(id) != nb.type(id) || na.fanins(id) != nb.fanins(id);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Benchgen, UnknownCircuitNameThrows) {
+  EXPECT_THROW(make_iscas89_like("s99999"), Error);
+}
+
+TEST(Benchgen, ProfileValidation) {
+  SynthProfile bad{"bad", 0, 1, 1, 10, 1};
+  EXPECT_THROW(generate_synthetic(bad), Error);
+  SynthProfile too_small{"small", 2, 8, 8, 10, 1};
+  EXPECT_THROW(generate_synthetic(too_small), Error);
+}
+
+TEST(Benchgen, ReasonableDepth) {
+  // Depth should be circuit-like: more than 3 levels, less than the gate
+  // count (i.e. not one long chain).
+  for (const char* name : {"s344", "s641", "s1423"}) {
+    const Netlist nl = make_iscas89_like(name);
+    EXPECT_GT(nl.depth(), 3u) << name;
+    EXPECT_LT(nl.depth(), nl.num_gates() / 3) << name;
+  }
+}
+
+}  // namespace
+}  // namespace scanpower

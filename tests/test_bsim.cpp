@@ -1,0 +1,131 @@
+// Physics-path tests: the device equations of Section 3 must reproduce
+// the technology trends the paper's argument rests on.
+
+#include <gtest/gtest.h>
+
+#include "power/bsim.hpp"
+#include "util/assert.hpp"
+
+namespace scanpower {
+namespace {
+
+TEST(Bsim, SubthresholdGrowsExponentiallyAsVtDrops) {
+  BsimParams hi;
+  BsimParams lo = hi;
+  lo.vt0_n = hi.vt0_n - 0.06;  // 60 mV lower threshold
+  const double i_hi = bsim_subthreshold_a(hi, 0.0, hi.vdd, 0.0, false);
+  const double i_lo = bsim_subthreshold_a(lo, 0.0, lo.vdd, 0.0, false);
+  // ~60 mV at n*vt ~ 39 mV -> about e^1.55 ~ 4.7x.
+  EXPECT_GT(i_lo / i_hi, 3.0);
+  EXPECT_LT(i_lo / i_hi, 8.0);
+}
+
+TEST(Bsim, SubthresholdGrowsWithTemperature) {
+  BsimParams cold;
+  cold.temperature_k = 300.0;
+  BsimParams hot = cold;
+  hot.temperature_k = 380.0;
+  EXPECT_GT(bsim_subthreshold_a(hot, 0.0, hot.vdd, 0.0, false),
+            bsim_subthreshold_a(cold, 0.0, cold.vdd, 0.0, false));
+}
+
+TEST(Bsim, DiblIncreasesLeakageWithVds) {
+  const BsimParams p;
+  EXPECT_GT(bsim_subthreshold_a(p, 0.0, 0.9, 0.0, false),
+            bsim_subthreshold_a(p, 0.0, 0.45, 0.0, false));
+}
+
+TEST(Bsim, BodyBiasSuppressesLeakage) {
+  const BsimParams p;
+  EXPECT_LT(bsim_subthreshold_a(p, 0.0, 0.9, 0.2, false),
+            bsim_subthreshold_a(p, 0.0, 0.9, 0.0, false));
+}
+
+TEST(Bsim, NegativeVgsSuppressesLeakage) {
+  const BsimParams p;
+  EXPECT_LT(bsim_subthreshold_a(p, -0.1, 0.8, 0.1, false),
+            bsim_subthreshold_a(p, 0.0, 0.9, 0.0, false));
+}
+
+TEST(Bsim, TunnelingGrowsExponentiallyAsOxideThins) {
+  BsimParams thick;
+  thick.tox_m = 1.6e-9;
+  BsimParams thin = thick;
+  thin.tox_m = 1.0e-9;
+  const double j_thick = bsim_gate_tunneling_a(thick, 0.9, false);
+  const double j_thin = bsim_gate_tunneling_a(thin, 0.9, false);
+  EXPECT_GT(j_thin / j_thick, 10.0);
+}
+
+TEST(Bsim, TunnelingGrowsWithVox) {
+  const BsimParams p;
+  EXPECT_GT(bsim_gate_tunneling_a(p, 0.9, false),
+            bsim_gate_tunneling_a(p, 0.6, false));
+  EXPECT_DOUBLE_EQ(bsim_gate_tunneling_a(p, 0.0, false), 0.0);
+}
+
+TEST(Bsim, VoxAboveBarrierRejected) {
+  const BsimParams p;
+  EXPECT_THROW(bsim_gate_tunneling_a(p, p.phi_ox_v + 0.1, false), Error);
+}
+
+TEST(Bsim, DerivedParamsHaveTableStructure) {
+  const LeakageParams lp = derive_leakage_params(BsimParams{});
+  // Stack-position asymmetry (what pin reordering exploits).
+  EXPECT_LT(lp.nmos_off_strong, lp.nmos_off_weak);
+  EXPECT_LT(lp.pmos_off_strong, lp.pmos_off_weak);
+  // Stack factor suppresses.
+  EXPECT_LE(lp.nmos_stack_beta, 1.0);
+  EXPECT_GT(lp.nmos_stack_beta, 0.0);
+  // Everything positive.
+  EXPECT_GT(lp.nmos_off_weak, 0.0);
+  EXPECT_GT(lp.pmos_off_parallel, 0.0);
+  EXPECT_GT(lp.gate_leak_nmos_on, 0.0);
+  EXPECT_GT(lp.gate_leak_pmos_on, 0.0);
+  // NMOS tunnels more than PMOS (electron vs hole barrier).
+  EXPECT_GT(lp.gate_leak_nmos_on, lp.gate_leak_pmos_on);
+}
+
+TEST(Bsim, PhysicalModelPreservesReorderingSignal) {
+  // The physics-derived tables must keep the "01" vs "10" NAND2 gap that
+  // motivates Figure 2 / pin reordering, and the same worst-case states.
+  const LeakageModel model = physical_leakage_model();
+  const double l01 = model.cell_leakage_na(GateType::Nand, 2, 0b10);  // A=0,B=1
+  const double l10 = model.cell_leakage_na(GateType::Nand, 2, 0b01);  // A=1,B=0
+  EXPECT_LT(l01, l10);
+  const double worst = model.cell_leakage_na(GateType::Nand, 2, 0b11);
+  EXPECT_GT(worst, l01);
+  EXPECT_GT(worst, model.cell_leakage_na(GateType::Nand, 2, 0b00));
+}
+
+TEST(Bsim, PhysicalModelWithinOrderOfMagnitudeOfPaperTable) {
+  // Not bit-exact (that is the calibrated table's job), but the physics
+  // defaults must land in the right decade for every NAND2 state.
+  const LeakageModel model = physical_leakage_model();
+  const double paper[4] = {78.0, 264.0, 73.0, 408.0};  // index = pattern
+  for (unsigned pat = 0; pat < 4; ++pat) {
+    const double l = model.cell_leakage_na(GateType::Nand, 2, pat);
+    EXPECT_GT(l, paper[pat] / 10.0) << "pattern " << pat;
+    EXPECT_LT(l, paper[pat] * 10.0) << "pattern " << pat;
+  }
+}
+
+TEST(Bsim, FutureTechnologyShiftsTowardStatic) {
+  // The paper's motivation: scaled technologies leak more. Lower V_T and
+  // thinner oxide must raise every entry of the NAND2 table.
+  BsimParams today;
+  BsimParams scaled = today;
+  scaled.vt0_n -= 0.05;
+  scaled.vt0_p -= 0.05;
+  scaled.tox_m = 1.0e-9;
+  const LeakageModel m_today = physical_leakage_model(today);
+  const LeakageModel m_scaled = physical_leakage_model(scaled);
+  for (unsigned pat = 0; pat < 4; ++pat) {
+    EXPECT_GT(m_scaled.cell_leakage_na(GateType::Nand, 2, pat),
+              m_today.cell_leakage_na(GateType::Nand, 2, pat))
+        << "pattern " << pat;
+  }
+}
+
+}  // namespace
+}  // namespace scanpower

@@ -1,0 +1,144 @@
+// End-to-end properties of the full flow: the qualitative claims of the
+// paper must hold on our reproduction.
+
+#include <gtest/gtest.h>
+
+#include "atpg/fault_sim.hpp"
+#include "benchgen/benchgen.hpp"
+#include "core/flow.hpp"
+#include "core/verify.hpp"
+#include "techmap/techmap.hpp"
+
+namespace scanpower {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  static const FlowResult& result() {
+    static const FlowResult r = [] {
+      const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s344"));
+      return run_flow(mapped, FlowOptions{});
+    }();
+    return r;
+  }
+};
+
+TEST_F(FlowTest, ProposedReducesDynamicPowerVsTraditional) {
+  EXPECT_LT(result().proposed.dynamic_per_hz_uw,
+            result().traditional.dynamic_per_hz_uw);
+}
+
+TEST_F(FlowTest, ProposedReducesStaticPowerVsTraditional) {
+  EXPECT_LT(result().proposed.static_uw, result().traditional.static_uw);
+}
+
+TEST_F(FlowTest, ProposedBeatsInputControlOnStatic) {
+  // The paper's static improvements vs [8] are positive on every circuit.
+  EXPECT_LT(result().proposed.static_uw, result().input_control.static_uw);
+}
+
+TEST_F(FlowTest, InputControlBetweenTraditionalAndProposedOnDynamic) {
+  // Input control blocks some transitions: no worse than traditional.
+  EXPECT_LE(result().input_control.dynamic_per_hz_uw,
+            result().traditional.dynamic_per_hz_uw * 1.02);
+}
+
+TEST_F(FlowTest, SomeCellsMultiplexed) {
+  EXPECT_GT(result().mux_plan.num_multiplexed, 0u);
+  EXPECT_LE(result().mux_plan.num_multiplexed,
+            result().mux_plan.multiplexed.size());
+}
+
+TEST_F(FlowTest, ImprovementPercentagesConsistent) {
+  const FlowResult& r = result();
+  EXPECT_NEAR(r.dyn_vs_traditional_pct,
+              improvement_pct(r.traditional.dynamic_per_hz_uw,
+                              r.proposed.dynamic_per_hz_uw),
+              1e-9);
+  EXPECT_NEAR(r.stat_vs_input_control_pct,
+              improvement_pct(r.input_control.static_uw, r.proposed.static_uw),
+              1e-9);
+}
+
+TEST_F(FlowTest, TestsShared) {
+  EXPECT_GT(result().num_patterns, 0u);
+  EXPECT_GT(result().fault_coverage, 0.3);
+}
+
+TEST(FlowProperties, DeterministicEndToEnd) {
+  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s382"));
+  const FlowResult a = run_flow(mapped, FlowOptions{});
+  const FlowResult b = run_flow(mapped, FlowOptions{});
+  EXPECT_DOUBLE_EQ(a.proposed.dynamic_per_hz_uw, b.proposed.dynamic_per_hz_uw);
+  EXPECT_DOUBLE_EQ(a.proposed.static_uw, b.proposed.static_uw);
+  EXPECT_DOUBLE_EQ(a.traditional.static_uw, b.traditional.static_uw);
+}
+
+TEST(FlowProperties, FaultCoverageUnaffectedByStructure) {
+  // The paper: "Fault coverage is not affected by this method." The muxed
+  // netlist in normal mode must produce identical responses, so the same
+  // test set detects the same original-circuit faults.
+  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s382"));
+  FlowOptions opts;
+  FlowResult details;
+  const TestSet tests = generate_tests(mapped, opts.tpg);
+  run_proposed(mapped, tests, opts, &details);
+  std::vector<Logic> mux_values = details.pattern.mux_pattern;
+  const StructureVerification v = verify_mux_structure(
+      mapped, details.mux_plan, mux_values, opts.delay, &tests);
+  EXPECT_TRUE(v.all_ok());
+  EXPECT_TRUE(v.normal_mode_equivalent);
+}
+
+TEST(FlowProperties, AblationObservabilityHelpsStatic) {
+  // With the leakage-observability directive the proposed method should
+  // not be *worse* on static power than the undirected variant (small
+  // tolerance: the directive is a heuristic).
+  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  FlowOptions on;
+  FlowOptions off;
+  off.use_observability_directive = false;
+  const TestSet tests = generate_tests(mapped, on.tpg);
+  const ScanPowerResult with = run_proposed(mapped, tests, on, nullptr);
+  const ScanPowerResult without = run_proposed(mapped, tests, off, nullptr);
+  EXPECT_LT(with.static_uw, without.static_uw * 1.05);
+}
+
+TEST(FlowProperties, AblationReorderNeverHurtsStatic) {
+  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s444"));
+  FlowOptions on;
+  FlowOptions off;
+  off.do_pin_reorder = false;
+  const TestSet tests = generate_tests(mapped, on.tpg);
+  const ScanPowerResult with = run_proposed(mapped, tests, on, nullptr);
+  const ScanPowerResult without = run_proposed(mapped, tests, off, nullptr);
+  EXPECT_LE(with.static_uw, without.static_uw + 1e-9);
+  // Dynamic power is untouched by reordering (same values everywhere).
+  EXPECT_NEAR(with.dynamic_per_hz_uw, without.dynamic_per_hz_uw,
+              1e-12 + without.dynamic_per_hz_uw * 1e-9);
+}
+
+TEST(FlowProperties, NoMuxesDegradesToInputControlShape) {
+  // Disabling mux insertion leaves only PI control + fill + reorder; the
+  // dynamic result must be >= the full method's (muxes only ever block
+  // more transitions).
+  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  FlowOptions full;
+  FlowOptions no_mux;
+  no_mux.insert_muxes = false;
+  const TestSet tests = generate_tests(mapped, full.tpg);
+  const ScanPowerResult with = run_proposed(mapped, tests, full, nullptr);
+  const ScanPowerResult without = run_proposed(mapped, tests, no_mux, nullptr);
+  EXPECT_LE(with.dynamic_per_hz_uw, without.dynamic_per_hz_uw * 1.02);
+}
+
+TEST(FlowProperties, S27SmokeTest) {
+  const Netlist mapped = map_to_nand_nor_inv(make_s27());
+  const FlowResult r = run_flow(mapped, FlowOptions{});
+  EXPECT_GT(r.traditional.static_uw, 0.0);
+  EXPECT_GT(r.traditional.dynamic_per_hz_uw, 0.0);
+  EXPECT_LE(r.proposed.dynamic_per_hz_uw, r.traditional.dynamic_per_hz_uw);
+}
+
+}  // namespace
+}  // namespace scanpower

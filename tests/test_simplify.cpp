@@ -1,0 +1,223 @@
+// Tests for structural simplification and ATPG-based redundancy removal.
+
+#include <gtest/gtest.h>
+
+#include "atpg/redundancy.hpp"
+#include "benchgen/benchgen.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/simplify.hpp"
+#include "sim/simulator.hpp"
+#include "techmap/techmap.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+namespace {
+
+/// Random-simulation equivalence at the PI/PO/DFF interface.
+void expect_equiv(const Netlist& a, const Netlist& b, int vectors,
+                  std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  ASSERT_EQ(a.dffs().size(), b.dffs().size());
+  Simulator sa(a);
+  Simulator sb(b);
+  Rng rng(seed);
+  for (int v = 0; v < vectors; ++v) {
+    for (std::size_t k = 0; k < a.inputs().size(); ++k) {
+      const Logic val = from_bool(rng.next_bool());
+      sa.set_input(a.inputs()[k], val);
+      sb.set_input(b.find(a.gate_name(a.inputs()[k])), val);
+    }
+    for (std::size_t k = 0; k < a.dffs().size(); ++k) {
+      const Logic val = from_bool(rng.next_bool());
+      sa.set_state(a.dffs()[k], val);
+      sb.set_state(b.find(a.gate_name(a.dffs()[k])), val);
+    }
+    sa.eval_incremental();
+    sb.eval_incremental();
+    for (std::size_t k = 0; k < a.outputs().size(); ++k) {
+      ASSERT_EQ(sa.value(a.outputs()[k]),
+                sb.value(b.find(a.gate_name(a.outputs()[k]))))
+          << "vector " << v;
+    }
+    for (std::size_t k = 0; k < a.dffs().size(); ++k) {
+      ASSERT_EQ(sa.next_state(a.dffs()[k]),
+                sb.next_state(b.find(a.gate_name(a.dffs()[k])))) << v;
+    }
+  }
+}
+
+TEST(Simplify, ConstantFoldsThroughAndChain) {
+  NetlistBuilder b("cf");
+  b.add_input("a");
+  b.add_gate(GateType::Const0, "zero", {});
+  b.add_gate(GateType::And, "g1", {"a", "zero"});  // = 0
+  b.add_gate(GateType::Or, "g2", {"g1", "a"});     // = a
+  b.add_gate(GateType::Not, "y", {"g2"});          // = !a
+  b.add_output("y");
+  SimplifyStats stats;
+  const Netlist s = simplify(b.link(), &stats);
+  EXPECT_TRUE(stats.changed());
+  // Only the inverter (and the PI) should survive.
+  const GateId y = s.find("y");
+  ASSERT_NE(y, kInvalidGate);
+  EXPECT_EQ(s.type(y), GateType::Not);
+  EXPECT_EQ(s.fanins(y)[0], s.find("a"));
+}
+
+TEST(Simplify, ControlledGateBecomesConstantPo) {
+  NetlistBuilder b("cg");
+  b.add_input("a");
+  b.add_gate(GateType::Const1, "one", {});
+  b.add_gate(GateType::Or, "y", {"a", "one"});  // = 1
+  b.add_output("y");
+  const Netlist s = simplify(b.link());
+  // PO y must survive as a net evaluating to constant 1.
+  Simulator sim(s);
+  sim.set_input(s.find("a"), Logic::Zero);
+  sim.eval();
+  EXPECT_EQ(sim.value(s.find("y")), Logic::One);
+}
+
+TEST(Simplify, XorCancellation) {
+  NetlistBuilder b("xc");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateType::Xor, "y", {"a", "c", "a"});  // = c
+  b.add_output("y");
+  const Netlist nl = b.link();
+  const Netlist s = simplify(nl);
+  expect_equiv(nl, s, 8, 3);
+  // y aliases c: surrogate buffer expected.
+  const GateId y = s.find("y");
+  ASSERT_NE(y, kInvalidGate);
+  EXPECT_EQ(s.type(y), GateType::Buf);
+}
+
+TEST(Simplify, DuplicateAndPinsDrop) {
+  NetlistBuilder b("dup");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateType::Nand, "y", {"a", "a", "c"});
+  b.add_output("y");
+  const Netlist nl = b.link();
+  const Netlist s = simplify(nl);
+  expect_equiv(nl, s, 8, 5);
+  EXPECT_EQ(s.fanins(s.find("y")).size(), 2u);
+}
+
+TEST(Simplify, MuxConstantSelect) {
+  NetlistBuilder b("mux");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateType::Const1, "one", {});
+  b.add_gate(GateType::Mux, "y", {"one", "a", "c"});  // = c
+  b.add_output("y");
+  const Netlist nl = b.link();
+  const Netlist s = simplify(nl);
+  expect_equiv(nl, s, 8, 7);
+}
+
+TEST(Simplify, DeadLogicRemoved) {
+  NetlistBuilder b("dead");
+  b.add_input("a");
+  b.add_gate(GateType::Not, "used", {"a"});
+  b.add_gate(GateType::Not, "unused1", {"a"});
+  b.add_gate(GateType::Nand, "unused2", {"a", "unused1"});
+  b.add_output("used");
+  SimplifyStats stats;
+  const Netlist s = simplify(b.link(), &stats);
+  EXPECT_EQ(s.find("unused1"), kInvalidGate);
+  EXPECT_EQ(s.find("unused2"), kInvalidGate);
+  EXPECT_GE(stats.gates_removed, 2u);
+}
+
+TEST(Simplify, DffInterfacePreserved) {
+  NetlistBuilder b("ffp");
+  b.add_input("a");
+  b.add_gate(GateType::Const0, "zero", {});
+  b.add_gate(GateType::And, "d", {"a", "zero"});  // DFF captures constant 0
+  b.add_gate(GateType::Dff, "q", {"d"});
+  b.add_gate(GateType::Or, "y", {"q", "a"});
+  b.add_output("y");
+  const Netlist nl = b.link();
+  const Netlist s = simplify(nl);
+  EXPECT_EQ(s.dffs().size(), 1u);
+  expect_equiv(nl, s, 16, 9);
+}
+
+TEST(Simplify, IdempotentOnCleanCircuits) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  SimplifyStats s1;
+  const Netlist once = simplify(nl, &s1);
+  SimplifyStats s2;
+  const Netlist twice = simplify(once, &s2);
+  EXPECT_EQ(once.num_gates(), twice.num_gates());
+  EXPECT_EQ(s2.constants_folded, 0u);
+  EXPECT_EQ(s2.gates_removed, 0u);
+}
+
+TEST(Simplify, EquivalentOnSyntheticCircuits) {
+  for (const char* name : {"s344", "s382"}) {
+    const Netlist nl = make_iscas89_like(name);
+    const Netlist s = simplify(nl);
+    expect_equiv(nl, s, 128, 11);
+    EXPECT_LE(s.num_gates(), nl.num_gates() + 2);  // + tie cells at most
+  }
+}
+
+TEST(Redundancy, RemovesTextbookRedundantGate) {
+  // y = OR(AND(a, c), AND(a, NOT(c)))  ==  a; both AND gates are
+  // redundant paths that collapse once a redundancy is tied.
+  NetlistBuilder b("red");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateType::Not, "nc", {"c"});
+  b.add_gate(GateType::And, "t1", {"a", "c"});
+  b.add_gate(GateType::And, "t2", {"a", "nc"});
+  b.add_gate(GateType::Or, "y", {"t1", "t2"});
+  // Consensus term AND(a, a) pattern is already minimal for this form;
+  // instead use the classic redundant consensus: z = y OR AND(a, a) -- to
+  // keep it simple, check a directly redundant wire:
+  //   w = OR(a, AND(a, c))  ==  a   (absorption; AND(a,c) is redundant)
+  b.add_gate(GateType::And, "ac", {"a", "c"});
+  b.add_gate(GateType::Or, "w", {"a", "ac"});
+  b.add_output("y");
+  b.add_output("w");
+  const Netlist nl = b.link();
+  const RedundancyResult r = remove_redundancies(nl);
+  EXPECT_GT(r.lines_tied, 0u);
+  expect_equiv(nl, r.netlist, 32, 13);
+}
+
+TEST(Redundancy, IrredundantCircuitUntouched) {
+  NetlistBuilder b("irr");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateType::Xor, "y", {"a", "c"});
+  b.add_output("y");
+  const Netlist nl = b.link();
+  const RedundancyResult r = remove_redundancies(nl);
+  EXPECT_EQ(r.lines_tied, 0u);
+  expect_equiv(nl, r.netlist, 8, 15);
+}
+
+TEST(Redundancy, ImprovesSyntheticTestability) {
+  // Synthetic circuits are redundancy-heavy (DESIGN.md); removal must
+  // shrink them while preserving the interface function.
+  SynthProfile p;
+  p.name = "redx";
+  p.num_pi = 6;
+  p.num_po = 4;
+  p.num_ff = 4;
+  p.num_gates = 60;
+  p.seed = 321;
+  const Netlist nl = generate_synthetic(p);
+  const RedundancyResult r = remove_redundancies(nl);
+  expect_equiv(nl, r.netlist, 256, 17);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace scanpower

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "netlist/builder.hpp"
+#include "techmap/techmap.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/sta.hpp"
+
+namespace scanpower {
+namespace {
+
+Netlist chain3() {
+  // a -> n1 -> n2 -> n3 (PO); b joins at n2.
+  NetlistBuilder b("chain3");
+  b.add_input("a");
+  b.add_input("b");
+  b.add_gate(GateType::Not, "n1", {"a"});
+  b.add_gate(GateType::Nand, "n2", {"n1", "b"});
+  b.add_gate(GateType::Not, "n3", {"n2"});
+  b.add_output("n3");
+  return b.link();
+}
+
+TEST(DelayModel, LoadGrowsWithFanout) {
+  NetlistBuilder b("fan");
+  b.add_input("a");
+  b.add_gate(GateType::Not, "n1", {"a"});
+  b.add_gate(GateType::Not, "u1", {"n1"});
+  b.add_gate(GateType::Not, "u2", {"n1"});
+  b.add_gate(GateType::Not, "u3", {"n1"});
+  b.add_output("u1");
+  const Netlist nl = b.link();
+  const CapacitanceModel caps;
+  EXPECT_GT(caps.load_ff(nl, nl.find("n1")), caps.load_ff(nl, nl.find("u2")));
+  // Outputs carry the pad load.
+  EXPECT_GT(caps.load_ff(nl, nl.find("u1")), caps.load_ff(nl, nl.find("u2")));
+}
+
+TEST(DelayModel, WiderCellsSlower) {
+  const DelayModel m;
+  EXPECT_GT(m.intrinsic_ps(GateType::Nand, 4), m.intrinsic_ps(GateType::Nand, 2));
+  EXPECT_GT(m.intrinsic_ps(GateType::Nor, 3), m.intrinsic_ps(GateType::Nand, 3));
+  EXPECT_GT(m.drive_res_ps_per_ff(GateType::Nor, 4),
+            m.drive_res_ps_per_ff(GateType::Nor, 2));
+}
+
+TEST(DelayModel, LoadVectorMatchesPerGate) {
+  const Netlist nl = make_s27();
+  const CapacitanceModel caps;
+  const auto loads = caps.load_vector(nl);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    EXPECT_DOUBLE_EQ(loads[id], caps.load_ff(nl, id));
+  }
+}
+
+TEST(Sta, ArrivalMonotoneAlongPaths) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    if (!is_combinational(nl.type(id))) continue;
+    for (GateId f : nl.fanins(id)) {
+      EXPECT_GT(sta.arrival_ps(id), sta.arrival_ps(f));
+    }
+  }
+}
+
+TEST(Sta, SlackNonNegativeAndZeroOnCriticalPath) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    EXPECT_GE(sta.slack_ps(id), -1e-9) << nl.gate_name(id);
+  }
+  const auto path = sta.critical_path();
+  ASSERT_FALSE(path.empty());
+  for (GateId id : path) {
+    EXPECT_NEAR(sta.slack_ps(id), 0.0, 1e-6) << nl.gate_name(id);
+  }
+  // The path ends at the critical delay.
+  EXPECT_NEAR(sta.arrival_ps(path.back()), sta.critical_delay_ps(), 1e-9);
+}
+
+TEST(Sta, CriticalPathIsConnected) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  const auto path = sta.critical_path();
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto& fans = nl.fanins(path[i]);
+    EXPECT_NE(std::find(fans.begin(), fans.end(), path[i - 1]), fans.end())
+        << "path edge " << i;
+  }
+}
+
+TEST(Sta, DffArrivalIsClkToQ) {
+  const Netlist nl = make_s27();
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  for (GateId dff : nl.dffs()) {
+    EXPECT_DOUBLE_EQ(sta.arrival_ps(dff), model.clk_to_q_ps());
+  }
+  for (GateId pi : nl.inputs()) {
+    EXPECT_DOUBLE_EQ(sta.arrival_ps(pi), 0.0);
+  }
+}
+
+TEST(Sta, HandChainDelayAddsUp) {
+  const Netlist nl = chain3();
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  const double d1 = model.gate_delay_ps(nl, nl.find("n1"));
+  const double d2 = model.gate_delay_ps(nl, nl.find("n2"));
+  const double d3 = model.gate_delay_ps(nl, nl.find("n3"));
+  EXPECT_NEAR(sta.critical_delay_ps(), d1 + d2 + d3, 1e-9);
+  // b arrives directly at n2: slack(b) = d1 (the NOT it skips).
+  EXPECT_NEAR(sta.slack_ps(nl.find("b")), d1, 1e-9);
+}
+
+TEST(Sta, ExtraSourceDelayFormula) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s382"));
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  const double d0 = sta.critical_delay_ps();
+  for (GateId dff : nl.dffs()) {
+    const double slack = sta.slack_ps(dff);
+    // Below the slack: unchanged. Above: grows by the excess.
+    EXPECT_NEAR(sta.critical_delay_with_extra_source_delay(dff, slack * 0.5),
+                d0, 1e-6);
+    EXPECT_NEAR(sta.critical_delay_with_extra_source_delay(dff, slack + 10.0),
+                d0 + 10.0, 1e-6);
+  }
+}
+
+TEST(Sta, RequiredNeverBelowArrivalOnFeasiblePaths) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s444"));
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    EXPECT_GE(sta.required_ps(id) + 1e-9, sta.arrival_ps(id));
+  }
+}
+
+}  // namespace
+}  // namespace scanpower
+
+namespace scanpower {
+namespace {
+
+TEST(DelayModel, MuxDelayMonotoneInLoad) {
+  const DelayModel m;
+  EXPECT_LT(m.mux_delay_ps(1.0), m.mux_delay_ps(5.0));
+  EXPECT_GT(m.mux_delay_ps(0.0), 0.0);
+}
+
+TEST(Sta, CriticalDelayPositiveForAllProfiles) {
+  const DelayModel model;
+  for (const char* name : {"s344", "s510", "s641"}) {
+    const Netlist nl = map_to_nand_nor_inv(make_iscas89_like(name));
+    const TimingAnalysis sta(nl, model);
+    EXPECT_GT(sta.critical_delay_ps(), model.clk_to_q_ps()) << name;
+  }
+}
+
+TEST(Sta, ExtraDelayZeroIsNoop) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const DelayModel model;
+  const TimingAnalysis sta(nl, model);
+  for (GateId dff : nl.dffs()) {
+    EXPECT_DOUBLE_EQ(sta.critical_delay_with_extra_source_delay(dff, 0.0),
+                     sta.critical_delay_ps());
+  }
+}
+
+}  // namespace
+}  // namespace scanpower

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Strings, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto parts = split("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitMultipleDelims) {
+  const auto parts = split("a, b;c", ",; ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, ToUpper) { EXPECT_EQ(to_upper("nAnd2"), "NAND2"); }
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("scanpower", "scan"));
+  EXPECT_FALSE(starts_with("scan", "scanpower"));
+  EXPECT_TRUE(ends_with("file.bench", ".bench"));
+  EXPECT_FALSE(ends_with("x", ".bench"));
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(ErrorHandling, SpCheckThrows) {
+  EXPECT_THROW(SP_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(SP_CHECK(true, "fine"));
+}
+
+TEST(ErrorHandling, ParseErrorCarriesLocation) {
+  try {
+    throw ParseError("f.bench", 12, "bad token");
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "f.bench");
+    EXPECT_EQ(e.line(), 12);
+    EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace scanpower

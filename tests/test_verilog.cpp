@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sim/simulator.hpp"
+#include "techmap/techmap.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+namespace {
+
+constexpr const char* kTinyModule = R"(
+// tiny test module
+module tiny (a, b, y);
+  input a, b;
+  output y;
+  wire w1; /* internal */
+  nand g1 (w1, a, b);
+  not g2 (y, w1);
+endmodule
+)";
+
+TEST(Verilog, ParsesTinyModule) {
+  const Netlist nl = parse_verilog_string(kTinyModule, "tiny.v");
+  EXPECT_EQ(nl.name(), "tiny");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.type(nl.find("w1")), GateType::Nand);
+  EXPECT_EQ(nl.type(nl.find("y")), GateType::Not);
+}
+
+TEST(Verilog, InstanceNamesOptional) {
+  const Netlist nl = parse_verilog_string(
+      "module m (a, y);\n input a;\n output y;\n not (y, a);\nendmodule\n",
+      "m.v");
+  EXPECT_EQ(nl.type(nl.find("y")), GateType::Not);
+}
+
+TEST(Verilog, DffPositionalAndNamed) {
+  const Netlist nl = parse_verilog_string(R"(
+module ff (d_in, q1, q2);
+  input d_in;
+  output q1, q2;
+  dff f1 (q1, d_in);
+  dff f2 (.d(d_in), .q(q2));
+endmodule
+)",
+                                          "ff.v");
+  EXPECT_EQ(nl.dffs().size(), 2u);
+  EXPECT_EQ(nl.fanins(nl.find("q1"))[0], nl.find("d_in"));
+  EXPECT_EQ(nl.fanins(nl.find("q2"))[0], nl.find("d_in"));
+}
+
+TEST(Verilog, AssignAliasAndConstants) {
+  const Netlist nl = parse_verilog_string(R"(
+module c (a, y0, y1, ya);
+  input a;
+  output y0, y1, ya;
+  assign y0 = 1'b0;
+  assign y1 = 1'b1;
+  assign ya = a;
+endmodule
+)",
+                                          "c.v");
+  EXPECT_EQ(nl.type(nl.find("y0")), GateType::Const0);
+  EXPECT_EQ(nl.type(nl.find("y1")), GateType::Const1);
+  EXPECT_EQ(nl.type(nl.find("ya")), GateType::Buf);
+}
+
+TEST(Verilog, ConstPortsCreateTieCells) {
+  const Netlist nl = parse_verilog_string(R"(
+module c (a, y);
+  input a;
+  output y;
+  nand g (y, a, 1'b1);
+endmodule
+)",
+                                          "c.v");
+  Simulator sim(nl);
+  sim.set_input(nl.find("a"), Logic::One);
+  sim.eval();
+  EXPECT_EQ(sim.value(nl.find("y")), Logic::Zero);
+}
+
+TEST(Verilog, Errors) {
+  EXPECT_THROW(parse_verilog_string("module m (", "e.v"), Error);
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (a);\n input [3:0] a;\nendmodule\n", "e.v"),
+               ParseError);
+  EXPECT_THROW(
+      parse_verilog_string(
+          "module m (a, y);\n input a;\n output y;\n frob g (y, a);\nendmodule\n",
+          "e.v"),
+      ParseError);
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (y);\n output y;\n assign y = 2'b10;\nendmodule\n",
+                   "e.v"),
+               ParseError);
+  // Missing endmodule.
+  EXPECT_THROW(parse_verilog_string("module m (a);\n input a;\n", "e.v"),
+               Error);
+}
+
+/// Random-simulation equivalence at the named interface.
+void expect_equiv(const Netlist& a, const Netlist& b, int vectors,
+                  std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  ASSERT_EQ(a.dffs().size(), b.dffs().size());
+  Simulator sa(a);
+  Simulator sb(b);
+  Rng rng(seed);
+  for (int v = 0; v < vectors; ++v) {
+    for (std::size_t k = 0; k < a.inputs().size(); ++k) {
+      const Logic val = from_bool(rng.next_bool());
+      sa.set_input(a.inputs()[k], val);
+      sb.set_input(b.find(a.gate_name(a.inputs()[k])), val);
+    }
+    for (std::size_t k = 0; k < a.dffs().size(); ++k) {
+      const Logic val = from_bool(rng.next_bool());
+      sa.set_state(a.dffs()[k], val);
+      sb.set_state(b.find(a.gate_name(a.dffs()[k])), val);
+    }
+    sa.eval_incremental();
+    sb.eval_incremental();
+    for (std::size_t k = 0; k < a.outputs().size(); ++k) {
+      ASSERT_EQ(sa.value(a.outputs()[k]),
+                sb.value(b.find(a.gate_name(a.outputs()[k]))));
+    }
+    for (std::size_t k = 0; k < a.dffs().size(); ++k) {
+      ASSERT_EQ(sa.next_state(a.dffs()[k]),
+                sb.next_state(b.find(a.gate_name(a.dffs()[k]))));
+    }
+  }
+}
+
+TEST(Verilog, RoundTripS27) {
+  const Netlist nl = make_s27();
+  const Netlist back = parse_verilog_string(write_verilog_string(nl), "rt.v");
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  expect_equiv(nl, back, 200, 77);
+}
+
+TEST(Verilog, RoundTripMappedSynthetic) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const Netlist back = parse_verilog_string(write_verilog_string(nl), "rt.v");
+  expect_equiv(nl, back, 128, 79);
+}
+
+TEST(Verilog, RoundTripMuxAndConsts) {
+  const Netlist nl = parse_verilog_string(R"(
+module mx (s, a, b, y);
+  input s, a, b;
+  output y;
+  wire t;
+  mux m0 (t, s, a, b);
+  nand g (y, t, 1'b1);
+endmodule
+)",
+                                          "mx.v");
+  const Netlist back = parse_verilog_string(write_verilog_string(nl), "rt.v");
+  expect_equiv(nl, back, 16, 81);
+}
+
+}  // namespace
+}  // namespace scanpower
