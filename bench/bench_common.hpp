@@ -48,8 +48,12 @@ inline Netlist prepare_circuit(const std::string& name) {
 
 /// Flow options tuned by circuit size so the large profiles finish in
 /// laptop time without changing the method (only search budgets shrink).
+/// The fault-sim engine always runs the 4-word packed block; the large
+/// profiles additionally fan the fault sweep out over all hardware
+/// threads (results are bit-identical to the serial engine).
 inline FlowOptions tuned_options(std::size_t num_gates) {
   FlowOptions opts;
+  opts.tpg.fault_sim.block_words = 4;
   if (num_gates > 4000) {
     opts.tpg.podem_backtrack_limit = 60;
     opts.tpg.max_random_batches = 48;
@@ -57,12 +61,14 @@ inline FlowOptions tuned_options(std::size_t num_gates) {
     opts.observability.samples = 128;
     opts.fill.trials = 24;
     opts.max_power_patterns = 256;
+    opts.tpg.fault_sim.num_threads = 0;  // hardware concurrency
   } else if (num_gates > 1500) {
     opts.tpg.podem_backtrack_limit = 200;
     opts.justify_backtrack_limit = 120;
     opts.observability.samples = 192;
     opts.fill.trials = 32;
     opts.max_power_patterns = 512;
+    opts.tpg.fault_sim.num_threads = 0;  // hardware concurrency
   }
   return opts;
 }

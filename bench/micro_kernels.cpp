@@ -78,6 +78,27 @@ void BM_PackedSim64Patterns(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedSim64Patterns);
 
+// Good-machine throughput vs block width: W*64 patterns per sweep.
+void BM_BlockSimEval(benchmark::State& state) {
+  const Netlist& nl = circuit("s1423");
+  const int words = static_cast<int>(state.range(0));
+  BlockSimulator sim(nl, words);
+  Rng rng(3);
+  for (auto _ : state) {
+    for (GateId pi : nl.inputs()) {
+      for (int w = 0; w < words; ++w) sim.set_source_word(pi, w, rng.next_u64());
+    }
+    for (GateId ff : nl.dffs()) {
+      for (int w = 0; w < words; ++w) sim.set_source_word(ff, w, rng.next_u64());
+    }
+    sim.eval();
+    benchmark::DoNotOptimize(sim.storage().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 * words *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_BlockSimEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_FaultSim64Patterns(benchmark::State& state) {
   const Netlist& nl = circuit("s344");
   const auto faults = collapse_faults(nl);
@@ -93,6 +114,39 @@ void BM_FaultSim64Patterns(benchmark::State& state) {
                           static_cast<int64_t>(faults.size()));
 }
 BENCHMARK(BM_FaultSim64Patterns);
+
+// The acceptance kernel for the packed/parallel engine: PPSFP fault
+// simulation of 256 random patterns over the full collapsed fault list of
+// the s9234-like profile. Args are (block words W, worker threads); (1, 1)
+// is the seed engine's single-word single-thread configuration. Throughput
+// is reported in fault-pattern pairs per second so configurations compare
+// directly.
+void BM_FaultSimS9234(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const auto faults = collapse_faults(nl);
+  FaultSimOptions opts;
+  opts.block_words = static_cast<int>(state.range(0));
+  opts.num_threads = static_cast<int>(state.range(1));
+  FaultSimulator fsim(nl, opts);
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+  for (auto _ : state) {
+    const FaultSimResult res = fsim.run(pats, faults);
+    benchmark::DoNotOptimize(res.num_detected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()) *
+                          static_cast<int64_t>(pats.size()));
+}
+BENCHMARK(BM_FaultSimS9234)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1})   // seed configuration
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 2})
+    ->Args({4, 4});  // acceptance configuration
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {
   const Netlist& nl = circuit("s1423");

@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "netlist/stats.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace scanpower;
 using namespace scanpower::benchtool;
@@ -63,10 +64,13 @@ int main(int argc, char** argv) {
         row.prop_dyn, row.prop_stat, row.impr_dyn_trad, row.impr_stat_trad,
         row.impr_dyn_ic, row.impr_stat_ic);
     std::printf("%-8s | muxed %zu/%zu cells, %zu patterns, %.1f%% coverage, "
-                "blocked %zu / propagated %zu gates\n",
+                "blocked %zu / propagated %zu gates [fsim %dx64 lanes, "
+                "%d thread(s)]\n",
                 "", r.mux_plan.num_multiplexed, r.mux_plan.multiplexed.size(),
                 r.num_patterns, 100.0 * r.fault_coverage,
-                r.pattern.gates_blocked, r.pattern.gates_propagated);
+                r.pattern.gates_blocked, r.pattern.gates_propagated,
+                opts.tpg.fault_sim.block_words,
+                ThreadPool::resolve_threads(opts.tpg.fault_sim.num_threads));
     std::printf("%s", sep);
     std::fflush(stdout);
   }

@@ -2,52 +2,214 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
 
 #include "atpg/packed_sim.hpp"
 #include "util/assert.hpp"
 
 namespace scanpower {
 
-FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+FaultSimulator::FaultSimulator(const Netlist& nl, FaultSimOptions opts)
+    : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "FaultSimulator requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "fault_sim: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
   observable_.assign(nl.num_gates(), 0);
   for (GateId id = 0; id < nl.num_gates(); ++id) {
     if (nl.is_output(id)) observable_[id] = 1;
   }
   for (GateId dff : nl.dffs()) observable_[nl.fanins(dff)[0]] = 1;
-  cone_cache_.resize(nl.num_gates());
-  cone_cached_.assign(nl.num_gates(), 0);
+
+  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  const std::size_t n = nl.num_gates();
+  const std::size_t words = static_cast<std::size_t>(opts_.block_words);
+  for (Worker& w : workers_) {
+    w.faulty.assign(n * words, 0);
+    w.touched.assign(n, 0);
+    w.cones.init(n);
+  }
 }
 
-const std::vector<GateId>& FaultSimulator::cone(GateId site) {
-  if (cone_cached_[site]) return cone_cache_[site];
+FaultSimulator::~FaultSimulator() = default;
+
+void FaultSimulator::ConeCacheShard::init(std::size_t num_gates) {
+  cache.resize(num_gates);
+  cached.assign(num_gates, 0);
+  seen.assign(num_gates, 0);
+}
+
+const std::vector<GateId>& FaultSimulator::ConeCacheShard::cone(
+    const Netlist& nl, GateId site) {
+  if (cached[site]) return cache[site];
   // DFS over combinational fanout; site included. Sorted by level so a
-  // single sweep evaluates fanins before fanouts.
+  // single sweep evaluates fanins before fanouts. `seen` is reusable
+  // scratch: every entry set below is a member of `out` and is cleared
+  // before returning.
+  const std::span<const GateType> types = nl.types_flat();
+  const std::span<const std::uint32_t> levels = nl.levels_flat();
   std::vector<GateId> out;
-  std::vector<std::uint8_t> seen(nl_->num_gates(), 0);
   std::vector<GateId> stack{site};
   seen[site] = 1;
   while (!stack.empty()) {
     const GateId id = stack.back();
     stack.pop_back();
     out.push_back(id);
-    for (GateId fo : nl_->fanouts(id)) {
-      if (!is_combinational(nl_->type(fo))) continue;
+    for (GateId fo : nl.fanout_span(id)) {
+      if (!is_combinational(types[fo])) continue;
       if (!seen[fo]) {
         seen[fo] = 1;
         stack.push_back(fo);
       }
     }
   }
-  std::sort(out.begin(), out.end(), [this](GateId a, GateId b) {
-    const auto la = nl_->level(a);
-    const auto lb = nl_->level(b);
-    return la != lb ? la < lb : a < b;
+  for (GateId id : out) seen[id] = 0;
+  std::sort(out.begin(), out.end(), [&](GateId a, GateId b) {
+    return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
   });
-  cone_cache_[site] = std::move(out);
-  cone_cached_[site] = 1;
-  return cone_cache_[site];
+  cache[site] = std::move(out);
+  cached[site] = 1;
+  return cache[site];
+}
+
+template <int W>
+void FaultSimulator::sweep_faults(const BlockSimulator& good, std::size_t base,
+                                  std::size_t batch,
+                                  std::span<const Fault> faults,
+                                  std::span<const std::size_t> live,
+                                  FaultSimResult& res,
+                                  std::vector<std::uint8_t>& detected_u8) {
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+
+  // Lane-validity mask for this block (the last block of a pattern set may
+  // only partially fill its words).
+  PackedBlock<W> mask;
+  for (int w = 0; w < W; ++w) {
+    const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
+    if (batch >= lane0 + 64) {
+      mask.w[w] = ~PatternWord{0};
+    } else if (batch > lane0) {
+      mask.w[w] = (PatternWord{1} << (batch - lane0)) - 1;
+    } else {
+      mask.w[w] = 0;
+    }
+  }
+
+  const int num_workers = pool_->size();
+  pool_->run_on_all([&](int t) {
+    Worker& wk = workers_[static_cast<std::size_t>(t)];
+    PatternWord* const faulty = wk.faulty.data();
+    std::uint8_t* const touched = wk.touched.data();
+    // Round-robin fault partition: fault live[i] belongs to worker
+    // i % num_workers, which is stable across batches and thread
+    // schedules -- every per-fault result slot has exactly one writer.
+    for (std::size_t li = static_cast<std::size_t>(t); li < live.size();
+         li += static_cast<std::size_t>(num_workers)) {
+      const std::size_t fi = live[li];
+      if (detected_u8[fi]) continue;
+      const Fault& f = faults[fi];
+      PackedBlock<W> detect{};
+
+      if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
+        // Fault on the D branch of a scan cell: directly observed.
+        const PatternWord* good_d = good.block(nl.fanin_span(f.gate)[0]);
+        const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+        for (int w = 0; w < W; ++w) {
+          detect.w[w] = (good_d[w] ^ forced) & mask.w[w];
+        }
+      } else {
+        const GateId site = f.gate;
+        // Seed the faulty machine at the site.
+        PatternWord site_val[W];
+        if (f.pin < 0) {
+          const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+          for (int w = 0; w < W; ++w) site_val[w] = forced;
+        } else {
+          // Input-pin fault: re-evaluate the site gate with that one pin
+          // forced. Positional (a driver may feed several pins), so the
+          // word-wise generic evaluator is used; this runs once per fault,
+          // not per cone gate.
+          const std::span<const GateId> fan = nl.fanin_span(site);
+          wk.ins.resize(fan.size());
+          const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+          for (int w = 0; w < W; ++w) {
+            for (std::size_t p = 0; p < fan.size(); ++p) {
+              wk.ins[p] = static_cast<int>(p) == f.pin
+                              ? forced
+                              : good.block(fan[p])[w];
+            }
+            site_val[w] = eval_type_packed(types[site], wk.ins);
+          }
+        }
+        const PatternWord* good_site = good.block(site);
+        PatternWord excited = 0;
+        for (int w = 0; w < W; ++w) {
+          excited |= (site_val[w] ^ good_site[w]) & mask.w[w];
+        }
+        if (excited == 0) continue;  // fault not excited by any lane
+
+        PatternWord* const site_block = faulty + static_cast<std::size_t>(site) * W;
+        for (int w = 0; w < W; ++w) site_block[w] = site_val[w];
+        touched[site] = 1;
+        if (observable_[site]) {
+          for (int w = 0; w < W; ++w) {
+            detect.w[w] |= (site_val[w] ^ good_site[w]) & mask.w[w];
+          }
+        }
+        // Sweep the cone in level order, sparsely: `touched` marks gates
+        // whose faulty value actually differs from the good machine, so a
+        // gate with no touched fanin is identical to the good machine and
+        // is skipped without evaluation. Most fault effects die within a
+        // few levels, which turns the O(cone) sweep into an O(active
+        // frontier) sweep with cheap byte-load skip checks.
+        const std::vector<GateId>& cone_gates = wk.cones.cone(nl, site);
+        wk.active.clear();
+        wk.active.push_back(site);
+        const auto fanin_block = [&](GateId fin) {
+          return touched[fin] ? faulty + static_cast<std::size_t>(fin) * W
+                              : good.block(fin);
+        };
+        for (GateId id : cone_gates) {
+          if (id == site) continue;
+          const std::span<const GateId> fans = nl.fanin_span(id);
+          std::uint8_t any_touched = 0;
+          for (GateId fin : fans) any_touched |= touched[fin];
+          if (!any_touched) continue;
+          PatternWord* const out = faulty + static_cast<std::size_t>(id) * W;
+          eval_gate_block<W>(types[id], fans, fanin_block, out);
+          const PatternWord* g = good.block(id);
+          PatternWord diff = 0;
+          for (int w = 0; w < W; ++w) diff |= out[w] ^ g[w];
+          if (diff == 0) continue;  // effect cancelled here
+          touched[id] = 1;
+          wk.active.push_back(id);
+          if (observable_[id]) {
+            for (int w = 0; w < W; ++w) {
+              detect.w[w] |= (out[w] ^ g[w]) & mask.w[w];
+            }
+          }
+        }
+        for (GateId id : wk.active) touched[id] = 0;
+      }
+
+      if (detect.any()) {
+        detected_u8[fi] = 1;
+        std::size_t lane = 0;
+        for (int w = 0; w < W; ++w) {
+          if (detect.w[w] != 0) {
+            lane = static_cast<std::size_t>(w) * 64 +
+                   static_cast<std::size_t>(std::countr_zero(detect.w[w]));
+            break;
+          }
+        }
+        const std::size_t pat = base + lane;
+        res.detecting_pattern[fi] = pat;
+        wk.new_detects[pat]++;
+        wk.num_detected++;
+      }
+    }
+  });
 }
 
 FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
@@ -63,108 +225,84 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
              "fault_sim: initial_detected size mismatch");
   }
 
-  PackedSimulator good(nl);
-  std::vector<PatternWord> faulty(nl.num_gates());
-  std::vector<std::uint8_t> touched(nl.num_gates(), 0);
-  std::vector<PatternWord> ins;
+  // Live fault universe: everything not already detected by earlier calls.
+  std::vector<std::size_t> live;
+  live.reserve(faults.size());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (initial_detected && (*initial_detected)[fi]) continue;
+    live.push_back(fi);
+  }
 
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const std::size_t batch = std::min<std::size_t>(64, patterns.size() - base);
-    // Load the batch into bit lanes.
-    for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
-      PatternWord w = 0;
-      for (std::size_t j = 0; j < batch; ++j) {
-        const Logic v = patterns[base + j].pi[k];
-        SP_CHECK(v != Logic::X, "fault_sim: patterns must be fully specified");
-        if (v == Logic::One) w |= PatternWord{1} << j;
+  const int W = opts_.block_words;
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
+  BlockSimulator good(nl, W);
+  std::vector<std::uint8_t> detected_u8(faults.size(), 0);
+  for (Worker& w : workers_) {
+    w.new_detects.assign(patterns.size(), 0);
+    w.num_detected = 0;
+  }
+  std::size_t num_detected = 0;
+
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    // Fault dropping may empty the live list mid-run: then the remaining
+    // blocks have nothing to compare against, so skip their good-machine
+    // evaluation and stop early.
+    if (num_detected == live.size()) break;
+    const std::size_t batch = std::min(lanes, patterns.size() - base);
+
+    // Block-wise lane load: word w of source k holds patterns
+    // [base + 64w, base + 64w + 64).
+    auto load_sources = [&](const std::vector<GateId>& sources, bool use_pi) {
+      for (std::size_t k = 0; k < sources.size(); ++k) {
+        for (int wi = 0; wi < W; ++wi) {
+          const std::size_t lane0 = static_cast<std::size_t>(wi) * 64;
+          PatternWord w = 0;
+          const std::size_t count =
+              batch > lane0 ? std::min<std::size_t>(64, batch - lane0) : 0;
+          for (std::size_t j = 0; j < count; ++j) {
+            const TestPattern& pat = patterns[base + lane0 + j];
+            const Logic v = use_pi ? pat.pi[k] : pat.ppi[k];
+            SP_CHECK(v != Logic::X,
+                     "fault_sim: patterns must be fully specified");
+            if (v == Logic::One) w |= PatternWord{1} << j;
+          }
+          good.set_source_word(sources[k], wi, w);
+        }
       }
-      good.set_source(nl.inputs()[k], w);
-    }
-    for (std::size_t k = 0; k < nl.dffs().size(); ++k) {
-      PatternWord w = 0;
-      for (std::size_t j = 0; j < batch; ++j) {
-        const Logic v = patterns[base + j].ppi[k];
-        SP_CHECK(v != Logic::X, "fault_sim: patterns must be fully specified");
-        if (v == Logic::One) w |= PatternWord{1} << j;
-      }
-      good.set_source(nl.dffs()[k], w);
-    }
+    };
+    load_sources(nl.inputs(), /*use_pi=*/true);
+    load_sources(nl.dffs(), /*use_pi=*/false);
     good.eval();
-    const PatternWord lane_mask =
-        batch == 64 ? ~PatternWord{0} : ((PatternWord{1} << batch) - 1);
 
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (res.detected[fi]) continue;
-      if (initial_detected && (*initial_detected)[fi]) continue;
-      const Fault& f = faults[fi];
-      PatternWord detect = 0;
+    switch (W) {
+      case 1: sweep_faults<1>(good, base, batch, faults, live, res, detected_u8); break;
+      case 2: sweep_faults<2>(good, base, batch, faults, live, res, detected_u8); break;
+      case 4: sweep_faults<4>(good, base, batch, faults, live, res, detected_u8); break;
+      case 8: sweep_faults<8>(good, base, batch, faults, live, res, detected_u8); break;
+      default: SP_ASSERT(false, "invalid block width");
+    }
+    num_detected = 0;
+    for (const Worker& w : workers_) num_detected += w.num_detected;
+  }
 
-      if (f.pin >= 0 && nl.type(f.gate) == GateType::Dff) {
-        // Fault on the D branch of a scan cell: directly observed.
-        const PatternWord good_d = good.value(nl.fanins(f.gate)[0]);
-        const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
-        detect = (good_d ^ forced) & lane_mask;
-      } else {
-        const GateId site = f.gate;
-        const auto& cone_gates = cone(site);
-        // Seed the faulty machine at the site.
-        PatternWord site_val;
-        if (f.pin < 0) {
-          site_val = f.stuck_at ? ~PatternWord{0} : 0;
-        } else {
-          ins.clear();
-          const auto& fan = nl.fanins(site);
-          for (std::size_t p = 0; p < fan.size(); ++p) {
-            PatternWord w = good.value(fan[p]);
-            if (static_cast<int>(p) == f.pin) {
-              w = f.stuck_at ? ~PatternWord{0} : 0;
-            }
-            ins.push_back(w);
-          }
-          site_val = eval_type_packed(nl.type(site), ins);
-        }
-        if (((site_val ^ good.value(site)) & lane_mask) == 0) {
-          continue;  // fault not excited by any lane
-        }
-        faulty[site] = site_val;
-        touched[site] = 1;
-        if (observable_[site]) {
-          detect |= (site_val ^ good.value(site)) & lane_mask;
-        }
-        // Sweep the cone in level order.
-        for (GateId id : cone_gates) {
-          if (id == site) continue;
-          ins.clear();
-          for (GateId fin : nl.fanins(id)) {
-            ins.push_back(touched[fin] ? faulty[fin] : good.value(fin));
-          }
-          const PatternWord v = eval_type_packed(nl.type(id), ins);
-          faulty[id] = v;
-          touched[id] = 1;
-          if (observable_[id]) {
-            detect |= (v ^ good.value(id)) & lane_mask;
-          }
-        }
-        for (GateId id : cone_gates) touched[id] = 0;
-      }
-
-      if (detect != 0) {
-        res.detected[fi] = true;
-        const int lane = std::countr_zero(detect);
-        const std::size_t pat = base + static_cast<std::size_t>(lane);
-        res.detecting_pattern[fi] = pat;
-        res.new_detects_per_pattern[pat]++;
-        res.num_detected++;
-      }
+  // Deterministic merge: per-fault slots were single-writer; per-pattern
+  // counters are summed over workers (order-independent).
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected_u8[fi]) res.detected[fi] = true;
+  }
+  res.num_detected = num_detected;
+  for (const Worker& w : workers_) {
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      res.new_detects_per_pattern[p] += w.new_detects[p];
     }
   }
   return res;
 }
 
-double fault_coverage(const Netlist& nl,
-                      std::span<const TestPattern> patterns) {
+double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns,
+                      FaultSimOptions opts) {
   const std::vector<Fault> faults = collapse_faults(nl);
-  FaultSimulator fsim(nl);
+  FaultSimulator fsim(nl, opts);
   const FaultSimResult res = fsim.run(patterns, faults);
   return faults.empty() ? 0.0
                         : static_cast<double>(res.num_detected) /

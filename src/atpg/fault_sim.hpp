@@ -1,17 +1,30 @@
 #pragma once
-// Parallel-pattern, cone-restricted stuck-at fault simulation.
+// Parallel-pattern, cone-restricted stuck-at fault simulation (PPSFP).
 //
-// Patterns are packed 64 per word; for each live fault only the fanout
+// Patterns are packed 64*W per block (W words of 64 bit lanes, W
+// runtime-selectable from {1,2,4,8}); for each live fault only the fanout
 // cone of the fault site is re-evaluated against the good machine, and
-// detection is checked at the observable points inside the cone
-// (primary outputs and DFF D pins -- the full-scan response).
+// detection is checked at the observable points inside the cone (primary
+// outputs and DFF D pins -- the full-scan response).
+//
+// The still-undetected fault list is partitioned round-robin across a
+// reusable worker pool. Each worker owns its own faulty-value / touched
+// scratch and its own cone-cache shard, so the parallel section is
+// write-shared only on per-fault result slots (each fault belongs to
+// exactly one worker). Results are bit-identical for every (block width,
+// thread count) configuration: a fault's detecting pattern is the lowest
+// lane of the first detecting block, and per-pattern new-detect counts
+// are merged as sums of per-worker counters.
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "atpg/fault.hpp"
+#include "atpg/packed_sim.hpp"
 #include "atpg/pattern.hpp"
 #include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scanpower {
 
@@ -23,9 +36,21 @@ struct FaultSimResult {
   std::size_t num_detected = 0;
 };
 
+struct FaultSimOptions {
+  /// Pattern words per simulation block: 64*block_words patterns per
+  /// sweep. Must be 1, 2, 4 or 8.
+  int block_words = 4;
+  /// Worker count for the per-fault sweep. 1 = serial (no threads
+  /// spawned); 0 = hardware concurrency.
+  int num_threads = 1;
+};
+
 class FaultSimulator {
  public:
-  explicit FaultSimulator(const Netlist& nl);
+  explicit FaultSimulator(const Netlist& nl, FaultSimOptions opts = {});
+  ~FaultSimulator();
+
+  const FaultSimOptions& options() const { return opts_; }
 
   /// Simulates `patterns` (must be fully specified) against `faults`.
   /// Faults already marked detected in `initial_detected` (optional,
@@ -35,16 +60,44 @@ class FaultSimulator {
                      const std::vector<bool>* initial_detected = nullptr);
 
  private:
-  /// Level-sorted combinational fanout cone of a gate (cached).
-  const std::vector<GateId>& cone(GateId site);
+  /// Lazily built, level-sorted combinational fanout cones. Each worker
+  /// owns one shard, so lookups never lock; a site shared by faults of
+  /// different workers is simply built once per shard.
+  struct ConeCacheShard {
+    std::vector<std::vector<GateId>> cache;
+    std::vector<std::uint8_t> cached;
+    std::vector<std::uint8_t> seen;  ///< reusable DFS scratch (all-zero between calls)
+
+    void init(std::size_t num_gates);
+    const std::vector<GateId>& cone(const Netlist& nl, GateId site);
+  };
+
+  /// Per-worker mutable state for the parallel fault sweep.
+  struct Worker {
+    std::vector<PatternWord> faulty;   ///< num_gates * W faulty-machine words
+    std::vector<std::uint8_t> touched; ///< gate's faulty value differs from good
+    std::vector<GateId> active;        ///< touched gates of the current fault
+    std::vector<PatternWord> ins;      ///< scratch for pin-forced site eval
+    ConeCacheShard cones;
+    std::vector<std::uint32_t> new_detects;  ///< per pattern, merged serially
+    std::size_t num_detected = 0;
+  };
+
+  template <int W>
+  void sweep_faults(const BlockSimulator& good, std::size_t base,
+                    std::size_t batch, std::span<const Fault> faults,
+                    std::span<const std::size_t> live, FaultSimResult& res,
+                    std::vector<std::uint8_t>& detected_u8);
 
   const Netlist* nl_;
+  FaultSimOptions opts_;
   std::vector<std::uint8_t> observable_;  ///< PO or drives a DFF D pin
-  std::vector<std::vector<GateId>> cone_cache_;
-  std::vector<std::uint8_t> cone_cached_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Convenience: fault coverage of a pattern set over the collapsed list.
-double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns);
+double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns,
+                      FaultSimOptions opts = {});
 
 }  // namespace scanpower

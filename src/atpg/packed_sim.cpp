@@ -41,24 +41,36 @@ PatternWord eval_type_packed(GateType type, std::span<const PatternWord> ins) {
   SP_ASSERT(false, "unhandled type in eval_type_packed");
 }
 
-PackedSimulator::PackedSimulator(const Netlist& nl) : nl_(&nl) {
-  SP_CHECK(nl.finalized(), "PackedSimulator requires a finalized netlist");
-  values_.assign(nl.num_gates(), 0);
+BlockSimulator::BlockSimulator(const Netlist& nl, int words)
+    : nl_(&nl), words_(words) {
+  SP_CHECK(nl.finalized(), "BlockSimulator requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(words),
+           "BlockSimulator: block width must be 1, 2, 4 or 8 words");
+  values_.assign(nl.num_gates() * static_cast<std::size_t>(words_), 0);
 }
 
-void PackedSimulator::eval() {
-  std::vector<PatternWord> ins;
-  for (GateId id : nl_->topo_order()) {
-    const Gate& g = nl_->gate(id);
-    ins.clear();
-    for (GateId f : g.fanins) ins.push_back(values_[f]);
-    values_[id] = eval_type_packed(g.type, ins);
+template <int W>
+void BlockSimulator::eval_impl() {
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+  PatternWord* const vals = values_.data();
+  const auto fanin_block = [vals](GateId f) {
+    return vals + static_cast<std::size_t>(f) * W;
+  };
+  for (GateId id : nl.topo_order()) {
+    eval_gate_block<W>(types[id], nl.fanin_span(id), fanin_block,
+                       vals + static_cast<std::size_t>(id) * W);
   }
 }
 
-PatternWord PackedSimulator::eval_gate_packed(
-    GateId id, std::span<const PatternWord> fanin_words) const {
-  return eval_type_packed(nl_->type(id), fanin_words);
+void BlockSimulator::eval() {
+  switch (words_) {
+    case 1: eval_impl<1>(); break;
+    case 2: eval_impl<2>(); break;
+    case 4: eval_impl<4>(); break;
+    case 8: eval_impl<8>(); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
 }
 
 }  // namespace scanpower

@@ -1,41 +1,187 @@
 #pragma once
-// 64-way parallel-pattern binary simulation.
+// Multi-word parallel-pattern binary simulation.
 //
-// Each gate's value is a 64-bit word, one fully specified pattern per bit
-// lane. Used by the fault simulator (good machine + cone-restricted faulty
-// machine) and by random-phase test generation.
+// Each gate's value is a block of W 64-bit words (W*64 fully specified
+// patterns per sweep, one pattern per bit lane). W is selected at runtime
+// from {1, 2, 4, 8}; the evaluation loops are instantiated per width so
+// the per-gate word loop unrolls. Used by the fault simulator (good
+// machine + cone-restricted faulty machine) and by random-phase test
+// generation.
+//
+// Inner loops read the netlist through the flat CSR views (fanin_span /
+// types_flat) and use fixed-fanin fast paths for the NAND/NOR/INV-mapped
+// library: a 2-input NAND costs two loads, an AND and a NOT per word,
+// with no per-gate fanin-vector rebuild.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/assert.hpp"
 
 namespace scanpower {
 
 using PatternWord = std::uint64_t;
 
-class PackedSimulator {
+/// A block of W pattern words (W*64 bit lanes).
+template <int W>
+struct PackedBlock {
+  std::array<PatternWord, W> w{};
+
+  bool any() const {
+    PatternWord acc = 0;
+    for (PatternWord x : w) acc |= x;
+    return acc != 0;
+  }
+};
+
+/// Widths accepted by BlockSimulator / FaultSimOptions.
+inline bool is_valid_block_words(int w) {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+/// Evaluates one gate over per-fanin word blocks. `fanin_block(f)` must
+/// return a pointer to fanin f's W-word block; `out` receives W words.
+/// Instantiated per width so the word loops unroll; the 1- and 2-input
+/// cases of the mapped library bypass the generic accumulation loop.
+template <int W, typename FaninBlockFn>
+inline void eval_gate_block(GateType type, std::span<const GateId> fanins,
+                            FaninBlockFn&& fanin_block, PatternWord* out) {
+  const std::size_t n = fanins.size();
+  switch (type) {
+    case GateType::Const0:
+      for (int w = 0; w < W; ++w) out[w] = 0;
+      return;
+    case GateType::Const1:
+      for (int w = 0; w < W; ++w) out[w] = ~PatternWord{0};
+      return;
+    case GateType::Buf: {
+      const PatternWord* a = fanin_block(fanins[0]);
+      for (int w = 0; w < W; ++w) out[w] = a[w];
+      return;
+    }
+    case GateType::Not: {
+      const PatternWord* a = fanin_block(fanins[0]);
+      for (int w = 0; w < W; ++w) out[w] = ~a[w];
+      return;
+    }
+    case GateType::And:
+    case GateType::Nand: {
+      if (n == 2) {
+        const PatternWord* a = fanin_block(fanins[0]);
+        const PatternWord* b = fanin_block(fanins[1]);
+        if (type == GateType::And) {
+          for (int w = 0; w < W; ++w) out[w] = a[w] & b[w];
+        } else {
+          for (int w = 0; w < W; ++w) out[w] = ~(a[w] & b[w]);
+        }
+        return;
+      }
+      const PatternWord* a = fanin_block(fanins[0]);
+      for (int w = 0; w < W; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n; ++i) {
+        const PatternWord* b = fanin_block(fanins[i]);
+        for (int w = 0; w < W; ++w) out[w] &= b[w];
+      }
+      if (type == GateType::Nand) {
+        for (int w = 0; w < W; ++w) out[w] = ~out[w];
+      }
+      return;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      if (n == 2) {
+        const PatternWord* a = fanin_block(fanins[0]);
+        const PatternWord* b = fanin_block(fanins[1]);
+        if (type == GateType::Or) {
+          for (int w = 0; w < W; ++w) out[w] = a[w] | b[w];
+        } else {
+          for (int w = 0; w < W; ++w) out[w] = ~(a[w] | b[w]);
+        }
+        return;
+      }
+      const PatternWord* a = fanin_block(fanins[0]);
+      for (int w = 0; w < W; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n; ++i) {
+        const PatternWord* b = fanin_block(fanins[i]);
+        for (int w = 0; w < W; ++w) out[w] |= b[w];
+      }
+      if (type == GateType::Nor) {
+        for (int w = 0; w < W; ++w) out[w] = ~out[w];
+      }
+      return;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      const PatternWord* a = fanin_block(fanins[0]);
+      for (int w = 0; w < W; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n; ++i) {
+        const PatternWord* b = fanin_block(fanins[i]);
+        for (int w = 0; w < W; ++w) out[w] ^= b[w];
+      }
+      if (type == GateType::Xnor) {
+        for (int w = 0; w < W; ++w) out[w] = ~out[w];
+      }
+      return;
+    }
+    case GateType::Mux: {
+      const PatternWord* s = fanin_block(fanins[0]);
+      const PatternWord* a = fanin_block(fanins[1]);
+      const PatternWord* b = fanin_block(fanins[2]);
+      for (int w = 0; w < W; ++w) out[w] = (~s[w] & a[w]) | (s[w] & b[w]);
+      return;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;  // sources: asserted below
+  }
+  SP_ASSERT(false, "eval_gate_block on a source");
+}
+
+/// Runtime-width packed simulator: gate values are contiguous W-word
+/// blocks, gate-major (`block(id)[w]`).
+class BlockSimulator {
  public:
-  explicit PackedSimulator(const Netlist& nl);
+  explicit BlockSimulator(const Netlist& nl, int words = 4);
 
-  /// Sets one source's word (bit lane = pattern index).
-  void set_source(GateId id, PatternWord w) { values_[id] = w; }
-  PatternWord value(GateId id) const { return values_[id]; }
-  const std::vector<PatternWord>& values() const { return values_; }
+  int words() const { return words_; }
+  std::size_t lanes() const { return static_cast<std::size_t>(words_) * 64; }
 
-  /// Full levelized evaluation (good machine).
+  PatternWord* block(GateId id) {
+    return values_.data() + static_cast<std::size_t>(id) * words_;
+  }
+  const PatternWord* block(GateId id) const {
+    return values_.data() + static_cast<std::size_t>(id) * words_;
+  }
+  PatternWord word(GateId id, int wi) const { return block(id)[wi]; }
+  void set_source_word(GateId id, int wi, PatternWord w) { block(id)[wi] = w; }
+
+  /// Full levelized evaluation (good machine) over all W words.
   void eval();
 
-  /// Evaluates one gate from current fanin words, with an optional forced
-  /// word on one input pin (used by the faulty machine). Exposed so the
-  /// fault simulator can sweep cones.
-  PatternWord eval_gate_packed(GateId id,
-                               std::span<const PatternWord> fanin_words) const;
+  const std::vector<PatternWord>& storage() const { return values_; }
 
- private:
+ protected:
+  template <int W>
+  void eval_impl();
+
   const Netlist* nl_;
-  std::vector<PatternWord> values_;
+  int words_;
+  std::vector<PatternWord> values_;  ///< num_gates * words_, gate-major
+};
+
+/// Single-word (64-pattern) view, kept as the convenience API for tests
+/// and random-phase TPG.
+class PackedSimulator : public BlockSimulator {
+ public:
+  explicit PackedSimulator(const Netlist& nl) : BlockSimulator(nl, 1) {}
+
+  /// Sets one source's word (bit lane = pattern index).
+  void set_source(GateId id, PatternWord w) { set_source_word(id, 0, w); }
+  PatternWord value(GateId id) const { return word(id, 0); }
+  const std::vector<PatternWord>& values() const { return storage(); }
 };
 
 /// Pure combinational word evaluation for a gate type.

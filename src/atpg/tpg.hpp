@@ -8,6 +8,7 @@
 // coverage statistics reported alongside every experiment.
 
 #include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
 #include "atpg/pattern.hpp"
 #include "atpg/podem.hpp"
 #include "netlist/netlist.hpp"
@@ -16,10 +17,11 @@ namespace scanpower {
 
 struct TpgOptions {
   std::uint64_t seed = 0xa70a70a7ULL;
-  int max_random_batches = 64;      ///< 64 patterns per batch
+  int max_random_batches = 64;      ///< random batches of one fault-sim block
   int unproductive_batch_limit = 2; ///< stop random phase after N dry batches
   int podem_backtrack_limit = 4000;
   bool compact = true;              ///< reverse-order compaction pass
+  FaultSimOptions fault_sim;        ///< packed-block width / worker threads
 };
 
 TestSet generate_tests(const Netlist& nl, const TpgOptions& opts = {});

@@ -74,7 +74,11 @@ void Netlist::permute_fanins(GateId gate, const std::vector<int>& perm) {
   }
   g.fanins = std::move(next);
   // A pin permutation of a symmetric gate preserves fanouts and levels;
-  // no re-finalize required.
+  // no re-finalize required -- but the flat CSR row must track pin order.
+  if (finalized_) {
+    std::copy(g.fanins.begin(), g.fanins.end(),
+              fanin_data_.begin() + fanin_offsets_[gate]);
+  }
 }
 
 GateId Netlist::find(const std::string& name) const {
@@ -86,7 +90,42 @@ void Netlist::finalize() {
   validate_arity();
   compute_fanouts();
   compute_levels_and_topo();
+  // Level-sort the topo order (ties by id). Every combinational edge
+  // strictly increases level, so any level-sorted order is also a valid
+  // topological order; sorting makes the sweep schedule deterministic and
+  // lets cone evaluation reuse the same ordering invariant.
+  std::sort(topo_.begin(), topo_.end(), [this](GateId a, GateId b) {
+    return gates_[a].level != gates_[b].level ? gates_[a].level < gates_[b].level
+                                              : a < b;
+  });
+  build_flat_views();
   finalized_ = true;
+}
+
+void Netlist::build_flat_views() {
+  const std::size_t n = gates_.size();
+  fanin_offsets_.assign(n + 1, 0);
+  fanout_offsets_.assign(n + 1, 0);
+  types_flat_.resize(n);
+  levels_flat_.resize(n);
+  std::size_t nin = 0, nout = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nin += gates_[i].fanins.size();
+    nout += gates_[i].fanouts.size();
+  }
+  fanin_data_.clear();
+  fanin_data_.reserve(nin);
+  fanout_data_.clear();
+  fanout_data_.reserve(nout);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = gates_[i];
+    fanin_data_.insert(fanin_data_.end(), g.fanins.begin(), g.fanins.end());
+    fanin_offsets_[i + 1] = static_cast<std::uint32_t>(fanin_data_.size());
+    fanout_data_.insert(fanout_data_.end(), g.fanouts.begin(), g.fanouts.end());
+    fanout_offsets_[i + 1] = static_cast<std::uint32_t>(fanout_data_.size());
+    types_flat_[i] = g.type;
+    levels_flat_[i] = g.level;
+  }
 }
 
 const std::vector<GateId>& Netlist::topo_order() const {

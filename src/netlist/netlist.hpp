@@ -8,6 +8,7 @@
 // structural edit.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,8 +77,30 @@ class Netlist {
   const std::vector<GateId>& dffs() const { return dffs_; }        ///< state elements
 
   /// Combinational gates in topological order (fanins before fanouts);
-  /// excludes Input/Dff. Valid after finalize().
+  /// excludes Input/Dff. Sorted by level (ties by id), so it doubles as a
+  /// level-ordered sweep schedule. Valid after finalize().
   const std::vector<GateId>& topo_order() const;
+
+  // ---- flat (CSR) views, valid after finalize() -----------------------
+  // The per-gate vectors above are authoritative during construction;
+  // finalize() flattens them into contiguous offset/data arrays so the
+  // simulation and analysis inner loops touch only dense cache lines.
+  std::span<const GateId> fanin_span(GateId id) const {
+    return {fanin_data_.data() + fanin_offsets_[id],
+            fanin_offsets_[id + 1] - fanin_offsets_[id]};
+  }
+  std::span<const GateId> fanout_span(GateId id) const {
+    return {fanout_data_.data() + fanout_offsets_[id],
+            fanout_offsets_[id + 1] - fanout_offsets_[id]};
+  }
+  const std::vector<std::uint32_t>& fanin_offsets() const { return fanin_offsets_; }
+  const std::vector<GateId>& fanin_data() const { return fanin_data_; }
+  const std::vector<std::uint32_t>& fanout_offsets() const { return fanout_offsets_; }
+  const std::vector<GateId>& fanout_data() const { return fanout_data_; }
+  /// Gate types / levels as dense arrays indexed by GateId (hot-loop
+  /// alternative to gate(id).type / gate(id).level).
+  std::span<const GateType> types_flat() const { return types_flat_; }
+  std::span<const std::uint32_t> levels_flat() const { return levels_flat_; }
 
   /// Maximum combinational level (logic depth). Valid after finalize().
   std::uint32_t depth() const { return depth_; }
@@ -91,6 +114,7 @@ class Netlist {
 
   void compute_fanouts();
   void compute_levels_and_topo();  // throws on combinational cycle
+  void build_flat_views();
   void validate_arity() const;
 
   std::string name_;
@@ -102,6 +126,14 @@ class Netlist {
   std::vector<GateId> topo_;
   std::uint32_t depth_ = 0;
   bool finalized_ = false;
+
+  // Flat CSR mirrors of the per-gate vectors (see build_flat_views()).
+  std::vector<std::uint32_t> fanin_offsets_;
+  std::vector<GateId> fanin_data_;
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<GateId> fanout_data_;
+  std::vector<GateType> types_flat_;
+  std::vector<std::uint32_t> levels_flat_;
 };
 
 }  // namespace scanpower

@@ -126,17 +126,22 @@ void LeakageObservability::compute_probabilistic(const Netlist& nl,
                                                  const LeakageModel& model) {
   const std::vector<double> base_p = signal_probabilities(nl);
 
-  // Expected leakage of a gate from current probabilities.
+  const std::span<const GateType> types = nl.types_flat();
+  const std::span<const std::uint32_t> levels = nl.levels_flat();
+
+  // Expected leakage of a gate from current probabilities. `fp_scratch`
+  // is hoisted out of the per-gate loop (this runs once per cone gate per
+  // source).
+  std::vector<double> fp_scratch;
   auto gate_leak = [&](GateId id, const std::vector<double>& p) {
-    const Gate& g = nl.gate(id);
-    if (!is_combinational(g.type) || g.type == GateType::Const0 ||
-        g.type == GateType::Const1) {
+    const GateType t = types[id];
+    if (!is_combinational(t) || t == GateType::Const0 ||
+        t == GateType::Const1) {
       return 0.0;
     }
-    std::vector<double> fp;
-    fp.reserve(g.fanins.size());
-    for (GateId f : g.fanins) fp.push_back(p[f]);
-    return expected_gate_leakage_na(model, g.type, fp);
+    fp_scratch.clear();
+    for (GateId f : nl.fanin_span(id)) fp_scratch.push_back(p[f]);
+    return expected_gate_leakage_na(model, t, fp_scratch);
   };
 
   double base_total = 0.0;
@@ -151,59 +156,59 @@ void LeakageObservability::compute_probabilistic(const Netlist& nl,
   std::vector<GateId> cone;
   std::vector<std::uint8_t> in_cone(nl.num_gates(), 0);
 
+  std::vector<GateId> stack_scratch;
   auto collect_cone = [&](GateId src) {
     cone.clear();
-    std::vector<GateId> stack{src};
+    stack_scratch.assign(1, src);
     in_cone[src] = 1;
-    while (!stack.empty()) {
-      const GateId id = stack.back();
-      stack.pop_back();
+    while (!stack_scratch.empty()) {
+      const GateId id = stack_scratch.back();
+      stack_scratch.pop_back();
       cone.push_back(id);
-      for (GateId fo : nl.fanouts(id)) {
-        if (!is_combinational(nl.type(fo))) continue;
+      for (GateId fo : nl.fanout_span(id)) {
+        if (!is_combinational(types[fo])) continue;
         if (!in_cone[fo]) {
           in_cone[fo] = 1;
-          stack.push_back(fo);
+          stack_scratch.push_back(fo);
         }
       }
     }
     std::sort(cone.begin(), cone.end(), [&](GateId a, GateId b) {
-      return nl.level(a) < nl.level(b);
+      return levels[a] < levels[b];
     });
   };
 
+  std::vector<double> fp;
   auto eval_forced = [&](GateId src, double forced) {
     p[src] = forced;
     // Re-propagate probabilities through the cone (skipping src itself).
     for (GateId id : cone) {
       if (id == src) continue;
-      const Gate& g = nl.gate(id);
-      std::vector<double> fp;
-      fp.reserve(g.fanins.size());
-      for (GateId f : g.fanins) fp.push_back(p[f]);
+      fp.clear();
+      for (GateId f : nl.fanin_span(id)) fp.push_back(p[f]);
       // Reuse signal-probability formulas by local evaluation:
-      switch (g.type) {
+      switch (types[id]) {
         case GateType::Buf: p[id] = fp[0]; break;
         case GateType::Not: p[id] = 1.0 - fp[0]; break;
         case GateType::And:
         case GateType::Nand: {
           double prod = 1.0;
           for (double q : fp) prod *= q;
-          p[id] = g.type == GateType::And ? prod : 1.0 - prod;
+          p[id] = types[id] == GateType::And ? prod : 1.0 - prod;
           break;
         }
         case GateType::Or:
         case GateType::Nor: {
           double prod = 1.0;
           for (double q : fp) prod *= 1.0 - q;
-          p[id] = g.type == GateType::Nor ? prod : 1.0 - prod;
+          p[id] = types[id] == GateType::Nor ? prod : 1.0 - prod;
           break;
         }
         case GateType::Xor:
         case GateType::Xnor: {
           double podd = 0.0;
           for (double q : fp) podd = podd * (1.0 - q) + (1.0 - podd) * q;
-          p[id] = g.type == GateType::Xor ? podd : 1.0 - podd;
+          p[id] = types[id] == GateType::Xor ? podd : 1.0 - podd;
           break;
         }
         case GateType::Mux:

@@ -11,6 +11,7 @@ Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
   SP_CHECK(nl.finalized(), "Simulator requires a finalized netlist");
   values_.assign(nl.num_gates(), Logic::X);
   in_dirty_.assign(nl.num_gates(), 0);
+  queued_.assign(nl.num_gates(), 0);
 }
 
 void Simulator::touch_source(GateId id, Logic v) {
@@ -60,12 +61,12 @@ void Simulator::set_states(std::span<const Logic> values) {
 }
 
 void Simulator::eval() {
-  std::vector<Logic> ins;
+  const std::span<const GateType> types = nl_->types_flat();
   for (GateId id : nl_->topo_order()) {
-    const Gate& g = nl_->gate(id);
-    ins.clear();
-    for (GateId f : g.fanins) ins.push_back(values_[f]);
-    values_[id] = eval_gate(g.type, ins);
+    const std::span<const GateId> fans = nl_->fanin_span(id);
+    ins_.clear();
+    for (GateId f : fans) ins_.push_back(values_[f]);
+    values_[id] = eval_gate(types[id], ins_);
   }
   for (GateId id : dirty_) in_dirty_[id] = 0;
   dirty_.clear();
@@ -78,16 +79,19 @@ void Simulator::eval_incremental() {
     return;
   }
   // Level-ordered event propagation: a min-heap keyed by level guarantees
-  // each gate is evaluated at most once with final fanin values.
+  // each gate is evaluated at most once with final fanin values. queued_
+  // is member scratch; every entry set here is cleared on pop, so it is
+  // all-zero again when the function returns.
+  const std::span<const GateType> types = nl_->types_flat();
+  const std::span<const std::uint32_t> levels = nl_->levels_flat();
   using Item = std::pair<std::uint32_t, GateId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
-  std::vector<std::uint8_t> queued(nl_->num_gates(), 0);
   auto schedule_fanouts = [&](GateId id) {
-    for (GateId fo : nl_->fanouts(id)) {
-      if (!is_combinational(nl_->type(fo))) continue;  // stop at DFF D pins
-      if (!queued[fo]) {
-        queued[fo] = 1;
-        heap.emplace(nl_->level(fo), fo);
+    for (GateId fo : nl_->fanout_span(id)) {
+      if (!is_combinational(types[fo])) continue;  // stop at DFF D pins
+      if (!queued_[fo]) {
+        queued_[fo] = 1;
+        heap.emplace(levels[fo], fo);
       }
     }
   };
@@ -95,15 +99,13 @@ void Simulator::eval_incremental() {
   for (GateId id : dirty_) in_dirty_[id] = 0;
   dirty_.clear();
 
-  std::vector<Logic> ins;
   while (!heap.empty()) {
     const GateId id = heap.top().second;
     heap.pop();
-    queued[id] = 0;
-    const Gate& g = nl_->gate(id);
-    ins.clear();
-    for (GateId f : g.fanins) ins.push_back(values_[f]);
-    const Logic v = eval_gate(g.type, ins);
+    queued_[id] = 0;
+    ins_.clear();
+    for (GateId f : nl_->fanin_span(id)) ins_.push_back(values_[f]);
+    const Logic v = eval_gate(types[id], ins_);
     if (v != values_[id]) {
       values_[id] = v;
       schedule_fanouts(id);

@@ -59,6 +59,9 @@ class Simulator {
   std::vector<Logic> values_;
   std::vector<GateId> dirty_;          ///< changed sources since last eval
   std::vector<std::uint8_t> in_dirty_; ///< membership flag for dirty_
+  std::vector<std::uint8_t> queued_;   ///< scratch: heap membership (always
+                                       ///< all-zero between eval calls)
+  std::vector<Logic> ins_;             ///< scratch: fanin value gather
   bool full_pass_done_ = false;
 };
 

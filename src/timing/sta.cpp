@@ -27,7 +27,7 @@ TimingAnalysis::TimingAnalysis(const Netlist& nl, const DelayModel& model)
   // Forward pass: arrival(g) = max fanin arrival + delay(g).
   for (GateId id : nl.topo_order()) {
     double arr = 0.0;
-    for (GateId f : nl_->fanins(id)) arr = std::max(arr, arrival_[f]);
+    for (GateId f : nl.fanin_span(id)) arr = std::max(arr, arrival_[f]);
     arrival_[id] = arr + delay_[id];
   }
 
@@ -58,7 +58,7 @@ TimingAnalysis::TimingAnalysis(const Netlist& nl, const DelayModel& model)
   const auto& topo = nl.topo_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const GateId id = *it;
-    for (GateId f : nl_->fanins(id)) {
+    for (GateId f : nl.fanin_span(id)) {
       req[f] = std::min(req[f], req[id] - delay_[id]);
     }
   }

@@ -1,0 +1,60 @@
+#pragma once
+// Small reusable worker pool for data-parallel sweeps.
+//
+// A pool of `size()` logical workers executes the same callable, each
+// with its own worker index; the caller blocks until every worker
+// finishes. Worker 0 always runs on the calling thread, so a pool of
+// size 1 spawns no threads and adds no synchronization -- single-thread
+// configurations pay nothing. Threads are created once and parked on a
+// condition variable between jobs, so per-call overhead is a wakeup, not
+// a thread spawn (the fault simulator dispatches one job per 64*W-pattern
+// batch).
+//
+// Determinism contract: the pool imposes no ordering between workers;
+// callers get deterministic results by giving each worker a disjoint,
+// index-derived slice of the work and merging slices in index order.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scanpower {
+
+class ThreadPool {
+ public:
+  /// `num_threads` logical workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs fn(worker_index) for worker_index in [0, size()); blocks until
+  /// all invocations return. fn(0) runs on the calling thread.
+  void run_on_all(const std::function<void(int)>& fn);
+
+  /// Resolves a user-facing thread-count knob: 0 -> hardware concurrency,
+  /// otherwise the value itself (minimum 1).
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop(int index);
+
+  int size_ = 1;
+  std::vector<std::thread> threads_;  ///< size_ - 1 helper threads
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per job; workers wait on it
+  int outstanding_ = 0;           ///< helpers still running current job
+  bool shutdown_ = false;
+};
+
+}  // namespace scanpower
