@@ -12,6 +12,8 @@
 #include "atpg/tpg.hpp"
 #include "benchgen/benchgen.hpp"
 #include "core/justify.hpp"
+#include "diag/diagnose.hpp"
+#include "diag/response.hpp"
 #include "power/leakage_model.hpp"
 #include "power/observability.hpp"
 #include "sim/simulator.hpp"
@@ -146,6 +148,52 @@ BENCHMARK(BM_FaultSimS9234)
     ->Args({4, 1})
     ->Args({8, 1})
     ->Args({4, 2})
+    ->Args({4, 4});  // acceptance configuration
+
+// The diagnosis acceptance kernel: one full diagnose() call -- fanin-cone
+// back-trace pruning plus packed scoring of every surviving candidate --
+// against a synthetic single-fault failure log on the s9234-like profile
+// (256 patterns, full collapsed fault list). Args are (block words W,
+// worker threads), matching BM_FaultSimS9234; rankings are bit-identical
+// across configurations, so throughput comparisons are apples-to-apples.
+void BM_DiagnosisS9234(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const auto faults = collapse_faults(nl);
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+
+  // Deterministic device-under-diagnosis: the first detected fault past
+  // the middle of the collapsed list.
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+  const FaultSimResult det = fsim.run(pats, faults);
+  std::size_t injected = faults.size();
+  for (std::size_t fi = faults.size() / 2; fi < faults.size(); ++fi) {
+    if (det.detected[fi]) {
+      injected = fi;
+      break;
+    }
+  }
+  SP_CHECK(injected < faults.size(),
+           "BM_DiagnosisS9234: no detected fault in the second half");
+  ResponseCapture capture(nl, 4);
+  const FailureLog log = capture.inject(pats, faults[injected]);
+
+  DiagnosisOptions opts;
+  opts.block_words = static_cast<int>(state.range(0));
+  opts.num_threads = static_cast<int>(state.range(1));
+  Diagnoser diag(nl, opts);
+  for (auto _ : state) {
+    const DiagnosisResult res = diag.diagnose(pats, faults, log);
+    benchmark::DoNotOptimize(res.ranked.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_DiagnosisS9234)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1})
+    ->Args({4, 1})
     ->Args({4, 4});  // acceptance configuration
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {

@@ -1,0 +1,245 @@
+// Fault-diagnosis front end: read a .bench / structural .v design, obtain
+// a failing-pattern log (from a tester file, or synthetically by injecting
+// a fault), and print the ranked candidate report.
+//
+//   diag_cli <design.bench|design.v> [options]
+//     --log <file>         load a failure log (see diag/response.hpp format)
+//     --inject <fault>     inject "net/sa0" / "gate.in2/sa1" synthetically
+//     --inject-index <n>   inject the n-th collapsed fault
+//     --save-log <file>    write the (synthetic) failure log
+//     --random <n>         use n random patterns instead of the ATPG set
+//     --seed <n>           pattern seed
+//     --threads <n>        candidate-scoring worker threads (0 = all cores)
+//     --block-words <w>    packed block width (1, 2, 4 or 8)
+//     --no-prune           score the whole fault list (skip cone back-trace)
+//     --top <n>            report size (default 10)
+//     --json <file>        machine-readable result dump
+//     --no-map             skip NAND/NOR/INV technology mapping
+//     --verbose            narrate progress
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog_io.hpp"
+#include "techmap/techmap.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+using namespace scanpower;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <design.bench|design.v> [--log file | --inject fault |"
+      " --inject-index n]\n"
+      "          [--save-log file] [--random n] [--seed n] [--threads n]\n"
+      "          [--block-words w] [--no-prune] [--top n] [--json file]\n"
+      "          [--no-map] [--verbose]\n",
+      argv0);
+  return 2;
+}
+
+void dump_json(const std::string& path, const Netlist& nl,
+               const DiagnosisOptions& dopts, const FailureLog& log,
+               const DiagnosisResult& res, std::size_t num_patterns,
+               std::size_t top) {
+  std::ofstream f(path);
+  SP_CHECK(f.good(), "cannot write " + path);
+  JsonWriter j(f);
+  j.begin_object();
+  j.field("circuit", nl.name());
+  j.field("num_patterns", static_cast<std::uint64_t>(num_patterns));
+  j.begin_object("options");
+  j.field("block_words", dopts.block_words);
+  j.field("num_threads", dopts.num_threads);
+  j.field("cone_pruning", dopts.cone_pruning);
+  j.end_object();
+  j.begin_object("log");
+  j.field("num_failures", static_cast<std::uint64_t>(log.failures.size()));
+  j.field("num_failing_patterns",
+          static_cast<std::uint64_t>(res.num_failing_patterns));
+  j.field("num_failing_points",
+          static_cast<std::uint64_t>(res.num_failing_points));
+  j.end_object();
+  j.field("num_faults", static_cast<std::uint64_t>(res.num_faults));
+  j.field("num_candidates", static_cast<std::uint64_t>(res.num_candidates));
+  j.begin_array("ranked");
+  for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
+    const CandidateScore& sc = res.ranked[i];
+    j.begin_object();
+    j.field("rank", static_cast<std::uint64_t>(res.rank_of(sc.fault)));
+    j.field("fault", sc.fault.to_string(nl));
+    j.field("tfsf", sc.tfsf);
+    j.field("tfsp", sc.tfsp);
+    j.field("tpsf", sc.tpsf);
+    j.field("exact", sc.exact());
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* path = nullptr;
+  const char* log_path = nullptr;
+  const char* inject_spec = nullptr;
+  long inject_index = -1;
+  const char* save_log_path = nullptr;
+  const char* json_path = nullptr;
+  long num_random = 0;
+  std::uint64_t seed = 0xd1a6ULL;
+  bool do_map = true;
+  DiagnosisOptions dopts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+      inject_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject-index") == 0 && i + 1 < argc) {
+      inject_index = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--save-log") == 0 && i + 1 < argc) {
+      save_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--random") == 0 && i + 1 < argc) {
+      num_random = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      dopts.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--block-words") == 0 && i + 1 < argc) {
+      dopts.block_words = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      dopts.cone_pruning = false;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      dopts.max_report = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-map") == 0) {
+      do_map = false;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      set_log_level(LogLevel::Info);
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) return usage(argv[0]);
+  const int sources = (log_path != nullptr) + (inject_spec != nullptr) +
+                      (inject_index >= 0);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "error: exactly one of --log / --inject / --inject-index "
+                 "is required\n");
+    return 2;
+  }
+
+  try {
+    const std::string path_str(path);
+    const bool is_verilog =
+        path_str.size() > 2 && path_str.rfind(".v") == path_str.size() - 2;
+    Netlist nl =
+        is_verilog ? parse_verilog_file(path_str) : parse_bench_file(path_str);
+    if (do_map && !is_mapped(nl)) nl = map_to_nand_nor_inv(nl);
+    std::printf("%s: %s\n", nl.name().c_str(),
+                compute_stats(nl).to_string().c_str());
+
+    // ---- pattern set ----------------------------------------------------
+    std::vector<TestPattern> patterns;
+    if (num_random > 0) {
+      Rng rng(seed);
+      for (long i = 0; i < num_random; ++i) {
+        patterns.push_back(random_pattern(nl, rng));
+      }
+      std::printf("%zu random patterns (seed 0x%llx)\n", patterns.size(),
+                  static_cast<unsigned long long>(seed));
+    } else {
+      TpgOptions tpg;
+      tpg.seed = seed;
+      tpg.fault_sim.block_words = dopts.block_words;
+      tpg.fault_sim.num_threads = dopts.num_threads;
+      const TestSet tests = generate_tests(nl, tpg);
+      patterns = tests.patterns;
+      std::printf("%zu ATPG patterns, %.1f%% fault coverage\n",
+                  patterns.size(), 100.0 * tests.fault_coverage());
+    }
+
+    // ---- failure log ----------------------------------------------------
+    const std::vector<Fault> faults = collapse_faults(nl);
+    FailureLog log;
+    ResponseCapture capture(nl, dopts.block_words);
+    if (log_path) {
+      log = load_failure_log_file(log_path);
+      SP_CHECK(log.num_patterns == patterns.size(),
+               "failure log pattern count does not match the applied set");
+    } else {
+      Fault injected;
+      if (inject_spec) {
+        injected = parse_fault(nl, inject_spec);
+      } else {
+        SP_CHECK(static_cast<std::size_t>(inject_index) < faults.size(),
+                 "--inject-index out of range");
+        injected = faults[static_cast<std::size_t>(inject_index)];
+      }
+      log = capture.inject(patterns, injected);
+      std::printf("injected %s: %zu failures\n",
+                  injected.to_string(nl).c_str(), log.failures.size());
+    }
+    if (save_log_path) {
+      save_failure_log_file(save_log_path, log, &nl, &capture.points());
+      std::printf("wrote failure log to %s\n", save_log_path);
+    }
+    if (log.failures.empty()) {
+      std::printf("\nno failures: nothing to diagnose (fault undetected by "
+                  "this pattern set?)\n");
+      if (json_path) {
+        const DiagnosisResult empty_res;
+        dump_json(json_path, nl, dopts, log, empty_res, patterns.size(),
+                  dopts.max_report);
+      }
+      return 0;
+    }
+
+    // ---- diagnosis ------------------------------------------------------
+    const DiagnosisResult res = run_diagnosis(nl, patterns, log, dopts);
+    std::printf("\n%zu failures (%zu patterns, %zu observation points) -> "
+                "%zu/%zu candidates after back-trace\n\n",
+                res.num_failures, res.num_failing_patterns,
+                res.num_failing_points, res.num_candidates, res.num_faults);
+    const std::size_t top = dopts.max_report;
+    std::printf("%5s %-28s %8s %8s %8s %6s\n", "rank", "fault", "TFSF", "TFSP",
+                "TPSF", "exact");
+    for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
+      const CandidateScore& sc = res.ranked[i];
+      std::printf("%5zu %-28s %8llu %8llu %8llu %6s\n", res.rank_of(sc.fault),
+                  sc.fault.to_string(nl).c_str(),
+                  static_cast<unsigned long long>(sc.tfsf),
+                  static_cast<unsigned long long>(sc.tfsp),
+                  static_cast<unsigned long long>(sc.tpsf),
+                  sc.exact() ? "yes" : "no");
+    }
+    if (res.ranked.size() > top) {
+      std::printf("  ... %zu more candidates\n", res.ranked.size() - top);
+    }
+
+    if (json_path) {
+      dump_json(json_path, nl, dopts, log, res, patterns.size(), top);
+      std::printf("\nwrote JSON result to %s\n", json_path);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

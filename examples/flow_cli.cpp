@@ -7,6 +7,9 @@
 //     --no-obs            undirected justification (no observability)
 //     --margin <ps>       extra slack demanded by AddMUX
 //     --seed <n>          ATPG/fill/observability seed
+//     --threads <n>       fault-simulation worker threads (0 = all cores)
+//     --block-words <w>   packed simulation block width (1, 2, 4 or 8)
+//     --json <file>       machine-readable result dump
 //     --write <out.bench> write the mux-inserted netlist
 //     --verbose           narrate flow progress
 
@@ -22,6 +25,7 @@
 #include "scan/add_mux.hpp"
 #include "techmap/techmap.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 using namespace scanpower;
@@ -31,9 +35,48 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <design.bench> [--no-map] [--no-reorder] [--no-obs]"
-               " [--margin ps] [--seed n] [--write out.bench] [--verbose]\n",
+               " [--margin ps] [--seed n] [--threads n] [--block-words w]"
+               " [--json file] [--write out.bench] [--verbose]\n",
                argv0);
   return 2;
+}
+
+void dump_json(const char* path, const FlowResult& r, const FlowOptions& opts) {
+  std::ofstream f(path);
+  SP_CHECK(f.good(), std::string("cannot write ") + path);
+  JsonWriter j(f);
+  j.begin_object();
+  j.field("circuit", r.circuit);
+  j.field("num_comb_gates", static_cast<std::uint64_t>(r.stats.num_comb_gates));
+  j.field("num_dffs", static_cast<std::uint64_t>(r.stats.num_dffs));
+  j.field("num_patterns", static_cast<std::uint64_t>(r.num_patterns));
+  j.field("fault_coverage", r.fault_coverage);
+  j.begin_object("options");
+  j.field("block_words", opts.tpg.fault_sim.block_words);
+  j.field("num_threads", opts.tpg.fault_sim.num_threads);
+  j.field("seed", opts.tpg.seed);
+  j.end_object();
+  j.begin_object("mux");
+  j.field("num_multiplexed", static_cast<std::uint64_t>(r.mux_plan.num_multiplexed));
+  j.field("num_cells", static_cast<std::uint64_t>(r.mux_plan.multiplexed.size()));
+  j.end_object();
+  const auto power = [&](const char* name, const ScanPowerResult& p) {
+    j.begin_object(name);
+    j.field("dynamic_per_hz_uw", p.dynamic_per_hz_uw);
+    j.field("static_uw", p.static_uw);
+    j.field("peak_dynamic_per_hz_uw", p.peak_dynamic_per_hz_uw);
+    j.end_object();
+  };
+  power("traditional", r.traditional);
+  power("input_control", r.input_control);
+  power("proposed", r.proposed);
+  j.begin_object("improvement_pct");
+  j.field("dyn_vs_traditional", r.dyn_vs_traditional_pct);
+  j.field("stat_vs_traditional", r.stat_vs_traditional_pct);
+  j.field("dyn_vs_input_control", r.dyn_vs_input_control_pct);
+  j.field("stat_vs_input_control", r.stat_vs_input_control_pct);
+  j.end_object();
+  j.end_object();
 }
 
 }  // namespace
@@ -42,6 +85,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const char* path = nullptr;
   const char* write_path = nullptr;
+  const char* json_path = nullptr;
   bool do_map = true;
   FlowOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +102,14 @@ int main(int argc, char** argv) {
       opts.tpg.seed = seed;
       opts.observability.seed = seed ^ 0x0b5e;
       opts.fill.seed = seed ^ 0xf111;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.tpg.fault_sim.num_threads = std::atoi(argv[++i]);
+      opts.diag.num_threads = opts.tpg.fault_sim.num_threads;
+    } else if (std::strcmp(argv[i], "--block-words") == 0 && i + 1 < argc) {
+      opts.tpg.fault_sim.block_words = std::atoi(argv[++i]);
+      opts.diag.block_words = opts.tpg.fault_sim.block_words;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--write") == 0 && i + 1 < argc) {
       write_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -98,6 +150,11 @@ int main(int argc, char** argv) {
                 r.dyn_vs_traditional_pct, r.stat_vs_traditional_pct);
     std::printf("improvement vs input ctl  : dyn %.1f%%, static %.1f%%\n",
                 r.dyn_vs_input_control_pct, r.stat_vs_input_control_pct);
+
+    if (json_path) {
+      dump_json(json_path, r, opts);
+      std::printf("\nwrote JSON result to %s\n", json_path);
+    }
 
     if (write_path) {
       const Netlist muxed =

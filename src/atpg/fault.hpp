@@ -36,4 +36,15 @@ std::vector<Fault> enumerate_faults(const Netlist& nl);
 /// The representative kept is the output-side fault.
 std::vector<Fault> collapse_faults(const Netlist& nl);
 
+/// The collapsed-class representative of any enumerated fault: the member
+/// of collapse_faults(nl) that is equivalent to `f` under the rules above
+/// (identity for faults the collapsed list keeps). Diagnosis treats a
+/// candidate and its representative as the same defect.
+Fault collapse_representative(const Netlist& nl, const Fault& f);
+
+/// Parses the Fault::to_string form: "net/sa0" for a stem fault,
+/// "gate.in2/sa1" for an input-pin fault. Throws Error on unknown nets,
+/// out-of-range pins or malformed specs.
+Fault parse_fault(const Netlist& nl, const std::string& spec);
+
 }  // namespace scanpower

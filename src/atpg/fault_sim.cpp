@@ -8,69 +8,79 @@
 
 namespace scanpower {
 
-FaultSimulator::FaultSimulator(const Netlist& nl, FaultSimOptions opts)
-    : nl_(&nl), opts_(opts) {
-  SP_CHECK(nl.finalized(), "FaultSimulator requires a finalized netlist");
-  SP_CHECK(is_valid_block_words(opts_.block_words),
-           "fault_sim: block_words must be 1, 2, 4 or 8");
-  opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
-  observable_.assign(nl.num_gates(), 0);
+std::vector<std::uint8_t> observable_net_mask(const Netlist& nl) {
+  std::vector<std::uint8_t> observable(nl.num_gates(), 0);
   for (GateId id = 0; id < nl.num_gates(); ++id) {
-    if (nl.is_output(id)) observable_[id] = 1;
+    if (nl.is_output(id)) observable[id] = 1;
   }
-  for (GateId dff : nl.dffs()) observable_[nl.fanins(dff)[0]] = 1;
+  for (GateId dff : nl.dffs()) observable[nl.fanins(dff)[0]] = 1;
+  return observable;
+}
 
-  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
-  workers_.resize(static_cast<std::size_t>(pool_->size()));
+void FaultConeEvaluator::init(const Netlist& nl, int block_words) {
+  SP_CHECK(nl.finalized(), "FaultConeEvaluator requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(block_words),
+           "FaultConeEvaluator: block_words must be 1, 2, 4 or 8");
+  nl_ = &nl;
+  words_ = block_words;
   const std::size_t n = nl.num_gates();
-  const std::size_t words = static_cast<std::size_t>(opts_.block_words);
-  for (Worker& w : workers_) {
-    w.faulty.assign(n * words, 0);
-    w.touched.assign(n, 0);
-    w.cones.init(n);
-  }
+  faulty_.assign(n * static_cast<std::size_t>(block_words), 0);
+  touched_.assign(n, 0);
+  active_.clear();
+  cone_cache_.assign(n, {});
+  cone_cached_.assign(n, 0);
+  seen_.assign(n, 0);
 }
 
-FaultSimulator::~FaultSimulator() = default;
-
-void FaultSimulator::ConeCacheShard::init(std::size_t num_gates) {
-  cache.resize(num_gates);
-  cached.assign(num_gates, 0);
-  seen.assign(num_gates, 0);
-}
-
-const std::vector<GateId>& FaultSimulator::ConeCacheShard::cone(
-    const Netlist& nl, GateId site) {
-  if (cached[site]) return cache[site];
+const std::vector<GateId>& FaultConeEvaluator::cone(GateId site) {
+  if (cone_cached_[site]) return cone_cache_[site];
   // DFS over combinational fanout; site included. Sorted by level so a
-  // single sweep evaluates fanins before fanouts. `seen` is reusable
+  // single sweep evaluates fanins before fanouts. `seen_` is reusable
   // scratch: every entry set below is a member of `out` and is cleared
   // before returning.
+  const Netlist& nl = *nl_;
   const std::span<const GateType> types = nl.types_flat();
   const std::span<const std::uint32_t> levels = nl.levels_flat();
   std::vector<GateId> out;
   std::vector<GateId> stack{site};
-  seen[site] = 1;
+  seen_[site] = 1;
   while (!stack.empty()) {
     const GateId id = stack.back();
     stack.pop_back();
     out.push_back(id);
     for (GateId fo : nl.fanout_span(id)) {
       if (!is_combinational(types[fo])) continue;
-      if (!seen[fo]) {
-        seen[fo] = 1;
+      if (!seen_[fo]) {
+        seen_[fo] = 1;
         stack.push_back(fo);
       }
     }
   }
-  for (GateId id : out) seen[id] = 0;
+  for (GateId id : out) seen_[id] = 0;
   std::sort(out.begin(), out.end(), [&](GateId a, GateId b) {
     return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
   });
-  cache[site] = std::move(out);
-  cached[site] = 1;
-  return cache[site];
+  cone_cache_[site] = std::move(out);
+  cone_cached_[site] = 1;
+  return cone_cache_[site];
 }
+
+FaultSimulator::FaultSimulator(const Netlist& nl, FaultSimOptions opts)
+    : nl_(&nl), opts_(opts) {
+  SP_CHECK(nl.finalized(), "FaultSimulator requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "fault_sim: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
+  observable_ = observable_net_mask(nl);
+
+  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  for (Worker& w : workers_) {
+    w.eval.init(nl, opts_.block_words);
+  }
+}
+
+FaultSimulator::~FaultSimulator() = default;
 
 template <int W>
 void FaultSimulator::sweep_faults(const BlockSimulator& good, std::size_t base,
@@ -79,28 +89,13 @@ void FaultSimulator::sweep_faults(const BlockSimulator& good, std::size_t base,
                                   std::span<const std::size_t> live,
                                   FaultSimResult& res,
                                   std::vector<std::uint8_t>& detected_u8) {
-  const Netlist& nl = *nl_;
-  const std::span<const GateType> types = nl.types_flat();
-
   // Lane-validity mask for this block (the last block of a pattern set may
   // only partially fill its words).
-  PackedBlock<W> mask;
-  for (int w = 0; w < W; ++w) {
-    const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
-    if (batch >= lane0 + 64) {
-      mask.w[w] = ~PatternWord{0};
-    } else if (batch > lane0) {
-      mask.w[w] = (PatternWord{1} << (batch - lane0)) - 1;
-    } else {
-      mask.w[w] = 0;
-    }
-  }
+  const PackedBlock<W> mask = lane_validity_mask<W>(batch);
 
   const int num_workers = pool_->size();
   pool_->run_on_all([&](int t) {
     Worker& wk = workers_[static_cast<std::size_t>(t)];
-    PatternWord* const faulty = wk.faulty.data();
-    std::uint8_t* const touched = wk.touched.data();
     // Round-robin fault partition: fault live[i] belongs to worker
     // i % num_workers, which is stable across batches and thread
     // schedules -- every per-fault result slot has exactly one writer.
@@ -108,90 +103,11 @@ void FaultSimulator::sweep_faults(const BlockSimulator& good, std::size_t base,
          li += static_cast<std::size_t>(num_workers)) {
       const std::size_t fi = live[li];
       if (detected_u8[fi]) continue;
-      const Fault& f = faults[fi];
       PackedBlock<W> detect{};
-
-      if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
-        // Fault on the D branch of a scan cell: directly observed.
-        const PatternWord* good_d = good.block(nl.fanin_span(f.gate)[0]);
-        const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
-        for (int w = 0; w < W; ++w) {
-          detect.w[w] = (good_d[w] ^ forced) & mask.w[w];
-        }
-      } else {
-        const GateId site = f.gate;
-        // Seed the faulty machine at the site.
-        PatternWord site_val[W];
-        if (f.pin < 0) {
-          const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
-          for (int w = 0; w < W; ++w) site_val[w] = forced;
-        } else {
-          // Input-pin fault: re-evaluate the site gate with that one pin
-          // forced. Positional (a driver may feed several pins), so the
-          // word-wise generic evaluator is used; this runs once per fault,
-          // not per cone gate.
-          const std::span<const GateId> fan = nl.fanin_span(site);
-          wk.ins.resize(fan.size());
-          const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
-          for (int w = 0; w < W; ++w) {
-            for (std::size_t p = 0; p < fan.size(); ++p) {
-              wk.ins[p] = static_cast<int>(p) == f.pin
-                              ? forced
-                              : good.block(fan[p])[w];
-            }
-            site_val[w] = eval_type_packed(types[site], wk.ins);
-          }
-        }
-        const PatternWord* good_site = good.block(site);
-        PatternWord excited = 0;
-        for (int w = 0; w < W; ++w) {
-          excited |= (site_val[w] ^ good_site[w]) & mask.w[w];
-        }
-        if (excited == 0) continue;  // fault not excited by any lane
-
-        PatternWord* const site_block = faulty + static_cast<std::size_t>(site) * W;
-        for (int w = 0; w < W; ++w) site_block[w] = site_val[w];
-        touched[site] = 1;
-        if (observable_[site]) {
-          for (int w = 0; w < W; ++w) {
-            detect.w[w] |= (site_val[w] ^ good_site[w]) & mask.w[w];
-          }
-        }
-        // Sweep the cone in level order, sparsely: `touched` marks gates
-        // whose faulty value actually differs from the good machine, so a
-        // gate with no touched fanin is identical to the good machine and
-        // is skipped without evaluation. Most fault effects die within a
-        // few levels, which turns the O(cone) sweep into an O(active
-        // frontier) sweep with cheap byte-load skip checks.
-        const std::vector<GateId>& cone_gates = wk.cones.cone(nl, site);
-        wk.active.clear();
-        wk.active.push_back(site);
-        const auto fanin_block = [&](GateId fin) {
-          return touched[fin] ? faulty + static_cast<std::size_t>(fin) * W
-                              : good.block(fin);
-        };
-        for (GateId id : cone_gates) {
-          if (id == site) continue;
-          const std::span<const GateId> fans = nl.fanin_span(id);
-          std::uint8_t any_touched = 0;
-          for (GateId fin : fans) any_touched |= touched[fin];
-          if (!any_touched) continue;
-          PatternWord* const out = faulty + static_cast<std::size_t>(id) * W;
-          eval_gate_block<W>(types[id], fans, fanin_block, out);
-          const PatternWord* g = good.block(id);
-          PatternWord diff = 0;
-          for (int w = 0; w < W; ++w) diff |= out[w] ^ g[w];
-          if (diff == 0) continue;  // effect cancelled here
-          touched[id] = 1;
-          wk.active.push_back(id);
-          if (observable_[id]) {
-            for (int w = 0; w < W; ++w) {
-              detect.w[w] |= (out[w] ^ g[w]) & mask.w[w];
-            }
-          }
-        }
-        for (GateId id : wk.active) touched[id] = 0;
-      }
+      wk.eval.propagate<W>(good, faults[fi], mask, observable_,
+                           [&](GateId, const PatternWord* diff) {
+                             for (int w = 0; w < W; ++w) detect.w[w] |= diff[w];
+                           });
 
       if (detect.any()) {
         detected_u8[fi] = 1;
@@ -250,28 +166,7 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
     if (num_detected == live.size()) break;
     const std::size_t batch = std::min(lanes, patterns.size() - base);
 
-    // Block-wise lane load: word w of source k holds patterns
-    // [base + 64w, base + 64w + 64).
-    auto load_sources = [&](const std::vector<GateId>& sources, bool use_pi) {
-      for (std::size_t k = 0; k < sources.size(); ++k) {
-        for (int wi = 0; wi < W; ++wi) {
-          const std::size_t lane0 = static_cast<std::size_t>(wi) * 64;
-          PatternWord w = 0;
-          const std::size_t count =
-              batch > lane0 ? std::min<std::size_t>(64, batch - lane0) : 0;
-          for (std::size_t j = 0; j < count; ++j) {
-            const TestPattern& pat = patterns[base + lane0 + j];
-            const Logic v = use_pi ? pat.pi[k] : pat.ppi[k];
-            SP_CHECK(v != Logic::X,
-                     "fault_sim: patterns must be fully specified");
-            if (v == Logic::One) w |= PatternWord{1} << j;
-          }
-          good.set_source_word(sources[k], wi, w);
-        }
-      }
-    };
-    load_sources(nl.inputs(), /*use_pi=*/true);
-    load_sources(nl.dffs(), /*use_pi=*/false);
+    load_pattern_block(nl, patterns, base, good);
     good.eval();
 
     switch (W) {

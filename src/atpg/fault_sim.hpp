@@ -7,9 +7,14 @@
 // detection is checked at the observable points inside the cone (primary
 // outputs and DFF D pins -- the full-scan response).
 //
+// The per-fault cone propagation lives in FaultConeEvaluator, a reusable
+// worker-local engine shared with the diagnosis subsystem (src/diag/):
+// fault simulation reduces its sink calls to a detect word, diagnosis
+// records which observation points differ.
+//
 // The still-undetected fault list is partitioned round-robin across a
-// reusable worker pool. Each worker owns its own faulty-value / touched
-// scratch and its own cone-cache shard, so the parallel section is
+// reusable worker pool. Each worker owns its own evaluator (faulty-value /
+// touched scratch and cone-cache shard), so the parallel section is
 // write-shared only on per-fault result slots (each fault belongs to
 // exactly one worker). Results are bit-identical for every (block width,
 // thread count) configuration: a fault's detecting pattern is the lowest
@@ -27,6 +32,60 @@
 #include "util/thread_pool.hpp"
 
 namespace scanpower {
+
+/// Byte mask over gates: 1 iff the gate's net is an observable point of
+/// the full-scan response (primary output, or driver of a DFF D pin).
+std::vector<std::uint8_t> observable_net_mask(const Netlist& nl);
+
+/// Reusable worker-local engine for packed single-fault evaluation: owns
+/// the faulty-machine scratch and a lazily built cache of level-sorted
+/// combinational fanout cones. One instance per worker thread; instances
+/// never share mutable state, so concurrent propagate() calls on distinct
+/// evaluators are race-free.
+class FaultConeEvaluator {
+ public:
+  FaultConeEvaluator() = default;
+
+  /// Binds the evaluator to a finalized netlist and block width. May be
+  /// called again to rebind; all scratch is reset.
+  void init(const Netlist& nl, int block_words);
+
+  int block_words() const { return words_; }
+
+  /// Level-sorted combinational fanout cone of a fault site, site
+  /// included (cached per evaluator).
+  const std::vector<GateId>& cone(GateId site);
+
+  /// Evaluates fault `f` against the good-machine block: seeds the faulty
+  /// machine at the site, sweeps the site's cone sparsely, and calls
+  /// sink(gate, diff) for every gate with observable[gate] != 0 whose
+  /// faulty value differs from the good machine in a valid lane. `diff`
+  /// points at W lane-masked XOR-difference words (faulty ^ good).
+  ///
+  /// Special case: a fault on the D branch of a scan cell (f.pin >= 0 on
+  /// a Dff gate) is observed at that cell's capture point and nowhere
+  /// else; the sink then receives the DFF's own gate id (bypassing the
+  /// `observable` filter, which covers nets, not capture branches).
+  ///
+  /// W must equal the init() width.
+  template <int W, typename Sink>
+  void propagate(const BlockSimulator& good, const Fault& f,
+                 const PackedBlock<W>& mask,
+                 std::span<const std::uint8_t> observable, Sink&& sink);
+
+ private:
+  const Netlist* nl_ = nullptr;
+  int words_ = 0;
+  std::vector<PatternWord> faulty_;   ///< num_gates * W faulty-machine words
+  std::vector<std::uint8_t> touched_; ///< gate's faulty value differs from good
+  std::vector<GateId> active_;        ///< touched gates of the current fault
+  std::vector<PatternWord> ins_;      ///< scratch for pin-forced site eval
+
+  // Cone cache: lazily built, level-sorted combinational fanout cones.
+  std::vector<std::vector<GateId>> cone_cache_;
+  std::vector<std::uint8_t> cone_cached_;
+  std::vector<std::uint8_t> seen_;  ///< reusable DFS scratch (all-zero between calls)
+};
 
 struct FaultSimResult {
   static constexpr std::size_t kNotDetected = static_cast<std::size_t>(-1);
@@ -60,25 +119,9 @@ class FaultSimulator {
                      const std::vector<bool>* initial_detected = nullptr);
 
  private:
-  /// Lazily built, level-sorted combinational fanout cones. Each worker
-  /// owns one shard, so lookups never lock; a site shared by faults of
-  /// different workers is simply built once per shard.
-  struct ConeCacheShard {
-    std::vector<std::vector<GateId>> cache;
-    std::vector<std::uint8_t> cached;
-    std::vector<std::uint8_t> seen;  ///< reusable DFS scratch (all-zero between calls)
-
-    void init(std::size_t num_gates);
-    const std::vector<GateId>& cone(const Netlist& nl, GateId site);
-  };
-
   /// Per-worker mutable state for the parallel fault sweep.
   struct Worker {
-    std::vector<PatternWord> faulty;   ///< num_gates * W faulty-machine words
-    std::vector<std::uint8_t> touched; ///< gate's faulty value differs from good
-    std::vector<GateId> active;        ///< touched gates of the current fault
-    std::vector<PatternWord> ins;      ///< scratch for pin-forced site eval
-    ConeCacheShard cones;
+    FaultConeEvaluator eval;
     std::vector<std::uint32_t> new_detects;  ///< per pattern, merged serially
     std::size_t num_detected = 0;
   };
@@ -99,5 +142,113 @@ class FaultSimulator {
 /// Convenience: fault coverage of a pattern set over the collapsed list.
 double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns,
                       FaultSimOptions opts = {});
+
+// ---- FaultConeEvaluator::propagate (template body) -------------------------
+
+template <int W, typename Sink>
+void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
+                                   const PackedBlock<W>& mask,
+                                   std::span<const std::uint8_t> observable,
+                                   Sink&& sink) {
+  SP_ASSERT(nl_ != nullptr && W == words_,
+            "FaultConeEvaluator: propagate width mismatch");
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+  PatternWord* const faulty = faulty_.data();
+  std::uint8_t* const touched = touched_.data();
+
+  if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
+    // Fault on the D branch of a scan cell: directly observed at that
+    // cell's capture point only.
+    const PatternWord* good_d = good.block(nl.fanin_span(f.gate)[0]);
+    const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+    PatternWord diff[W];
+    PatternWord any = 0;
+    for (int w = 0; w < W; ++w) {
+      diff[w] = (good_d[w] ^ forced) & mask.w[w];
+      any |= diff[w];
+    }
+    if (any != 0) sink(f.gate, static_cast<const PatternWord*>(diff));
+    return;
+  }
+
+  const GateId site = f.gate;
+  // Seed the faulty machine at the site.
+  PatternWord site_val[W];
+  if (f.pin < 0) {
+    const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+    for (int w = 0; w < W; ++w) site_val[w] = forced;
+  } else {
+    // Input-pin fault: re-evaluate the site gate with that one pin
+    // forced. Positional (a driver may feed several pins), so the
+    // word-wise generic evaluator is used; this runs once per fault,
+    // not per cone gate.
+    const std::span<const GateId> fan = nl.fanin_span(site);
+    ins_.resize(fan.size());
+    const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+    for (int w = 0; w < W; ++w) {
+      for (std::size_t p = 0; p < fan.size(); ++p) {
+        ins_[p] = static_cast<int>(p) == f.pin ? forced : good.block(fan[p])[w];
+      }
+      site_val[w] = eval_type_packed(types[site], ins_);
+    }
+  }
+  const PatternWord* good_site = good.block(site);
+  PatternWord excited = 0;
+  for (int w = 0; w < W; ++w) {
+    excited |= (site_val[w] ^ good_site[w]) & mask.w[w];
+  }
+  if (excited == 0) return;  // fault not excited by any valid lane
+
+  PatternWord* const site_block = faulty + static_cast<std::size_t>(site) * W;
+  for (int w = 0; w < W; ++w) site_block[w] = site_val[w];
+  touched[site] = 1;
+  PatternWord diff[W];
+  if (observable[site]) {
+    PatternWord any = 0;
+    for (int w = 0; w < W; ++w) {
+      diff[w] = (site_val[w] ^ good_site[w]) & mask.w[w];
+      any |= diff[w];
+    }
+    if (any != 0) sink(site, static_cast<const PatternWord*>(diff));
+  }
+  // Sweep the cone in level order, sparsely: `touched` marks gates whose
+  // faulty value actually differs from the good machine, so a gate with
+  // no touched fanin is identical to the good machine and is skipped
+  // without evaluation. Most fault effects die within a few levels, which
+  // turns the O(cone) sweep into an O(active frontier) sweep with cheap
+  // byte-load skip checks.
+  const std::vector<GateId>& cone_gates = cone(site);
+  active_.clear();
+  active_.push_back(site);
+  const auto fanin_block = [&](GateId fin) {
+    return touched[fin] ? faulty + static_cast<std::size_t>(fin) * W
+                        : good.block(fin);
+  };
+  for (GateId id : cone_gates) {
+    if (id == site) continue;
+    const std::span<const GateId> fans = nl.fanin_span(id);
+    std::uint8_t any_touched = 0;
+    for (GateId fin : fans) any_touched |= touched[fin];
+    if (!any_touched) continue;
+    PatternWord* const out = faulty + static_cast<std::size_t>(id) * W;
+    eval_gate_block<W>(types[id], fans, fanin_block, out);
+    const PatternWord* g = good.block(id);
+    PatternWord raw = 0;
+    for (int w = 0; w < W; ++w) raw |= out[w] ^ g[w];
+    if (raw == 0) continue;  // effect cancelled here
+    touched[id] = 1;
+    active_.push_back(id);
+    if (observable[id]) {
+      PatternWord any = 0;
+      for (int w = 0; w < W; ++w) {
+        diff[w] = (out[w] ^ g[w]) & mask.w[w];
+        any |= diff[w];
+      }
+      if (any != 0) sink(id, static_cast<const PatternWord*>(diff));
+    }
+  }
+  for (GateId id : active_) touched[id] = 0;
+}
 
 }  // namespace scanpower

@@ -42,6 +42,25 @@ inline bool is_valid_block_words(int w) {
   return w == 1 || w == 2 || w == 4 || w == 8;
 }
 
+/// Lane-validity mask for a block holding `batch` patterns (a final block
+/// of a pattern set may only partially fill its words): lane i is set iff
+/// i < batch.
+template <int W>
+inline PackedBlock<W> lane_validity_mask(std::size_t batch) {
+  PackedBlock<W> mask;
+  for (int w = 0; w < W; ++w) {
+    const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
+    if (batch >= lane0 + 64) {
+      mask.w[w] = ~PatternWord{0};
+    } else if (batch > lane0) {
+      mask.w[w] = (PatternWord{1} << (batch - lane0)) - 1;
+    } else {
+      mask.w[w] = 0;
+    }
+  }
+  return mask;
+}
+
 /// Evaluates one gate over per-fanin word blocks. `fanin_block(f)` must
 /// return a pointer to fanin f's W-word block; `out` receives W words.
 /// Instantiated per width so the word loops unroll; the 1- and 2-input

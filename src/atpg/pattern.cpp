@@ -1,13 +1,42 @@
 #include "atpg/pattern.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "atpg/packed_sim.hpp"
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 
 namespace scanpower {
+
+void load_pattern_block(const Netlist& nl, std::span<const TestPattern> patterns,
+                        std::size_t base, BlockSimulator& sim) {
+  const int words = sim.words();
+  const std::size_t batch =
+      patterns.size() > base ? std::min(sim.lanes(), patterns.size() - base) : 0;
+  auto load = [&](const std::vector<GateId>& sources, bool use_pi) {
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      for (int wi = 0; wi < words; ++wi) {
+        const std::size_t lane0 = static_cast<std::size_t>(wi) * 64;
+        PatternWord w = 0;
+        const std::size_t count =
+            batch > lane0 ? std::min<std::size_t>(64, batch - lane0) : 0;
+        for (std::size_t j = 0; j < count; ++j) {
+          const TestPattern& pat = patterns[base + lane0 + j];
+          const Logic v = use_pi ? pat.pi[k] : pat.ppi[k];
+          SP_CHECK(v != Logic::X,
+                   "load_pattern_block: patterns must be fully specified");
+          if (v == Logic::One) w |= PatternWord{1} << j;
+        }
+        sim.set_source_word(sources[k], wi, w);
+      }
+    }
+  };
+  load(nl.inputs(), /*use_pi=*/true);
+  load(nl.dffs(), /*use_pi=*/false);
+}
 
 bool TestPattern::fully_specified() const {
   for (Logic v : pi) {

@@ -6,6 +6,7 @@
 // entries are care-free positions produced by PODEM before fill.
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,17 @@ struct TestSet {
 
 /// Uniformly random fully specified pattern.
 TestPattern random_pattern(const Netlist& nl, Rng& rng);
+
+class BlockSimulator;
+
+/// Loads patterns [base, base + sim.lanes()) into the block simulator's
+/// source words, one bit lane per pattern (PIs from `pi`, DFF outputs from
+/// `ppi`). A partial final block zero-fills the invalid lanes. Patterns
+/// must be fully specified (throws Error otherwise). Shared by fault
+/// simulation and response capture so every consumer agrees on the
+/// lane <-> pattern mapping.
+void load_pattern_block(const Netlist& nl, std::span<const TestPattern> patterns,
+                        std::size_t base, BlockSimulator& sim);
 
 /// Plain-text test-set file format:
 ///   # comments

@@ -103,6 +103,29 @@ ScanPowerResult run_proposed(const Netlist& nl, const TestSet& tests,
   return power;
 }
 
+DiagnosisResult run_diagnosis(const Netlist& nl,
+                              std::span<const TestPattern> patterns,
+                              const FailureLog& log,
+                              const DiagnosisOptions& opts) {
+  SP_CHECK(nl.finalized(), "run_diagnosis requires a finalized netlist");
+  const std::vector<Fault> faults = collapse_faults(nl);
+  Diagnoser diag(nl, opts);
+  DiagnosisResult res = diag.diagnose(patterns, faults, log);
+  log_info(strprintf(
+      "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
+      "best %s (tfsf %llu, tfsp %llu, tpsf %llu)",
+      nl.name().c_str(), res.num_failures, res.num_failing_patterns,
+      res.num_candidates, res.num_faults,
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl).c_str(),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
+  return res;
+}
+
 FlowResult run_flow(const Netlist& nl, const FlowOptions& opts) {
   SP_CHECK(nl.finalized(), "run_flow requires a finalized netlist");
   FlowResult res;

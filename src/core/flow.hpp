@@ -22,6 +22,8 @@
 #include "core/dont_care_fill.hpp"
 #include "core/find_pattern.hpp"
 #include "core/pin_reorder.hpp"
+#include "diag/diagnose.hpp"
+#include "diag/response.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/stats.hpp"
 #include "power/observability.hpp"
@@ -33,6 +35,7 @@ namespace scanpower {
 
 struct FlowOptions {
   TpgOptions tpg;
+  DiagnosisOptions diag;  ///< used by the diagnosis flow entry points
   ObservabilityOptions observability;
   MuxPlanOptions mux;
   FillOptions fill;
@@ -89,5 +92,13 @@ FlowResult run_flow(const Netlist& nl, const FlowOptions& opts = {});
 /// building block for ablation sweeps.
 ScanPowerResult run_proposed(const Netlist& nl, const TestSet& tests,
                              const FlowOptions& opts, FlowResult* details = nullptr);
+
+/// Diagnoses a failure log against the collapsed fault list of `nl` under
+/// `patterns` (fully specified; the log's pattern indices refer to this
+/// set). The flow-layer entry point behind diag_cli.
+DiagnosisResult run_diagnosis(const Netlist& nl,
+                              std::span<const TestPattern> patterns,
+                              const FailureLog& log,
+                              const DiagnosisOptions& opts = {});
 
 }  // namespace scanpower

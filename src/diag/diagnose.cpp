@@ -1,0 +1,256 @@
+#include "diag/diagnose.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
+    : nl_(&nl), opts_(opts), points_(nl) {
+  SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "diagnose: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
+  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
+  cone_cache_.resize(points_.size());
+  cone_cached_.assign(points_.size(), 0);
+  mark_.assign(nl.num_gates(), 0);
+  union_mark_.assign(nl.num_gates(), 0);
+}
+
+Diagnoser::~Diagnoser() = default;
+
+const std::vector<GateId>& Diagnoser::fanin_cone(std::size_t op) {
+  if (cone_cached_[op]) return cone_cache_[op];
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+  std::vector<GateId> out;
+  std::vector<GateId> stack{points_.observed_gate(op)};
+  // `mark_` is reusable scratch: every entry set here is in `out` and is
+  // cleared before returning.
+  mark_[stack[0]] = 1;
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // The scan boundary cuts the cone: a DFF's Q net is a pseudo-input
+    // (its own fault site), but logic behind its D pin belongs to the
+    // previous capture cycle.
+    if (!is_combinational(types[id])) continue;
+    for (GateId fin : nl.fanin_span(id)) {
+      if (!mark_[fin]) {
+        mark_[fin] = 1;
+        stack.push_back(fin);
+      }
+    }
+  }
+  if (points_.is_dff_capture(op)) {
+    const GateId cell = points_.dff_gate(op);
+    if (!mark_[cell]) {
+      mark_[cell] = 1;
+      out.push_back(cell);  // D-branch fault sites live on the capture cell
+    }
+  }
+  for (GateId id : out) mark_[id] = 0;
+  cone_cache_[op] = std::move(out);
+  cone_cached_[op] = 1;
+  return cone_cache_[op];
+}
+
+std::vector<std::uint32_t> Diagnoser::prune_candidates(
+    std::span<const Fault> faults, const FailureLog& log) {
+  const Netlist& nl = *nl_;
+  // Distinct failing-point sets, one per failing pattern (the log is
+  // sorted by (pattern, op)). Two patterns failing the same points
+  // contribute the same cone union, so dedupe before intersecting.
+  std::vector<std::vector<std::uint32_t>> op_sets;
+  for (std::size_t i = 0; i < log.failures.size();) {
+    std::size_t j = i;
+    std::vector<std::uint32_t> ops;
+    while (j < log.failures.size() &&
+           log.failures[j].pattern == log.failures[i].pattern) {
+      ops.push_back(log.failures[j].op);
+      ++j;
+    }
+    op_sets.push_back(std::move(ops));
+    i = j;
+  }
+  std::sort(op_sets.begin(), op_sets.end());
+  op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
+
+  // allowed[g] = 1 iff gate g is in every failing pattern's cone union.
+  // (fanin_cone owns mark_; the union uses its own scratch so a lazy cone
+  // build mid-union cannot collide.)
+  std::vector<std::uint8_t> allowed(nl.num_gates(), 1);
+  std::vector<GateId> uni;
+  for (const std::vector<std::uint32_t>& ops : op_sets) {
+    uni.clear();
+    for (std::uint32_t op : ops) {
+      for (GateId g : fanin_cone(op)) {
+        if (!union_mark_[g]) {
+          union_mark_[g] = 1;
+          uni.push_back(g);
+        }
+      }
+    }
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      allowed[g] &= union_mark_[g];
+    }
+    for (GateId g : uni) union_mark_[g] = 0;
+  }
+
+  // A fault's effect enters observation cones at its site gate -- for a
+  // D-branch fault that is the capture cell itself, which the capture
+  // point's cone includes.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(faults.size());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (allowed[faults[fi].gate]) {
+      candidates.push_back(static_cast<std::uint32_t>(fi));
+    }
+  }
+  return candidates;
+}
+
+template <int W>
+void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
+                                 std::span<const Fault> faults,
+                                 std::span<const std::uint32_t> candidates,
+                                 const ResponseMatrix& observed,
+                                 std::vector<CandidateScore>& scores) {
+  const Netlist& nl = *nl_;
+  BlockSimulator good(nl, W);
+  const std::size_t lanes = good.lanes();
+  const int num_workers = pool_->size();
+
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    const std::size_t batch = std::min(lanes, patterns.size() - base);
+    load_pattern_block(nl, patterns, base, good);
+    good.eval();
+    const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+    const std::size_t word0 = base / 64;
+    const std::size_t nwords = (batch + 63) / 64;
+
+    // Round-robin candidate partition: candidate i belongs to worker
+    // i % num_workers for every block, so each score slot has exactly one
+    // writer and the counters accumulate deterministically.
+    pool_->run_on_all([&](int t) {
+      FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(t)];
+      for (std::size_t ci = static_cast<std::size_t>(t); ci < candidates.size();
+           ci += static_cast<std::size_t>(num_workers)) {
+        CandidateScore& sc = scores[ci];
+        const Fault& f = faults[candidates[ci]];
+        // A D-branch fault sinks its DFF gate id as the capture branch; a
+        // Q-stem fault sinks the same id meaning the Q net, which is read
+        // by downstream capture points / its PO point.
+        const bool d_branch =
+            f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+        ev.propagate<W>(
+            good, f, mask, points_.observable(),
+            [&](GateId gate, const PatternWord* diff) {
+              const auto tally = [&](std::uint32_t op) {
+                const PatternWord* obs = observed.row(op) + word0;
+                for (std::size_t w = 0; w < nwords; ++w) {
+                  sc.tfsf += static_cast<std::uint64_t>(
+                      std::popcount(diff[w] & obs[w]));
+                  sc.tpsf += static_cast<std::uint64_t>(
+                      std::popcount(diff[w] & ~obs[w]));
+                }
+              };
+              if (d_branch && gate == f.gate) {
+                tally(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
+              } else {
+                for (std::uint32_t op : points_.points_of_gate(gate)) tally(op);
+              }
+            });
+      }
+    });
+  }
+}
+
+DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
+                                    std::span<const Fault> faults,
+                                    const FailureLog& log) {
+  SP_CHECK(log.num_patterns == patterns.size(),
+           "diagnose: failure log covers a different pattern count");
+  SP_CHECK(std::is_sorted(log.failures.begin(), log.failures.end()),
+           "diagnose: failure log must be sorted (FailureLog::normalize)");
+  DiagnosisResult res;
+  res.num_faults = faults.size();
+
+  const ResponseMatrix observed = log.to_matrix(points_.size());
+  const std::uint64_t total_fail = observed.popcount();
+  res.num_failures = static_cast<std::size_t>(total_fail);
+  {
+    std::vector<std::uint32_t> pats, ops;
+    for (const Failure& f : log.failures) {
+      pats.push_back(f.pattern);
+      ops.push_back(f.op);
+    }
+    std::sort(pats.begin(), pats.end());
+    std::sort(ops.begin(), ops.end());
+    res.num_failing_patterns = static_cast<std::size_t>(
+        std::unique(pats.begin(), pats.end()) - pats.begin());
+    res.num_failing_points = static_cast<std::size_t>(
+        std::unique(ops.begin(), ops.end()) - ops.begin());
+  }
+
+  std::vector<std::uint32_t> candidates;
+  if (opts_.cone_pruning) {
+    candidates = prune_candidates(faults, log);
+  } else {
+    candidates.resize(faults.size());
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      candidates[fi] = static_cast<std::uint32_t>(fi);
+    }
+  }
+  res.num_candidates = candidates.size();
+
+  std::vector<CandidateScore> scores(candidates.size());
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    scores[ci].fault = faults[candidates[ci]];
+    scores[ci].fault_index = candidates[ci];
+  }
+
+  switch (opts_.block_words) {
+    case 1: score_candidates<1>(patterns, faults, candidates, observed, scores); break;
+    case 2: score_candidates<2>(patterns, faults, candidates, observed, scores); break;
+    case 4: score_candidates<4>(patterns, faults, candidates, observed, scores); break;
+    case 8: score_candidates<8>(patterns, faults, candidates, observed, scores); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+
+  for (CandidateScore& sc : scores) {
+    sc.tfsp = total_fail - sc.tfsf;
+  }
+  std::sort(scores.begin(), scores.end());
+  res.ranked = std::move(scores);
+  return res;
+}
+
+std::size_t DiagnosisResult::rank_of(const Fault& f) const {
+  std::size_t at = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].fault == f) {
+      at = i;
+      break;
+    }
+  }
+  if (at == ranked.size()) return 0;
+  // Competition rank: candidates with equal (hamming, tfsf) -- and hence
+  // equal counter triples -- are indistinguishable and share a rank.
+  std::size_t rank = 1;
+  for (std::size_t i = 0; i < at; ++i) {
+    if (ranked[i].hamming() != ranked[at].hamming() ||
+        ranked[i].tfsf != ranked[at].tfsf) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,135 @@
+#pragma once
+// Cause-effect stuck-at diagnosis: which fault explains a failure log?
+//
+// Two stages, both built on the packed simulation engine:
+//
+//  1. Candidate generation -- structural pruning. A single stuck-at fault
+//     can only corrupt observation points whose fanin cone contains the
+//     fault site, so for every failing pattern the candidate must lie in
+//     the union of the failing points' fanin cones, and therefore in the
+//     intersection of those unions across failing patterns. Distinct
+//     failing-point sets are deduplicated before intersecting, so the
+//     back-trace cost scales with response diversity, not pattern count.
+//
+//  2. Candidate ranking -- packed per-candidate simulation. Every
+//     surviving candidate is injected into the faulty machine (reusing
+//     FaultConeEvaluator's sparse cone sweep) and its predicted failures
+//     are compared against the observed log with SLAT-style match
+//     counters over (pattern, observation point) pairs:
+//       TFSF  tester-fail, simulation-fail   (explained failures)
+//       TFSP  tester-fail, simulation-pass   (unexplained failures)
+//       TPSF  tester-pass, simulation-fail   (mispredicted failures)
+//     Ranking: exact matches (TFSP = TPSF = 0) first, then ascending
+//     Hamming distance (TFSP + TPSF), then descending TFSF, ties broken
+//     by candidate index. Candidates are scored round-robin across the
+//     worker pool; every counter is a popcount sum over disjoint words,
+//     so results are bit-identical for every (block width, thread count)
+//     configuration.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/pattern.hpp"
+#include "diag/response.hpp"
+#include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scanpower {
+
+struct DiagnosisOptions {
+  /// Pattern words per simulation block (1, 2, 4 or 8).
+  int block_words = 4;
+  /// Worker count for candidate scoring. 1 = serial; 0 = hardware
+  /// concurrency.
+  int num_threads = 1;
+  /// Fanin-cone back-trace pruning before scoring. Disable to score the
+  /// entire fault list (diagnosing logs with suspected multiple faults).
+  bool cone_pruning = true;
+  /// Report size used by the CLI/JSON front ends; the ranked list itself
+  /// always keeps every scored candidate.
+  std::size_t max_report = 10;
+};
+
+/// One scored candidate fault.
+struct CandidateScore {
+  Fault fault;
+  std::uint32_t fault_index = 0;  ///< index into the diagnosed fault list
+  std::uint64_t tfsf = 0;         ///< tester fail & simulation fail
+  std::uint64_t tfsp = 0;         ///< tester fail & simulation pass
+  std::uint64_t tpsf = 0;         ///< tester pass & simulation fail
+
+  bool exact() const { return tfsp == 0 && tpsf == 0; }
+  std::uint64_t hamming() const { return tfsp + tpsf; }
+
+  /// Strict-weak "explains the log better" order (see header comment).
+  friend bool operator<(const CandidateScore& a, const CandidateScore& b) {
+    if (a.hamming() != b.hamming()) return a.hamming() < b.hamming();
+    if (a.tfsf != b.tfsf) return a.tfsf > b.tfsf;
+    return a.fault_index < b.fault_index;
+  }
+};
+
+struct DiagnosisResult {
+  /// Every scored candidate, best explanation first.
+  std::vector<CandidateScore> ranked;
+
+  std::size_t num_faults = 0;            ///< fault universe diagnosed against
+  std::size_t num_candidates = 0;        ///< survived cone pruning (= ranked.size())
+  std::size_t num_failures = 0;          ///< log entries
+  std::size_t num_failing_patterns = 0;
+  std::size_t num_failing_points = 0;    ///< distinct failing observation points
+
+  /// 1-based competition rank of fault `f` among the scored candidates:
+  /// candidates with equal scores share a rank (they are indistinguishable
+  /// under the applied patterns). Returns 0 if `f` was pruned away.
+  std::size_t rank_of(const Fault& f) const;
+};
+
+class Diagnoser {
+ public:
+  explicit Diagnoser(const Netlist& nl, DiagnosisOptions opts = {});
+  ~Diagnoser();
+
+  const DiagnosisOptions& options() const { return opts_; }
+  const ObservationPoints& points() const { return points_; }
+
+  /// Scores `faults` (typically collapse_faults(nl)) against the observed
+  /// failure log under `patterns` (fully specified; the log's pattern
+  /// indices must refer to this set).
+  DiagnosisResult diagnose(std::span<const TestPattern> patterns,
+                           std::span<const Fault> faults,
+                           const FailureLog& log);
+
+ private:
+  /// Gates a candidate's effect can pass through on the way to `op`:
+  /// the transitive fanin of the observed gate (sources included, cut at
+  /// the scan boundary) plus the op gate itself and, for capture points,
+  /// the scan cell (D-branch fault sites). Cached per observation point.
+  const std::vector<GateId>& fanin_cone(std::size_t op);
+
+  std::vector<std::uint32_t> prune_candidates(std::span<const Fault> faults,
+                                              const FailureLog& log);
+
+  template <int W>
+  void score_candidates(std::span<const TestPattern> patterns,
+                        std::span<const Fault> faults,
+                        std::span<const std::uint32_t> candidates,
+                        const ResponseMatrix& observed,
+                        std::vector<CandidateScore>& scores);
+
+  const Netlist* nl_;
+  DiagnosisOptions opts_;
+  ObservationPoints points_;
+  std::vector<std::vector<GateId>> cone_cache_;  ///< per op, lazily built
+  std::vector<std::uint8_t> cone_cached_;
+  std::vector<std::uint8_t> mark_;               ///< fanin_cone DFS scratch
+  std::vector<std::uint8_t> union_mark_;         ///< cone-union scratch
+  std::vector<FaultConeEvaluator> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace scanpower

@@ -1,0 +1,250 @@
+#include "diag/response.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+ObservationPoints::ObservationPoints(const Netlist& nl) {
+  SP_CHECK(nl.finalized(), "ObservationPoints requires a finalized netlist");
+  num_pos_ = nl.outputs().size();
+  source_.reserve(num_pos_ + nl.dffs().size());
+  for (GateId po : nl.outputs()) source_.push_back(po);
+  dff_op_.assign(nl.num_gates(), static_cast<std::uint32_t>(-1));
+  cells_ = nl.dffs();
+  for (GateId dff : cells_) {
+    dff_op_[dff] = static_cast<std::uint32_t>(source_.size());
+    source_.push_back(nl.fanins(dff)[0]);
+  }
+
+  // CSR gate -> observation points reading its net.
+  std::vector<std::uint32_t> counts(nl.num_gates() + 1, 0);
+  for (GateId g : source_) counts[g + 1]++;
+  op_offsets_.assign(nl.num_gates() + 1, 0);
+  for (std::size_t i = 1; i < op_offsets_.size(); ++i) {
+    op_offsets_[i] = op_offsets_[i - 1] + counts[i];
+  }
+  op_data_.resize(source_.size());
+  std::vector<std::uint32_t> cursor(op_offsets_.begin(), op_offsets_.end() - 1);
+  for (std::size_t op = 0; op < source_.size(); ++op) {
+    op_data_[cursor[source_[op]]++] = static_cast<std::uint32_t>(op);
+  }
+
+  observable_ = observable_net_mask(nl);
+}
+
+GateId ObservationPoints::dff_gate(std::size_t op) const {
+  SP_ASSERT(is_dff_capture(op), "ObservationPoints: not a capture point");
+  return cells_[op - num_pos_];
+}
+
+std::string ObservationPoints::name(const Netlist& nl, std::size_t op) const {
+  if (op < num_pos_) {
+    return "po:" + nl.gate_name(source_[op]);
+  }
+  return "dff:" + nl.gate_name(cells_[op - num_pos_]) + ".D";
+}
+
+std::span<const std::uint32_t> ObservationPoints::points_of_gate(GateId g) const {
+  return {op_data_.data() + op_offsets_[g], op_offsets_[g + 1] - op_offsets_[g]};
+}
+
+std::size_t ObservationPoints::point_of_dff(GateId d) const {
+  const std::uint32_t op = dff_op_[d];
+  return op == static_cast<std::uint32_t>(-1) ? kNone : op;
+}
+
+std::size_t ResponseMatrix::popcount() const {
+  std::size_t n = 0;
+  for (PatternWord w : words) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void FailureLog::normalize() {
+  std::sort(failures.begin(), failures.end());
+  failures.erase(std::unique(failures.begin(), failures.end()), failures.end());
+}
+
+ResponseMatrix FailureLog::to_matrix(std::size_t num_points) const {
+  ResponseMatrix m;
+  m.num_points = num_points;
+  m.num_patterns = num_patterns;
+  m.words.assign(num_points * m.words_per_point(), 0);
+  for (const Failure& f : failures) {
+    SP_CHECK(f.pattern < num_patterns && f.op < num_points,
+             "FailureLog: failure outside pattern/point range");
+    m.set_bit(f.op, f.pattern);
+  }
+  return m;
+}
+
+void save_failure_log(std::ostream& out, const FailureLog& log,
+                      const Netlist* nl, const ObservationPoints* ops) {
+  out << "# scanpower failure log\n";
+  if (!log.circuit.empty()) out << "circuit " << log.circuit << "\n";
+  out << "patterns " << log.num_patterns << "\n";
+  for (const Failure& f : log.failures) {
+    out << "fail " << f.pattern << " " << f.op;
+    if (nl && ops && f.op < ops->size()) out << " " << ops->name(*nl, f.op);
+    out << "\n";
+  }
+}
+
+FailureLog load_failure_log(std::istream& in) {
+  FailureLog log;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed(trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    std::string kw;
+    ls >> kw;
+    if (kw == "circuit") {
+      ls >> log.circuit;
+    } else if (kw == "patterns") {
+      ls >> log.num_patterns;
+      SP_CHECK(!ls.fail(), strprintf("failure log line %zu: bad pattern count",
+                                     lineno));
+    } else if (kw == "fail") {
+      Failure f;
+      ls >> f.pattern >> f.op;
+      SP_CHECK(!ls.fail(),
+               strprintf("failure log line %zu: expected \"fail <pattern> "
+                         "<op>\"", lineno));
+      log.failures.push_back(f);
+    } else {
+      SP_CHECK(false, strprintf("failure log line %zu: unknown keyword \"%s\"",
+                                lineno, kw.c_str()));
+    }
+  }
+  log.normalize();
+  return log;
+}
+
+void save_failure_log_file(const std::string& path, const FailureLog& log,
+                           const Netlist* nl, const ObservationPoints* ops) {
+  std::ofstream f(path);
+  SP_CHECK(f.good(), "cannot write " + path);
+  save_failure_log(f, log, nl, ops);
+}
+
+FailureLog load_failure_log_file(const std::string& path) {
+  std::ifstream f(path);
+  SP_CHECK(f.good(), "cannot read " + path);
+  return load_failure_log(f);
+}
+
+ResponseCapture::ResponseCapture(const Netlist& nl, int block_words)
+    : nl_(&nl), words_(block_words), points_(nl) {
+  SP_CHECK(is_valid_block_words(block_words),
+           "ResponseCapture: block_words must be 1, 2, 4 or 8");
+  eval_.init(nl, block_words);
+}
+
+template <int W>
+void ResponseCapture::capture_good_impl(std::span<const TestPattern> patterns,
+                                        ResponseMatrix& out) {
+  const Netlist& nl = *nl_;
+  BlockSimulator good(nl, W);
+  const std::size_t lanes = good.lanes();
+  const std::size_t wpp = out.words_per_point();
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    const std::size_t batch = std::min(lanes, patterns.size() - base);
+    load_pattern_block(nl, patterns, base, good);
+    good.eval();
+    const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+    const std::size_t word0 = base / 64;
+    const std::size_t nwords = (batch + 63) / 64;
+    for (std::size_t op = 0; op < points_.size(); ++op) {
+      const PatternWord* v = good.block(points_.observed_gate(op));
+      PatternWord* row = out.words.data() + op * wpp + word0;
+      for (std::size_t w = 0; w < nwords; ++w) {
+        row[w] = v[w] & mask.w[w];
+      }
+    }
+  }
+}
+
+ResponseMatrix ResponseCapture::capture_good(
+    std::span<const TestPattern> patterns) {
+  ResponseMatrix out;
+  out.num_points = points_.size();
+  out.num_patterns = patterns.size();
+  out.words.assign(out.num_points * out.words_per_point(), 0);
+  switch (words_) {
+    case 1: capture_good_impl<1>(patterns, out); break;
+    case 2: capture_good_impl<2>(patterns, out); break;
+    case 4: capture_good_impl<4>(patterns, out); break;
+    case 8: capture_good_impl<8>(patterns, out); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+  return out;
+}
+
+template <int W>
+void ResponseCapture::inject_impl(std::span<const TestPattern> patterns,
+                                  const Fault& f, FailureLog& log) {
+  const Netlist& nl = *nl_;
+  BlockSimulator good(nl, W);
+  const std::size_t lanes = good.lanes();
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    const std::size_t batch = std::min(lanes, patterns.size() - base);
+    load_pattern_block(nl, patterns, base, good);
+    good.eval();
+    const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+    // Only a D-branch fault sinks the DFF gate id *as a capture branch*;
+    // a stem fault on a DFF's Q net sinks the same gate id but means the
+    // Q net, read by whatever observation points consume it.
+    const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+    eval_.propagate<W>(
+        good, f, mask, points_.observable(),
+        [&](GateId gate, const PatternWord* diff) {
+          const auto emit = [&](std::uint32_t op) {
+            for (int w = 0; w < W; ++w) {
+              PatternWord d = diff[w];
+              while (d != 0) {
+                const int lane = std::countr_zero(d);
+                d &= d - 1;
+                log.failures.push_back(
+                    {static_cast<std::uint32_t>(base +
+                                                static_cast<std::size_t>(w) * 64 +
+                                                static_cast<std::size_t>(lane)),
+                     op});
+              }
+            }
+          };
+          if (d_branch && gate == f.gate) {
+            emit(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
+          } else {
+            for (std::uint32_t op : points_.points_of_gate(gate)) emit(op);
+          }
+        });
+  }
+}
+
+FailureLog ResponseCapture::inject(std::span<const TestPattern> patterns,
+                                   const Fault& f) {
+  FailureLog log;
+  log.circuit = nl_->name();
+  log.num_patterns = patterns.size();
+  switch (words_) {
+    case 1: inject_impl<1>(patterns, f, log); break;
+    case 2: inject_impl<2>(patterns, f, log); break;
+    case 4: inject_impl<4>(patterns, f, log); break;
+    case 8: inject_impl<8>(patterns, f, log); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+  log.normalize();
+  return log;
+}
+
+}  // namespace scanpower

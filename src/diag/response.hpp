@@ -1,0 +1,159 @@
+#pragma once
+// Observable-point responses and failing-pattern logs for simulation-based
+// stuck-at diagnosis.
+//
+// The full-scan response of one pattern is the vector of values at the
+// observation points: every primary output plus every scan-cell capture
+// (the DFF D pin). ObservationPoints fixes an index space over those
+// points; ResponseMatrix stores per-point responses packed one bit lane
+// per pattern (the same 64-lane layout the simulation engine uses), so a
+// signature comparison is a word-wise XOR/popcount.
+//
+// A tester only reports *failing* (pattern, observation point) pairs --
+// the failure log. ResponseCapture produces such logs synthetically by
+// injecting a stuck-at fault into the packed faulty machine, which is how
+// the diagnosis tests and the CLI's --inject mode model a defective chip.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/packed_sim.hpp"
+#include "atpg/pattern.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scanpower {
+
+/// Index space over the observable points of the full-scan response: one
+/// point per primary output (in Netlist::outputs() order) followed by one
+/// per scan-cell capture (in Netlist::dffs() order).
+class ObservationPoints {
+ public:
+  explicit ObservationPoints(const Netlist& nl);
+
+  std::size_t size() const { return source_.size(); }
+  std::size_t num_pos() const { return num_pos_; }
+  bool is_dff_capture(std::size_t op) const { return op >= num_pos_; }
+
+  /// The gate whose simulated value is observed at `op` (the PO gate
+  /// itself, or the D-pin driver of the DFF).
+  GateId observed_gate(std::size_t op) const { return source_[op]; }
+
+  /// The scan cell of a capture point (asserts is_dff_capture).
+  GateId dff_gate(std::size_t op) const;
+
+  /// "po:<net>" or "dff:<cell>.D" -- stable across runs, used in logs.
+  std::string name(const Netlist& nl, std::size_t op) const;
+
+  /// Observation points reading gate `g`'s net: its PO point (if marked
+  /// an output) plus one capture point per DFF D pin it drives.
+  std::span<const std::uint32_t> points_of_gate(GateId g) const;
+
+  /// Capture point of DFF gate `d`; kNone if `d` is not a DFF.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t point_of_dff(GateId d) const;
+
+  /// Byte mask over gates: 1 iff some observation point reads the gate's
+  /// net (identical to observable_net_mask()).
+  std::span<const std::uint8_t> observable() const { return observable_; }
+
+ private:
+  std::size_t num_pos_ = 0;
+  std::vector<GateId> source_;             ///< per op: observed gate
+  std::vector<GateId> cells_;              ///< capture points' DFFs, op order
+  std::vector<std::uint32_t> op_offsets_;  ///< CSR: gate -> op list
+  std::vector<std::uint32_t> op_data_;
+  std::vector<std::uint32_t> dff_op_;      ///< gate -> capture op or -1
+  std::vector<std::uint8_t> observable_;
+};
+
+/// Packed per-point response signatures: row `op` holds one bit per
+/// pattern (bit lane i of word w = pattern 64*w + i).
+struct ResponseMatrix {
+  std::size_t num_points = 0;
+  std::size_t num_patterns = 0;
+  std::vector<PatternWord> words;  ///< num_points * words_per_point
+
+  std::size_t words_per_point() const { return (num_patterns + 63) / 64; }
+  PatternWord* row(std::size_t op) { return words.data() + op * words_per_point(); }
+  const PatternWord* row(std::size_t op) const {
+    return words.data() + op * words_per_point();
+  }
+  bool bit(std::size_t op, std::size_t pattern) const {
+    return (row(op)[pattern / 64] >> (pattern % 64)) & 1;
+  }
+  void set_bit(std::size_t op, std::size_t pattern) {
+    row(op)[pattern / 64] |= PatternWord{1} << (pattern % 64);
+  }
+  /// Total set bits (e.g. number of failures in an observed-failure mask).
+  std::size_t popcount() const;
+};
+
+/// One tester-reported failure: pattern index x observation point index.
+struct Failure {
+  std::uint32_t pattern = 0;
+  std::uint32_t op = 0;
+
+  friend auto operator<=>(const Failure&, const Failure&) = default;
+};
+
+/// A failing-pattern log, as a tester (or synthetic injection) reports it.
+struct FailureLog {
+  std::string circuit;
+  std::size_t num_patterns = 0;  ///< patterns applied (context for passes)
+  std::vector<Failure> failures; ///< sorted by (pattern, op), duplicate-free
+
+  void normalize();  ///< sort + dedupe
+  /// Failure bits as a packed mask over `num_points` observation points.
+  ResponseMatrix to_matrix(std::size_t num_points) const;
+};
+
+/// Plain-text failure-log format:
+///   # comments
+///   circuit <name>
+///   patterns <n>
+///   fail <pattern> <op_index> [op_name]
+/// The op name is informational; load ignores it.
+void save_failure_log(std::ostream& out, const FailureLog& log,
+                      const Netlist* nl = nullptr,
+                      const ObservationPoints* ops = nullptr);
+FailureLog load_failure_log(std::istream& in);  ///< throws Error on bad input
+void save_failure_log_file(const std::string& path, const FailureLog& log,
+                           const Netlist* nl = nullptr,
+                           const ObservationPoints* ops = nullptr);
+FailureLog load_failure_log_file(const std::string& path);
+
+/// Captures packed observable-point responses from the block simulator.
+class ResponseCapture {
+ public:
+  explicit ResponseCapture(const Netlist& nl, int block_words = 4);
+
+  const ObservationPoints& points() const { return points_; }
+  int block_words() const { return words_; }
+
+  /// Good-machine signatures of `patterns` (must be fully specified).
+  ResponseMatrix capture_good(std::span<const TestPattern> patterns);
+
+  /// Synthetic device-under-diagnosis: the failure log a tester would
+  /// record for a chip carrying exactly fault `f` under `patterns`.
+  FailureLog inject(std::span<const TestPattern> patterns, const Fault& f);
+
+ private:
+  template <int W>
+  void capture_good_impl(std::span<const TestPattern> patterns,
+                         ResponseMatrix& out);
+  template <int W>
+  void inject_impl(std::span<const TestPattern> patterns, const Fault& f,
+                   FailureLog& log);
+
+  const Netlist* nl_;
+  int words_;
+  ObservationPoints points_;
+  FaultConeEvaluator eval_;
+};
+
+}  // namespace scanpower

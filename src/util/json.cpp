@@ -1,0 +1,157 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(&out), indent_(indent) {}
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::comma_and_newline() {
+  if (!has_item_.empty()) {
+    if (has_item_.back()) *out_ << ",";
+    has_item_.back() = true;
+    if (indent_ > 0) {
+      *out_ << "\n"
+            << std::string(has_item_.size() * static_cast<std::size_t>(indent_),
+                           ' ');
+    }
+  }
+}
+
+void JsonWriter::write_key(std::string_view key) {
+  comma_and_newline();
+  *out_ << quote(key) << (indent_ > 0 ? ": " : ":");
+}
+
+void JsonWriter::begin_object() {
+  comma_and_newline();
+  *out_ << "{";
+  has_item_.push_back(false);
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  write_key(key);
+  *out_ << "{";
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  SP_ASSERT(!has_item_.empty(), "JsonWriter: unbalanced end_object");
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (had && indent_ > 0) {
+    *out_ << "\n"
+          << std::string(has_item_.size() * static_cast<std::size_t>(indent_),
+                         ' ');
+  }
+  *out_ << "}";
+  if (has_item_.empty() && indent_ > 0) *out_ << "\n";
+}
+
+void JsonWriter::begin_array() {
+  comma_and_newline();
+  *out_ << "[";
+  has_item_.push_back(false);
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  write_key(key);
+  *out_ << "[";
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  SP_ASSERT(!has_item_.empty(), "JsonWriter: unbalanced end_array");
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (had && indent_ > 0) {
+    *out_ << "\n"
+          << std::string(has_item_.size() * static_cast<std::size_t>(indent_),
+                         ' ');
+  }
+  *out_ << "]";
+  if (has_item_.empty() && indent_ > 0) *out_ << "\n";
+}
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  write_key(key);
+  *out_ << quote(value);
+}
+
+void JsonWriter::field(std::string_view key, const char* value) {
+  field(key, std::string_view(value));
+}
+
+void JsonWriter::field(std::string_view key, double value) {
+  write_key(key);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  *out_ << buf;
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  write_key(key);
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t value) {
+  write_key(key);
+  *out_ << value;
+}
+
+void JsonWriter::field(std::string_view key, std::int64_t value) {
+  write_key(key);
+  *out_ << value;
+}
+
+void JsonWriter::field(std::string_view key, int value) {
+  field(key, static_cast<std::int64_t>(value));
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_and_newline();
+  *out_ << quote(v);
+}
+
+void JsonWriter::value(double v) {
+  comma_and_newline();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_and_newline();
+  *out_ << v;
+}
+
+}  // namespace scanpower

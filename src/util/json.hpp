@@ -1,0 +1,57 @@
+#pragma once
+// Minimal streaming JSON writer for the CLI --json result dumps.
+//
+// No reading, no DOM: campaign scripts only need the tools to *emit*
+// machine-readable results without a third-party dependency. The writer
+// tracks nesting and comma placement; keys and string values are escaped
+// per RFC 8259. Doubles are printed with enough digits to round-trip.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scanpower {
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  // Containers. Pass a key when inside an object, omit inside an array /
+  // at the top level.
+  void begin_object();
+  void begin_object(std::string_view key);
+  void end_object();
+  void begin_array();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  // Key/value pairs (inside an object).
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value);
+  void field(std::string_view key, double value);
+  void field(std::string_view key, bool value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, int value);
+
+  // Bare values (inside an array / at the top level).
+  void value(std::string_view v);
+  void value(double v);
+  void value(std::uint64_t v);
+
+  /// Escaped, quoted JSON string.
+  static std::string quote(std::string_view s);
+
+ private:
+  void comma_and_newline();
+  void write_key(std::string_view key);
+
+  std::ostream* out_;
+  int indent_;
+  std::vector<bool> has_item_;  ///< per nesting level
+};
+
+}  // namespace scanpower

@@ -1,0 +1,385 @@
+// Diagnosis engine: response capture, failure logs, candidate ranking.
+//
+// The acceptance criterion for the subsystem: injecting any detected
+// collapsed fault and diagnosing from its synthetic failure log must rank
+// that fault #1 (ties share a rank -- candidates indistinguishable under
+// the applied patterns), with bit-identical rankings across every
+// (block width, thread count) configuration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "benchgen/benchgen.hpp"
+#include "diag/diagnose.hpp"
+#include "diag/response.hpp"
+#include "netlist/builder.hpp"
+#include "techmap/techmap.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+namespace {
+
+std::vector<TestPattern> random_patterns(const Netlist& nl, int n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TestPattern> pats;
+  pats.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pats.push_back(random_pattern(nl, rng));
+  return pats;
+}
+
+// ---------- observation points ----------------------------------------------
+
+TEST(ObservationPointsTest, IndexSpaceCoversPosAndCells) {
+  const Netlist nl = make_s27();
+  const ObservationPoints ops(nl);
+  ASSERT_EQ(ops.size(), nl.outputs().size() + nl.dffs().size());
+  ASSERT_EQ(ops.num_pos(), nl.outputs().size());
+  for (std::size_t op = 0; op < ops.num_pos(); ++op) {
+    EXPECT_FALSE(ops.is_dff_capture(op));
+    EXPECT_EQ(ops.observed_gate(op), nl.outputs()[op]);
+  }
+  for (std::size_t c = 0; c < nl.dffs().size(); ++c) {
+    const std::size_t op = ops.num_pos() + c;
+    EXPECT_TRUE(ops.is_dff_capture(op));
+    EXPECT_EQ(ops.dff_gate(op), nl.dffs()[c]);
+    EXPECT_EQ(ops.observed_gate(op), nl.fanins(nl.dffs()[c])[0]);
+    EXPECT_EQ(ops.point_of_dff(nl.dffs()[c]), op);
+  }
+  // Every observation point appears exactly once in its gate's point list.
+  std::size_t total = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    total += ops.points_of_gate(g).size();
+  }
+  EXPECT_EQ(total, ops.size());
+}
+
+// ---------- good-machine signatures -----------------------------------------
+
+// Signature bits must equal the scalar per-pattern responses, regardless
+// of block width.
+TEST(ResponseCaptureTest, GoodSignaturesMatchScalarSimAllWidths) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto pats = random_patterns(nl, 100, 0xd1a6);
+  const ResponseCapture ref_cap(nl, 1);
+  ResponseCapture cap1(nl, 1);
+  const ResponseMatrix ref = cap1.capture_good(pats);
+  ASSERT_EQ(ref.num_points, ref_cap.points().size());
+  ASSERT_EQ(ref.num_patterns, pats.size());
+
+  for (int words : {2, 4, 8}) {
+    ResponseCapture cap(nl, words);
+    const ResponseMatrix m = cap.capture_good(pats);
+    EXPECT_EQ(m.words, ref.words) << "W=" << words;
+  }
+
+  // Spot-check against PackedSimulator lanes.
+  PackedSimulator sim(nl);
+  load_pattern_block(nl, pats, 0, sim);
+  sim.eval();
+  const ObservationPoints& ops = cap1.points();
+  for (std::size_t op = 0; op < ops.size(); ++op) {
+    for (std::size_t p = 0; p < 64; ++p) {
+      const bool expect = (sim.value(ops.observed_gate(op)) >> p) & 1;
+      EXPECT_EQ(ref.bit(op, p), expect);
+    }
+  }
+}
+
+// ---------- synthetic failure logs ------------------------------------------
+
+// An injected fault's failure log must agree with brute force: simulate
+// the faulty circuit per pattern and diff the observable responses.
+TEST(ResponseCaptureTest, InjectMatchesBruteForce) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto pats = random_patterns(nl, 70, 0xfa11);
+  const auto faults = collapse_faults(nl);
+  ResponseCapture cap(nl, 4);
+  ResponseCapture cap_w1(nl, 1);
+
+  // A spread of faults, including DFF-related sites.
+  for (std::size_t fi = 0; fi < faults.size(); fi += 97) {
+    const Fault& f = faults[fi];
+    const FailureLog log = cap.inject(pats, f);
+    EXPECT_EQ(cap_w1.inject(pats, f).failures, log.failures)
+        << "W=1 vs W=4 for " << f.to_string(nl);
+
+    // Brute force via single-lane packed sim with the fault applied as a
+    // one-pattern block.
+    std::vector<Failure> expect;
+    FaultConeEvaluator ev;
+    ev.init(nl, 1);
+    BlockSimulator good(nl, 1);
+    const ObservationPoints& ops = cap.points();
+    for (std::size_t p = 0; p < pats.size(); ++p) {
+      load_pattern_block(nl, std::span(pats).subspan(p, 1), 0, good);
+      good.eval();
+      const PackedBlock<1> mask = lane_validity_mask<1>(1);
+      const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+      ev.propagate<1>(good, f, mask, ops.observable(),
+                      [&](GateId gate, const PatternWord* diff) {
+                        if ((diff[0] & 1) == 0) return;
+                        if (d_branch && gate == f.gate) {
+                          expect.push_back(
+                              {static_cast<std::uint32_t>(p),
+                               static_cast<std::uint32_t>(
+                                   ops.point_of_dff(gate))});
+                        } else {
+                          for (std::uint32_t op : ops.points_of_gate(gate)) {
+                            expect.push_back(
+                                {static_cast<std::uint32_t>(p), op});
+                          }
+                        }
+                      });
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(log.failures, expect) << f.to_string(nl);
+  }
+}
+
+// A stem fault on a DFF's Q net must be reported at the observation
+// points that *read* Q (the downstream capture point, the Q net's PO
+// point) -- not at the DFF's own capture point, which observes its D
+// driver. Only D-branch faults belong to the cell's own capture point.
+TEST(ResponseCaptureTest, DffStemFaultReportsAtConsumingPoints) {
+  NetlistBuilder b("shift2");
+  b.add_input("a");
+  b.add_gate(GateType::Dff, "q1", {"a"});
+  b.add_gate(GateType::Dff, "q2", {"q1"});
+  b.add_output("q1");  // Q1 is both a PO and DFF2's D driver
+  b.add_output("q2");
+  const Netlist nl = b.link();
+  const GateId q1 = nl.find("q1");
+  const GateId q2 = nl.find("q2");
+
+  ResponseCapture cap(nl, 1);
+  const ObservationPoints& ops = cap.points();
+  const std::size_t po_q1 = 0;  // outputs() order: q1, q2
+  const std::size_t cap_q1 = ops.point_of_dff(q1);
+  const std::size_t cap_q2 = ops.point_of_dff(q2);
+
+  // One pattern with q1 = 1: the q1/sa0 stem fault is excited and must
+  // fail exactly at PO(q1) and q2's capture point.
+  TestPattern pat;
+  pat.pi = {Logic::One};
+  pat.ppi = {Logic::One, Logic::Zero};
+  const std::vector<TestPattern> pats{pat};
+  const FailureLog stem = cap.inject(pats, Fault{q1, -1, false});
+  const std::vector<Failure> expect_stem = {
+      {0, static_cast<std::uint32_t>(po_q1)},
+      {0, static_cast<std::uint32_t>(cap_q2)}};
+  EXPECT_EQ(stem.failures, expect_stem);
+
+  // The D-branch fault on q1 (driver a = 1, forced 0) fails only at q1's
+  // own capture point.
+  const FailureLog branch = cap.inject(pats, Fault{q1, 0, false});
+  const std::vector<Failure> expect_branch = {
+      {0, static_cast<std::uint32_t>(cap_q1)}};
+  EXPECT_EQ(branch.failures, expect_branch);
+
+  // And diagnosis from the stem log scores the stem fault as exact.
+  Diagnoser diag(nl, DiagnosisOptions{.block_words = 1});
+  const auto faults = collapse_faults(nl);
+  const DiagnosisResult res = diag.diagnose(pats, faults, stem);
+  EXPECT_EQ(res.rank_of(Fault{q1, -1, false}), 1u);
+  ASSERT_FALSE(res.ranked.empty());
+  EXPECT_TRUE(res.ranked[0].exact());
+}
+
+TEST(DiagnoseTest, RejectsUnsortedLog) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const auto faults = collapse_faults(nl);
+  const auto pats = random_patterns(nl, 8, 5);
+  Diagnoser diag(nl, DiagnosisOptions{});
+  FailureLog log;
+  log.num_patterns = pats.size();
+  log.failures = {{3, 0}, {1, 0}};
+  EXPECT_THROW(diag.diagnose(pats, faults, log), Error);
+  log.normalize();
+  const DiagnosisResult res = diag.diagnose(pats, faults, log);
+  EXPECT_EQ(res.num_failures, 2u);
+}
+
+TEST(FailureLogTest, SaveLoadRoundTrip) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto pats = random_patterns(nl, 40, 0x10c);
+  const auto faults = collapse_faults(nl);
+  ResponseCapture cap(nl, 4);
+  FailureLog log = cap.inject(pats, faults[7]);
+  ASSERT_FALSE(log.failures.empty());
+
+  std::stringstream ss;
+  save_failure_log(ss, log, &nl, &cap.points());
+  const FailureLog back = load_failure_log(ss);
+  EXPECT_EQ(back.circuit, log.circuit);
+  EXPECT_EQ(back.num_patterns, log.num_patterns);
+  EXPECT_EQ(back.failures, log.failures);
+}
+
+TEST(FailureLogTest, LoadRejectsGarbage) {
+  std::stringstream ss("patterns 4\nflail 1 2\n");
+  EXPECT_THROW(load_failure_log(ss), Error);
+}
+
+// ---------- diagnosis -------------------------------------------------------
+
+TEST(DiagnoseTest, InjectedFaultRanksFirstOnS344) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto faults = collapse_faults(nl);
+  const auto pats = random_patterns(nl, 128, 0xd1a60);
+  ResponseCapture cap(nl, 4);
+  Diagnoser diag(nl, DiagnosisOptions{});
+
+  // First fault-sim pass to find detected faults.
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+  const FaultSimResult det = fsim.run(pats, faults);
+  ASSERT_GT(det.num_detected, 0u);
+
+  int trials = 0;
+  for (std::size_t fi = 0; fi < faults.size() && trials < 25; fi += 11) {
+    if (!det.detected[fi]) continue;
+    ++trials;
+    const FailureLog log = cap.inject(pats, faults[fi]);
+    ASSERT_FALSE(log.failures.empty());
+    const DiagnosisResult res = diag.diagnose(pats, faults, log);
+    ASSERT_FALSE(res.ranked.empty());
+    // The injected fault explains its own log exactly...
+    EXPECT_EQ(res.rank_of(faults[fi]), 1u) << faults[fi].to_string(nl);
+    // ...and the top candidate is an exact match.
+    EXPECT_TRUE(res.ranked[0].exact());
+    EXPECT_EQ(res.ranked[0].tfsf, res.num_failures);
+  }
+  EXPECT_GE(trials, 10);
+}
+
+TEST(DiagnoseTest, PruningNeverDropsTheInjectedFault) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s382"));
+  const auto faults = collapse_faults(nl);
+  const auto pats = random_patterns(nl, 96, 0xabcd);
+  ResponseCapture cap(nl, 4);
+  Diagnoser pruned(nl, DiagnosisOptions{.cone_pruning = true});
+  Diagnoser full(nl, DiagnosisOptions{.cone_pruning = false});
+
+  for (std::size_t fi = 0; fi < faults.size(); fi += 37) {
+    const FailureLog log = cap.inject(pats, faults[fi]);
+    if (log.failures.empty()) continue;  // undetected: nothing to diagnose
+    const DiagnosisResult a = pruned.diagnose(pats, faults, log);
+    const DiagnosisResult b = full.diagnose(pats, faults, log);
+    EXPECT_LE(a.num_candidates, b.num_candidates);
+    EXPECT_GE(a.rank_of(faults[fi]), 1u);
+    // Pruning must not change what the best explanation looks like.
+    ASSERT_FALSE(a.ranked.empty());
+    ASSERT_FALSE(b.ranked.empty());
+    EXPECT_EQ(a.ranked[0].tfsf, b.ranked[0].tfsf);
+    EXPECT_EQ(a.ranked[0].hamming(), b.ranked[0].hamming());
+  }
+}
+
+TEST(DiagnoseTest, EmptyLogScoresEverythingAsUndetected) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const auto faults = collapse_faults(nl);
+  const auto pats = random_patterns(nl, 16, 3);
+  Diagnoser diag(nl, DiagnosisOptions{.cone_pruning = false});
+  FailureLog log;
+  log.num_patterns = pats.size();
+  const DiagnosisResult res = diag.diagnose(pats, faults, log);
+  ASSERT_EQ(res.ranked.size(), faults.size());
+  // Exact matches are exactly the faults this pattern set cannot detect.
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 1});
+  const FaultSimResult det = fsim.run(pats, faults);
+  for (const CandidateScore& sc : res.ranked) {
+    EXPECT_EQ(sc.exact(), !det.detected[sc.fault_index])
+        << sc.fault.to_string(nl);
+  }
+}
+
+// ---------- acceptance: every profile, deterministic, rank-1 ----------------
+
+struct TrialStats {
+  int trials = 0;
+  int rank1 = 0;
+  int top5 = 0;
+};
+
+// For every benchgen profile: inject >= 100 sampled detected collapsed
+// faults, diagnose from the synthetic log, and require the injected fault
+// (ties share a rank) to place #1 in >= 95% of trials and in the top-5
+// always. Rankings must be bit-identical across
+// (block_words, num_threads) in {1,4} x {1,4}.
+TEST(DiagnoseAcceptance, AllProfilesRankInjectedFaultFirst) {
+  for (const SynthProfile& profile : iscas89_profiles()) {
+    const Netlist nl = map_to_nand_nor_inv(make_iscas89_like(profile.name));
+    const auto faults = collapse_faults(nl);
+    const int num_patterns = 96;
+    const auto pats = random_patterns(nl, num_patterns, 0xacce97 + profile.seed);
+
+    FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+    const FaultSimResult det = fsim.run(pats, faults);
+    std::vector<std::size_t> detected;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (det.detected[fi]) detected.push_back(fi);
+    }
+    ASSERT_GE(detected.size(), 100u) << profile.name;
+
+    // Evenly sample ~100 detected faults.
+    const std::size_t stride = detected.size() / 100;
+    std::vector<std::size_t> sample;
+    for (std::size_t i = 0; i < detected.size() && sample.size() < 100;
+         i += stride) {
+      sample.push_back(detected[i]);
+    }
+
+    ResponseCapture cap(nl, 4);
+    Diagnoser diag(nl, DiagnosisOptions{.block_words = 4, .num_threads = 1});
+    TrialStats stats;
+    for (std::size_t fi : sample) {
+      const FailureLog log = cap.inject(pats, faults[fi]);
+      ASSERT_FALSE(log.failures.empty()) << profile.name;
+      const DiagnosisResult res = diag.diagnose(pats, faults, log);
+      const std::size_t rank = res.rank_of(faults[fi]);
+      ASSERT_GE(rank, 1u) << profile.name << ": injected fault pruned away";
+      stats.trials++;
+      if (rank == 1) stats.rank1++;
+      if (rank <= 5) stats.top5++;
+    }
+    EXPECT_GE(stats.trials, 100);
+    EXPECT_GE(stats.rank1 * 100, stats.trials * 95)
+        << profile.name << ": " << stats.rank1 << "/" << stats.trials;
+    EXPECT_EQ(stats.top5, stats.trials) << profile.name;
+
+    // Bit-identical rankings across engine configurations on a subset.
+    for (int trial = 0; trial < 5; ++trial) {
+      const std::size_t fi = sample[sample.size() / 5 * trial];
+      const FailureLog log = cap.inject(pats, faults[fi]);
+      DiagnosisResult ref;
+      bool have_ref = false;
+      for (int words : {1, 4}) {
+        for (int threads : {1, 4}) {
+          Diagnoser d(nl, DiagnosisOptions{.block_words = words,
+                                           .num_threads = threads});
+          const DiagnosisResult res = d.diagnose(pats, faults, log);
+          if (!have_ref) {
+            ref = res;
+            have_ref = true;
+            continue;
+          }
+          ASSERT_EQ(res.ranked.size(), ref.ranked.size()) << profile.name;
+          for (std::size_t i = 0; i < ref.ranked.size(); ++i) {
+            ASSERT_EQ(res.ranked[i].fault, ref.ranked[i].fault)
+                << profile.name << " W=" << words << " T=" << threads;
+            ASSERT_EQ(res.ranked[i].tfsf, ref.ranked[i].tfsf);
+            ASSERT_EQ(res.ranked[i].tfsp, ref.ranked[i].tfsp);
+            ASSERT_EQ(res.ranked[i].tpsf, ref.ranked[i].tpsf);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanpower
