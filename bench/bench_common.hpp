@@ -48,27 +48,30 @@ inline Netlist prepare_circuit(const std::string& name) {
 
 /// Flow options tuned by circuit size so the large profiles finish in
 /// laptop time without changing the method (only search budgets shrink).
-/// The fault-sim engine always runs the 4-word packed block; the large
-/// profiles additionally fan the fault sweep out over all hardware
-/// threads (results are bit-identical to the serial engine).
+/// The fault-sim, observability and fill engines always run the 4-word
+/// packed block; the large profiles additionally fan the fault sweep and
+/// the Monte-Carlo observability out over all hardware threads (results
+/// are bit-identical to the serial engines at fixed block width). The
+/// packed power stack made the per-sample cost ~10x cheaper, so the large
+/// profiles now afford the full sample/trial budgets.
 inline FlowOptions tuned_options(std::size_t num_gates) {
   FlowOptions opts;
   opts.tpg.fault_sim.block_words = 4;
+  opts.observability.block_words = 4;
+  opts.fill.block_words = 4;
   if (num_gates > 4000) {
     opts.tpg.podem_backtrack_limit = 60;
     opts.tpg.max_random_batches = 48;
     opts.justify_backtrack_limit = 60;
-    opts.observability.samples = 128;
-    opts.fill.trials = 24;
     opts.max_power_patterns = 256;
     opts.tpg.fault_sim.num_threads = 0;  // hardware concurrency
+    opts.observability.num_threads = 0;
   } else if (num_gates > 1500) {
     opts.tpg.podem_backtrack_limit = 200;
     opts.justify_backtrack_limit = 120;
-    opts.observability.samples = 192;
-    opts.fill.trials = 32;
     opts.max_power_patterns = 512;
     opts.tpg.fault_sim.num_threads = 0;  // hardware concurrency
+    opts.observability.num_threads = 0;
   }
   return opts;
 }

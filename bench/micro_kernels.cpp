@@ -11,11 +11,13 @@
 #include "atpg/packed_sim.hpp"
 #include "atpg/tpg.hpp"
 #include "benchgen/benchgen.hpp"
+#include "core/dont_care_fill.hpp"
 #include "core/justify.hpp"
 #include "diag/diagnose.hpp"
 #include "diag/response.hpp"
 #include "power/leakage_model.hpp"
 #include "power/observability.hpp"
+#include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
 #include "techmap/techmap.hpp"
 #include "timing/sta.hpp"
@@ -154,8 +156,10 @@ BENCHMARK(BM_FaultSimS9234)
 // back-trace pruning plus packed scoring of every surviving candidate --
 // against a synthetic single-fault failure log on the s9234-like profile
 // (256 patterns, full collapsed fault list). Args are (block words W,
-// worker threads), matching BM_FaultSimS9234; rankings are bit-identical
-// across configurations, so throughput comparisons are apples-to-apples.
+// worker threads, scoring early-exit); rankings are bit-identical across
+// every configuration at fixed early-exit setting, so throughput
+// comparisons are apples-to-apples. The /4/1/0 vs /4/1/1 delta is the
+// early-exit win recorded in BENCH_diag.json.
 void BM_DiagnosisS9234(benchmark::State& state) {
   const Netlist& nl = circuit("s9234");
   const auto faults = collapse_faults(nl);
@@ -182,6 +186,7 @@ void BM_DiagnosisS9234(benchmark::State& state) {
   DiagnosisOptions opts;
   opts.block_words = static_cast<int>(state.range(0));
   opts.num_threads = static_cast<int>(state.range(1));
+  opts.score_early_exit = state.range(2) != 0;
   Diagnoser diag(nl, opts);
   for (auto _ : state) {
     const DiagnosisResult res = diag.diagnose(pats, faults, log);
@@ -192,9 +197,10 @@ void BM_DiagnosisS9234(benchmark::State& state) {
 }
 BENCHMARK(BM_DiagnosisS9234)
     ->Unit(benchmark::kMillisecond)
-    ->Args({1, 1})
-    ->Args({4, 1})
-    ->Args({4, 4});  // acceptance configuration
+    ->Args({1, 1, 1})
+    ->Args({4, 1, 0})   // scoring early-exit disabled (baseline)
+    ->Args({4, 1, 1})
+    ->Args({4, 4, 1});  // acceptance configuration
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {
   const Netlist& nl = circuit("s1423");
@@ -222,17 +228,102 @@ void BM_CircuitLeakage(benchmark::State& state) {
 }
 BENCHMARK(BM_CircuitLeakage);
 
-void BM_ObservabilityMonteCarlo(benchmark::State& state) {
-  const Netlist& nl = circuit("s344");
+// Leakage evaluation of 256 random fully specified vectors on the
+// s9234-like profile: simulate + per-vector circuit leakage. Arg 0 is the
+// scalar stack (one Simulator pass + circuit_leakage_na walk per vector),
+// arg 1 the packed stack (one W=4 BlockSimulator sweep + per-lane table
+// aggregation). Throughput in gate-vector pairs per second.
+void BM_LeakageEval(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const LeakageModel model;
+  const bool packed = state.range(0) != 0;
+  constexpr int kVectors = 256;
+  Rng rng(7);
+  if (packed) {
+    const GateLeakageTables tables(nl, model);
+    const PackedLeakageEvaluator leval(nl, tables);
+    BlockSimulator sim(nl, 4);
+    std::vector<double> leak(sim.lanes());
+    for (auto _ : state) {
+      for (GateId pi : nl.inputs()) {
+        for (int w = 0; w < 4; ++w) sim.set_source_word(pi, w, rng.next_u64());
+      }
+      for (GateId ff : nl.dffs()) {
+        for (int w = 0; w < 4; ++w) sim.set_source_word(ff, w, rng.next_u64());
+      }
+      sim.eval();
+      leval.eval(sim, leak);
+      benchmark::DoNotOptimize(leak.data());
+    }
+  } else {
+    Simulator sim(nl);
+    for (auto _ : state) {
+      double total = 0.0;
+      for (int v = 0; v < kVectors; ++v) {
+        for (GateId pi : nl.inputs()) {
+          sim.set_input(pi, from_bool(rng.next_bool()));
+        }
+        for (GateId ff : nl.dffs()) {
+          sim.set_state(ff, from_bool(rng.next_bool()));
+        }
+        sim.eval_incremental();
+        total += model.circuit_leakage_na(nl, sim.values());
+      }
+      benchmark::DoNotOptimize(total);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kVectors *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_LeakageEval)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
+
+// The power-stack acceptance kernel: Monte-Carlo leakage observability of
+// the s9234-like profile, 256 samples. Args are (packed engine, block
+// words W, worker threads); (0, _, _) is the scalar per-sample baseline,
+// (1, 4, 1) the single-thread acceptance configuration (>= 4x required).
+// Packed results are bit-identical across thread counts at fixed W.
+void BM_ObservabilityMC(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
   const LeakageModel model;
   ObservabilityOptions opts;
-  opts.samples = static_cast<int>(state.range(0));
+  opts.samples = 256;
+  opts.packed = state.range(0) != 0;
+  opts.block_words = static_cast<int>(state.range(1));
+  opts.num_threads = static_cast<int>(state.range(2));
   for (auto _ : state) {
     LeakageObservability obs(nl, model, opts);
     benchmark::DoNotOptimize(obs.values().data());
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          opts.samples * static_cast<int64_t>(nl.num_gates()));
 }
-BENCHMARK(BM_ObservabilityMonteCarlo)->Arg(64)->Arg(256);
+BENCHMARK(BM_ObservabilityMC)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 1, 1})   // scalar baseline
+    ->Args({1, 1, 1})
+    ->Args({1, 4, 1})   // acceptance configuration
+    ->Args({1, 4, 4});
+
+// Don't-care fill of an all-X pattern on the s9234-like profile (64
+// candidate fills, every second scan cell multiplexed). Arg 0 scores
+// candidates with the scalar 3-valued stack, arg 1 with the ternary
+// packed engine; both pick the same fill.
+void BM_DontCareFill(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const LeakageModel model;
+  FillOptions opts;
+  opts.packed = state.range(0) != 0;
+  std::vector<bool> eligible(nl.dffs().size());
+  for (std::size_t i = 0; i < eligible.size(); ++i) eligible[i] = i % 2 == 0;
+  for (auto _ : state) {
+    std::vector<Logic> pi(nl.inputs().size(), Logic::X);
+    std::vector<Logic> mux(nl.dffs().size(), Logic::X);
+    const FillResult res =
+        fill_dont_cares_min_leakage(nl, model, pi, mux, eligible, opts);
+    benchmark::DoNotOptimize(res.best_leakage_na);
+  }
+}
+BENCHMARK(BM_DontCareFill)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
 
 void BM_Justify(benchmark::State& state) {
   const Netlist& nl = circuit("s344");

@@ -3,10 +3,14 @@
 // a fault), and print the ranked candidate report.
 //
 //   diag_cli <design.bench|design.v> [options]
-//     --log <file>         load a failure log (see diag/response.hpp format)
+//     --log <file>         load a failure log (see diag/response.hpp format;
+//                          name-based "po:<net>"/"ff:<cell>" records resolve
+//                          against the loaded design)
 //     --inject <fault>     inject "net/sa0" / "gate.in2/sa1" synthetically
 //     --inject-index <n>   inject the n-th collapsed fault
 //     --save-log <file>    write the (synthetic) failure log
+//     --named-log          save name-based records (survive renumbering)
+//     --no-early-exit      score every candidate to completion
 //     --random <n>         use n random patterns instead of the ATPG set
 //     --seed <n>           pattern seed
 //     --threads <n>        candidate-scoring worker threads (0 = all cores)
@@ -41,9 +45,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <design.bench|design.v> [--log file | --inject fault |"
       " --inject-index n]\n"
-      "          [--save-log file] [--random n] [--seed n] [--threads n]\n"
-      "          [--block-words w] [--no-prune] [--top n] [--json file]\n"
-      "          [--no-map] [--verbose]\n",
+      "          [--save-log file] [--named-log] [--random n] [--seed n]\n"
+      "          [--threads n] [--block-words w] [--no-prune]\n"
+      "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
+      "          [--verbose]\n",
       argv0);
   return 2;
 }
@@ -62,6 +67,7 @@ void dump_json(const std::string& path, const Netlist& nl,
   j.field("block_words", dopts.block_words);
   j.field("num_threads", dopts.num_threads);
   j.field("cone_pruning", dopts.cone_pruning);
+  j.field("score_early_exit", dopts.score_early_exit);
   j.end_object();
   j.begin_object("log");
   j.field("num_failures", static_cast<std::uint64_t>(log.failures.size()));
@@ -72,6 +78,7 @@ void dump_json(const std::string& path, const Netlist& nl,
   j.end_object();
   j.field("num_faults", static_cast<std::uint64_t>(res.num_faults));
   j.field("num_candidates", static_cast<std::uint64_t>(res.num_candidates));
+  j.field("num_dropped", static_cast<std::uint64_t>(res.num_dropped));
   j.begin_array("ranked");
   for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
     const CandidateScore& sc = res.ranked[i];
@@ -101,6 +108,7 @@ int main(int argc, char** argv) {
   long num_random = 0;
   std::uint64_t seed = 0xd1a6ULL;
   bool do_map = true;
+  bool named_log = false;
   DiagnosisOptions dopts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
@@ -121,6 +129,10 @@ int main(int argc, char** argv) {
       dopts.block_words = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       dopts.cone_pruning = false;
+    } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
+      dopts.score_early_exit = false;
+    } else if (std::strcmp(argv[i], "--named-log") == 0) {
+      named_log = true;
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       dopts.max_report = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -180,7 +192,7 @@ int main(int argc, char** argv) {
     FailureLog log;
     ResponseCapture capture(nl, dopts.block_words);
     if (log_path) {
-      log = load_failure_log_file(log_path);
+      log = load_failure_log_file(log_path, &nl, &capture.points());
       SP_CHECK(log.num_patterns == patterns.size(),
                "failure log pattern count does not match the applied set");
     } else {
@@ -197,7 +209,8 @@ int main(int argc, char** argv) {
                   injected.to_string(nl).c_str(), log.failures.size());
     }
     if (save_log_path) {
-      save_failure_log_file(save_log_path, log, &nl, &capture.points());
+      save_failure_log_file(save_log_path, log, &nl, &capture.points(),
+                            named_log);
       std::printf("wrote failure log to %s\n", save_log_path);
     }
     if (log.failures.empty()) {
@@ -214,9 +227,10 @@ int main(int argc, char** argv) {
     // ---- diagnosis ------------------------------------------------------
     const DiagnosisResult res = run_diagnosis(nl, patterns, log, dopts);
     std::printf("\n%zu failures (%zu patterns, %zu observation points) -> "
-                "%zu/%zu candidates after back-trace\n\n",
+                "%zu/%zu candidates after back-trace (%zu dropped early)\n\n",
                 res.num_failures, res.num_failing_patterns,
-                res.num_failing_points, res.num_candidates, res.num_faults);
+                res.num_failing_points, res.num_candidates, res.num_faults,
+                res.num_dropped);
     const std::size_t top = dopts.max_report;
     std::printf("%5s %-28s %8s %8s %8s %6s\n", "rank", "fault", "TFSF", "TFSP",
                 "TPSF", "exact");

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "atpg/fault.hpp"
@@ -66,6 +67,10 @@ class FaultConeEvaluator {
   /// a Dff gate) is observed at that cell's capture point and nowhere
   /// else; the sink then receives the DFF's own gate id (bypassing the
   /// `observable` filter, which covers nets, not capture branches).
+  ///
+  /// A sink returning bool may abort the sweep: returning false stops the
+  /// cone evaluation for this fault (used by the diagnosis scoring
+  /// early-exit). Void-returning sinks always sweep the full cone.
   ///
   /// W must equal the init() width.
   template <int W, typename Sink>
@@ -157,6 +162,20 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
   PatternWord* const faulty = faulty_.data();
   std::uint8_t* const touched = touched_.data();
 
+  // Sinks may return bool (false = stop sweeping this fault's cone).
+  const auto call_sink = [&sink](GateId g, const PatternWord* d) -> bool {
+    if constexpr (std::is_invocable_r_v<bool, Sink&, GateId,
+                                        const PatternWord*> &&
+                  !std::is_void_v<
+                      std::invoke_result_t<Sink&, GateId,
+                                           const PatternWord*>>) {
+      return static_cast<bool>(sink(g, d));
+    } else {
+      sink(g, d);
+      return true;
+    }
+  };
+
   if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
     // Fault on the D branch of a scan cell: directly observed at that
     // cell's capture point only.
@@ -168,7 +187,7 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
       diff[w] = (good_d[w] ^ forced) & mask.w[w];
       any |= diff[w];
     }
-    if (any != 0) sink(f.gate, static_cast<const PatternWord*>(diff));
+    if (any != 0) (void)call_sink(f.gate, static_cast<const PatternWord*>(diff));
     return;
   }
 
@@ -210,7 +229,10 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
       diff[w] = (site_val[w] ^ good_site[w]) & mask.w[w];
       any |= diff[w];
     }
-    if (any != 0) sink(site, static_cast<const PatternWord*>(diff));
+    if (any != 0 && !call_sink(site, static_cast<const PatternWord*>(diff))) {
+      touched[site] = 0;
+      return;
+    }
   }
   // Sweep the cone in level order, sparsely: `touched` marks gates whose
   // faulty value actually differs from the good machine, so a gate with
@@ -245,7 +267,9 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
         diff[w] = (out[w] ^ g[w]) & mask.w[w];
         any |= diff[w];
       }
-      if (any != 0) sink(id, static_cast<const PatternWord*>(diff));
+      if (any != 0 && !call_sink(id, static_cast<const PatternWord*>(diff))) {
+        break;  // aborted by the sink; scratch is cleaned up below
+      }
     }
   }
   for (GateId id : active_) touched[id] = 0;

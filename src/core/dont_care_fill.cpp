@@ -1,10 +1,182 @@
 #include "core/dont_care_fill.hpp"
 
+#include <algorithm>
+
+#include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace scanpower {
+
+namespace {
+
+/// Scalar reference engine: one 3-valued Simulator pass plus a
+/// circuit_leakage_na walk per candidate. Kept as the cross-check /
+/// benchmark baseline for the packed engine below.
+FillResult fill_scalar(const Netlist& nl, const LeakageModel& model,
+                       std::vector<Logic>& pi_pattern,
+                       std::vector<Logic>& mux_pattern,
+                       const std::vector<bool>& mux_eligible,
+                       const FillOptions& opts,
+                       const std::vector<std::size_t>& free_pi,
+                       const std::vector<std::size_t>& free_mux,
+                       FillResult res) {
+  Rng rng(opts.seed);
+  Simulator sim(nl);
+
+  auto leakage_of = [&](const std::vector<Logic>& pi,
+                        const std::vector<Logic>& mux) {
+    for (std::size_t k = 0; k < pi.size(); ++k) {
+      sim.set_input(nl.inputs()[k], pi[k]);
+    }
+    for (std::size_t c = 0; c < mux.size(); ++c) {
+      // Non-multiplexed cells toggle during shift: X (expected leakage).
+      sim.set_state(nl.dffs()[c], mux_eligible[c] ? mux[c] : Logic::X);
+    }
+    sim.eval_incremental();
+    return model.circuit_leakage_na(nl, sim.values());
+  };
+
+  if (res.free_inputs == 0) {
+    res.best_leakage_na = res.first_leakage_na =
+        leakage_of(pi_pattern, mux_pattern);
+    return res;
+  }
+
+  std::vector<Logic> best_pi = pi_pattern;
+  std::vector<Logic> best_mux = mux_pattern;
+  double best = 0.0;
+  const int trials = opts.minimize_leakage ? std::max(1, opts.trials) : 1;
+  std::vector<Logic> cand_pi = pi_pattern;
+  std::vector<Logic> cand_mux = mux_pattern;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t i : free_pi) cand_pi[i] = from_bool(rng.next_bool());
+    for (std::size_t i : free_mux) cand_mux[i] = from_bool(rng.next_bool());
+    const double leak = leakage_of(cand_pi, cand_mux);
+    if (t == 0) res.first_leakage_na = leak;
+    if (t == 0 || leak < best) {
+      best = leak;
+      best_pi = cand_pi;
+      best_mux = cand_mux;
+    }
+  }
+  res.best_leakage_na = best;
+  res.trials = trials;
+  pi_pattern = std::move(best_pi);
+  mux_pattern = std::move(best_mux);
+  return res;
+}
+
+/// Packed engine: candidates are bit lanes of 3-valued packed sweeps. The
+/// random stream (per trial: free PIs in order, then free mux cells) and
+/// the best-candidate selection rule (strict improvement, earliest trial
+/// wins ties) are exactly the scalar engine's, and per-lane leakage is
+/// bit-identical to circuit_leakage_na, so both engines pick the same
+/// fill.
+FillResult fill_packed(const Netlist& nl, const LeakageModel& model,
+                       std::vector<Logic>& pi_pattern,
+                       std::vector<Logic>& mux_pattern,
+                       const std::vector<bool>& mux_eligible,
+                       const FillOptions& opts,
+                       const std::vector<std::size_t>& free_pi,
+                       const std::vector<std::size_t>& free_mux,
+                       FillResult res) {
+  SP_CHECK(is_valid_block_words(opts.block_words),
+           "fill: block_words must be 1, 2, 4 or 8");
+  const GateLeakageTables tables(nl, model);
+  const PackedLeakageEvaluator leval(nl, tables);
+
+  // Free positions in the scalar engine's draw order.
+  std::vector<GateId> free_sources;
+  free_sources.reserve(free_pi.size() + free_mux.size());
+  for (std::size_t i : free_pi) free_sources.push_back(nl.inputs()[i]);
+  for (std::size_t i : free_mux) free_sources.push_back(nl.dffs()[i]);
+  const std::size_t nfree = free_sources.size();
+
+  const int trials =
+      res.free_inputs == 0 ? 1
+                           : (opts.minimize_leakage ? std::max(1, opts.trials)
+                                                    : 1);
+  // Clamp the block width to the candidate count: scoring 24 trials on a
+  // 256-lane block would aggregate leakage for 232 dead lanes.
+  int W = opts.block_words;
+  while (W > 1 && static_cast<std::size_t>(W) * 32 >=
+                      static_cast<std::size_t>(trials)) {
+    W /= 2;
+  }
+  TernaryBlockSimulator sim(nl, W);
+  const std::size_t lanes = sim.lanes();
+  std::vector<double> leak(lanes);
+
+  // Fixed sources: assigned constants broadcast lane-wide; non-eligible
+  // mux cells broadcast X (they toggle during shift).
+  for (std::size_t k = 0; k < pi_pattern.size(); ++k) {
+    sim.set_source_all(nl.inputs()[k], pi_pattern[k]);
+  }
+  for (std::size_t c = 0; c < mux_pattern.size(); ++c) {
+    sim.set_source_all(nl.dffs()[c],
+                       mux_eligible[c] ? mux_pattern[c] : Logic::X);
+  }
+
+  if (res.free_inputs == 0) {
+    sim.eval();
+    leval.eval(sim, leak);
+    res.best_leakage_na = res.first_leakage_na = leak[0];
+    return res;
+  }
+
+  Rng rng(opts.seed);
+  const std::size_t total = static_cast<std::size_t>(trials);
+
+  double best = 0.0;
+  std::vector<std::uint8_t> best_bits(nfree, 0);
+  std::vector<PatternWord> cand(nfree * static_cast<std::size_t>(W));
+
+  for (std::size_t base = 0; base < total; base += lanes) {
+    const std::size_t batch = std::min(lanes, total - base);
+    // Assemble candidate words lane by lane so the rng stream matches the
+    // scalar engine trial-for-trial.
+    std::fill(cand.begin(), cand.end(), PatternWord{0});
+    for (std::size_t lane = 0; lane < batch; ++lane) {
+      const std::size_t w = lane / 64;
+      const PatternWord bit = PatternWord{1} << (lane % 64);
+      for (std::size_t j = 0; j < nfree; ++j) {
+        if (rng.next_bool()) cand[j * W + w] |= bit;
+      }
+    }
+    for (std::size_t j = 0; j < nfree; ++j) {
+      for (int w = 0; w < W; ++w) {
+        sim.set_source_word(free_sources[j], w, cand[j * W + w]);
+      }
+    }
+    sim.eval();
+    leval.eval(sim, leak);
+    for (std::size_t lane = 0; lane < batch; ++lane) {
+      const std::size_t t = base + lane;
+      if (t == 0) res.first_leakage_na = leak[lane];
+      if (t == 0 || leak[lane] < best) {
+        best = leak[lane];
+        const std::size_t w = lane / 64;
+        const PatternWord bit = PatternWord{1} << (lane % 64);
+        for (std::size_t j = 0; j < nfree; ++j) {
+          best_bits[j] = (cand[j * W + w] & bit) != 0;
+        }
+      }
+    }
+  }
+
+  res.best_leakage_na = best;
+  res.trials = trials;
+  std::size_t j = 0;
+  for (std::size_t i : free_pi) pi_pattern[i] = from_bool(best_bits[j++] != 0);
+  for (std::size_t i : free_mux) {
+    mux_pattern[i] = from_bool(best_bits[j++] != 0);
+  }
+  return res;
+}
+
+}  // namespace
 
 FillResult fill_dont_cares_min_leakage(const Netlist& nl,
                                        const LeakageModel& model,
@@ -31,49 +203,10 @@ FillResult fill_dont_cares_min_leakage(const Netlist& nl,
   FillResult res;
   res.free_inputs = free_pi.size() + free_mux.size();
 
-  Rng rng(opts.seed);
-  Simulator sim(nl);
-
-  auto leakage_of = [&](const std::vector<Logic>& pi,
-                        const std::vector<Logic>& mux) {
-    for (std::size_t k = 0; k < pi.size(); ++k) {
-      sim.set_input(nl.inputs()[k], pi[k]);
-    }
-    for (std::size_t c = 0; c < mux.size(); ++c) {
-      // Non-multiplexed cells toggle during shift: X (expected leakage).
-      sim.set_state(nl.dffs()[c], mux_eligible[c] ? mux[c] : Logic::X);
-    }
-    sim.eval_incremental();
-    return model.circuit_leakage_na(nl, sim.values());
-  };
-
-  if (res.free_inputs == 0) {
-    res.best_leakage_na = res.first_leakage_na = leakage_of(pi_pattern, mux_pattern);
-    return res;
-  }
-
-  std::vector<Logic> best_pi = pi_pattern;
-  std::vector<Logic> best_mux = mux_pattern;
-  double best = 0.0;
-  const int trials = opts.minimize_leakage ? std::max(1, opts.trials) : 1;
-  std::vector<Logic> cand_pi = pi_pattern;
-  std::vector<Logic> cand_mux = mux_pattern;
-  for (int t = 0; t < trials; ++t) {
-    for (std::size_t i : free_pi) cand_pi[i] = from_bool(rng.next_bool());
-    for (std::size_t i : free_mux) cand_mux[i] = from_bool(rng.next_bool());
-    const double leak = leakage_of(cand_pi, cand_mux);
-    if (t == 0) res.first_leakage_na = leak;
-    if (t == 0 || leak < best) {
-      best = leak;
-      best_pi = cand_pi;
-      best_mux = cand_mux;
-    }
-  }
-  res.best_leakage_na = best;
-  res.trials = trials;
-  pi_pattern = std::move(best_pi);
-  mux_pattern = std::move(best_mux);
-  return res;
+  return opts.packed ? fill_packed(nl, model, pi_pattern, mux_pattern,
+                                   mux_eligible, opts, free_pi, free_mux, res)
+                     : fill_scalar(nl, model, pi_pattern, mux_pattern,
+                                   mux_eligible, opts, free_pi, free_mux, res);
 }
 
 }  // namespace scanpower

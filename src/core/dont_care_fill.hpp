@@ -22,6 +22,16 @@ struct FillOptions {
   std::uint64_t seed = 0xf111f111ULL;
   bool minimize_leakage = true;  ///< false: take the first random fill
                                  ///< (baseline behaviour)
+  /// Packed engine: all candidate fills are scored as bit lanes of
+  /// 3-valued packed sweeps (64*block_words candidates each); the
+  /// non-multiplexed cells stay X lanes-wide and contribute expected
+  /// leakage through the (state, xmask) tables. Draws the same random
+  /// stream and computes bit-identical leakage to the scalar engine, so
+  /// both pick the same fill. false = scalar reference (one 3-valued
+  /// Simulator pass + circuit_leakage_na walk per trial).
+  bool packed = true;
+  /// Pattern words per packed sweep (1, 2, 4 or 8).
+  int block_words = 4;
 };
 
 struct FillResult {

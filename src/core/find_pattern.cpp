@@ -4,9 +4,12 @@
 #include <memory>
 #include <set>
 
+#include "power/packed_leakage.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scanpower {
 
@@ -279,6 +282,149 @@ FindPatternResult find_controlled_input_pattern(const Netlist& nl,
       "find_pattern[%s]: %zu blocked, %zu propagated, %zu transition lines",
       nl.name().c_str(), res.gates_blocked, res.gates_propagated,
       res.transition_lines));
+  return res;
+}
+
+MinLeakageSearchResult min_leakage_vector_search(
+    const Netlist& nl, const LeakageModel& model,
+    const MinLeakageSearchOptions& opts) {
+  SP_CHECK(nl.finalized(),
+           "min_leakage_vector_search requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts.block_words),
+           "min_leakage_vector_search: block_words must be 1, 2, 4 or 8");
+  SP_CHECK(opts.sweeps >= 1, "min_leakage_vector_search: need >= 1 sweep");
+
+  const int W = opts.block_words;
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
+  std::vector<GateId> sources;
+  sources.reserve(nl.inputs().size() + nl.dffs().size());
+  for (GateId pi : nl.inputs()) sources.push_back(pi);
+  for (GateId ff : nl.dffs()) sources.push_back(ff);
+  const std::size_t n_src = sources.size();
+
+  const GateLeakageTables tables(nl, model);
+  const PackedLeakageEvaluator leval(nl, tables);
+  const int T = ThreadPool::resolve_threads(opts.num_threads);
+  ThreadPool pool(T);
+
+  std::vector<BlockSimulator> sims;
+  std::vector<std::vector<double>> leak_buf(static_cast<std::size_t>(T));
+  sims.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    sims.emplace_back(nl, W);
+    leak_buf[static_cast<std::size_t>(t)].resize(lanes);
+  }
+
+  MinLeakageSearchResult res;
+
+  // ---- random-restart stage --------------------------------------------
+  // Sweep s draws from a generator seeded by (opts.seed, s) alone; sweep
+  // partials merge in ascending sweep order with strict improvement
+  // (ordered_block_sweep), so the winner is independent of the thread
+  // count.
+  struct SweepBest {
+    double leak = 0.0;
+    std::vector<std::uint8_t> bits;
+  };
+  std::vector<SweepBest> parts(static_cast<std::size_t>(T));
+  for (SweepBest& p : parts) p.bits.resize(n_src);
+
+  double best = 0.0;
+  std::vector<std::uint8_t> best_bits(n_src, 0);
+  bool have_best = false;
+
+  const std::size_t sweeps = static_cast<std::size_t>(opts.sweeps);
+  ordered_block_sweep(
+      pool, sweeps,
+      [&](int t, std::size_t s) {
+        SweepBest& part = parts[static_cast<std::size_t>(t)];
+        BlockSimulator& sim = sims[static_cast<std::size_t>(t)];
+        Rng rng(block_seed(opts.seed, s));
+        for (GateId src : sources) {
+          for (int w = 0; w < W; ++w) {
+            sim.set_source_word(src, w, rng.next_u64());
+          }
+        }
+        sim.eval();
+        double* const leak = leak_buf[static_cast<std::size_t>(t)].data();
+        leval.eval(sim, {leak, lanes});
+        std::size_t arg = 0;
+        for (std::size_t lane = 1; lane < lanes; ++lane) {
+          if (leak[lane] < leak[arg]) arg = lane;
+        }
+        part.leak = leak[arg];
+        const std::size_t w = arg / 64;
+        for (std::size_t j = 0; j < n_src; ++j) {
+          part.bits[j] = (sim.word(sources[j], static_cast<int>(w)) >>
+                          (arg % 64)) &
+                         1;
+        }
+      },
+      [&](int t, std::size_t) {
+        const SweepBest& part = parts[static_cast<std::size_t>(t)];
+        if (!have_best || part.leak < best) {
+          have_best = true;
+          best = part.leak;
+          best_bits = part.bits;
+        }
+      });
+  res.vectors_evaluated = sweeps * lanes;
+  res.random_best_na = best;
+
+  // ---- refinement stage -------------------------------------------------
+  // Steepest descent over single-bit flips: every neighbour of the
+  // incumbent is one lane of a batch (lane j flips source chunk+j);
+  // unflipped tail lanes replay the incumbent and cannot win a strict
+  // improvement.
+  BlockSimulator& sim = sims[0];
+  double* const leak = leak_buf[0].data();
+  while (res.refine_flips < opts.max_refine_flips) {
+    double cand_best = best;
+    std::size_t cand_flip = static_cast<std::size_t>(-1);
+    for (std::size_t chunk = 0; chunk < n_src; chunk += lanes) {
+      const std::size_t m = std::min(lanes, n_src - chunk);
+      for (std::size_t j = 0; j < n_src; ++j) {
+        const PatternWord bc = best_bits[j] ? ~PatternWord{0} : 0;
+        for (int w = 0; w < W; ++w) sim.set_source_word(sources[j], w, bc);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const int w = static_cast<int>(j / 64);
+        sim.set_source_word(sources[chunk + j], w,
+                            sim.word(sources[chunk + j], w) ^
+                                (PatternWord{1} << (j % 64)));
+      }
+      sim.eval();
+      leval.eval(sim, {leak, lanes});
+      for (std::size_t j = 0; j < m; ++j) {
+        if (leak[j] < cand_best) {
+          cand_best = leak[j];
+          cand_flip = chunk + j;
+        }
+      }
+      res.vectors_evaluated += m;
+    }
+    if (cand_flip == static_cast<std::size_t>(-1)) break;
+    best_bits[cand_flip] ^= 1;
+    best = cand_best;
+    ++res.refine_flips;
+  }
+
+  res.best_leakage_na = best;
+  res.pi.reserve(nl.inputs().size());
+  res.ppi.reserve(nl.dffs().size());
+  for (std::size_t j = 0; j < n_src; ++j) {
+    const Logic v = from_bool(best_bits[j] != 0);
+    if (j < nl.inputs().size()) {
+      res.pi.push_back(v);
+    } else {
+      res.ppi.push_back(v);
+    }
+  }
+  log_info(strprintf(
+      "min_leakage_search[%s]: random best %.1f nA -> refined %.1f nA "
+      "(%d flips, %zu vectors)",
+      nl.name().c_str(), res.random_best_na, res.best_leakage_na,
+      res.refine_flips, res.vectors_evaluated));
   return res;
 }
 

@@ -31,6 +31,7 @@
 #include "atpg/backtrace_directive.hpp"
 #include "core/justify.hpp"
 #include "netlist/netlist.hpp"
+#include "power/leakage_model.hpp"
 #include "scan/add_mux.hpp"
 #include "sim/logic.hpp"
 #include "timing/delay_model.hpp"
@@ -68,5 +69,41 @@ struct FindPatternResult {
 FindPatternResult find_controlled_input_pattern(
     const Netlist& nl, const MuxPlan& mux_plan, const CapacitanceModel& caps,
     const FindPatternOptions& opts = {});
+
+// ---- packed minimum-leakage vector search ----------------------------------
+//
+// The standby-vector search ([14]'s random-sampling recipe, which the
+// paper reuses for don't-care filling) evaluated one scalar vector at a
+// time. The packed stage evaluates 64*block_words fully specified
+// candidate vectors per sweep on the BlockSimulator + GateLeakageTables
+// engine: a random-restart stage (each sweep drawn from a fixed per-sweep
+// seed, sweeps partitioned across a worker pool, partials merged in sweep
+// order so the result is bit-identical for any thread count) followed by
+// a steepest-descent refinement stage that scores every single-bit
+// neighbour of the incumbent as lanes of one batch.
+
+struct MinLeakageSearchOptions {
+  int sweeps = 8;             ///< random-restart sweeps (64*W vectors each)
+  int max_refine_flips = 64;  ///< accepted single-bit refinement moves
+  int block_words = 4;        ///< pattern words per sweep (1, 2, 4 or 8)
+  int num_threads = 1;        ///< workers for the random stage (0 = all cores)
+  std::uint64_t seed = 0x3ea2c0de5ee51eafULL;
+};
+
+struct MinLeakageSearchResult {
+  /// Best vector found, ordered like Netlist::inputs() / Netlist::dffs().
+  std::vector<Logic> pi;
+  std::vector<Logic> ppi;
+  double best_leakage_na = 0.0;    ///< after refinement
+  double random_best_na = 0.0;     ///< best of the random-restart stage
+  std::size_t vectors_evaluated = 0;
+  int refine_flips = 0;            ///< accepted refinement moves
+};
+
+/// Searches for a minimum-leakage standby vector over all sources (PIs
+/// and scan cells).
+MinLeakageSearchResult min_leakage_vector_search(
+    const Netlist& nl, const LeakageModel& model,
+    const MinLeakageSearchOptions& opts = {});
 
 }  // namespace scanpower

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -121,37 +122,48 @@ void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
                                  std::span<const Fault> faults,
                                  std::span<const std::uint32_t> candidates,
                                  const ResponseMatrix& observed,
+                                 std::uint64_t total_fail,
                                  std::vector<CandidateScore>& scores) {
   const Netlist& nl = *nl_;
-  BlockSimulator good(nl, W);
-  const std::size_t lanes = good.lanes();
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
   const int num_workers = pool_->size();
+  const bool early_exit = opts_.score_early_exit;
 
-  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+  // Candidates are scored in fixed-size rounds (in candidate order,
+  // round-robin across workers within a round, so each score slot has
+  // exactly one writer). The early-exit bound -- the best Hamming
+  // distance among fully scored candidates -- advances only at round
+  // boundaries; a candidate whose running TPSF exceeds it can never win
+  // (TPSF only grows), so its cone sweep aborts and its remaining blocks
+  // are skipped. Both the bound and the abort test depend only on
+  // per-candidate totals, never on block partitioning or scheduling, so
+  // the dropped set is bit-identical across (block width, thread count)
+  // configurations.
+  const std::size_t round_size = early_exit ? 64 : candidates.size();
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+
+  // Scores candidates [r0, r1) against one simulated good-machine block.
+  const auto score_block = [&](const BlockSimulator& good, std::size_t base,
+                               std::size_t r0, std::size_t r1) {
     const std::size_t batch = std::min(lanes, patterns.size() - base);
-    load_pattern_block(nl, patterns, base, good);
-    good.eval();
     const PackedBlock<W> mask = lane_validity_mask<W>(batch);
     const std::size_t word0 = base / 64;
     const std::size_t nwords = (batch + 63) / 64;
 
-    // Round-robin candidate partition: candidate i belongs to worker
-    // i % num_workers for every block, so each score slot has exactly one
-    // writer and the counters accumulate deterministically.
     pool_->run_on_all([&](int t) {
       FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(t)];
-      for (std::size_t ci = static_cast<std::size_t>(t); ci < candidates.size();
+      for (std::size_t ci = r0 + static_cast<std::size_t>(t); ci < r1;
            ci += static_cast<std::size_t>(num_workers)) {
         CandidateScore& sc = scores[ci];
+        if (sc.dropped) continue;
         const Fault& f = faults[candidates[ci]];
-        // A D-branch fault sinks its DFF gate id as the capture branch; a
-        // Q-stem fault sinks the same id meaning the Q net, which is read
-        // by downstream capture points / its PO point.
-        const bool d_branch =
-            f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+        // A D-branch fault sinks its DFF gate id as the capture branch;
+        // a Q-stem fault sinks the same id meaning the Q net, which is
+        // read by downstream capture points / its PO point.
+        const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
         ev.propagate<W>(
             good, f, mask, points_.observable(),
-            [&](GateId gate, const PatternWord* diff) {
+            [&](GateId gate, const PatternWord* diff) -> bool {
               const auto tally = [&](std::uint32_t op) {
                 const PatternWord* obs = observed.row(op) + word0;
                 for (std::size_t w = 0; w < nwords; ++w) {
@@ -164,11 +176,63 @@ void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
               if (d_branch && gate == f.gate) {
                 tally(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
               } else {
-                for (std::uint32_t op : points_.points_of_gate(gate)) tally(op);
+                for (std::uint32_t op : points_.points_of_gate(gate)) {
+                  tally(op);
+                }
               }
+              return !(early_exit && sc.tpsf > best);
             });
+        if (early_exit && sc.tpsf > best) sc.dropped = true;
       }
     });
+  };
+
+  if (candidates.size() <= round_size) {
+    // Single round (early-exit off, or few candidates): the bound never
+    // advances mid-round, so stream the blocks through one reused
+    // simulator instead of caching them all.
+    BlockSimulator good(nl, W);
+    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+      load_pattern_block(nl, patterns, base, good);
+      good.eval();
+      score_block(good, base, 0, candidates.size());
+    }
+    return;
+  }
+
+  // Multiple rounds revisit every block: cache the simulated good machine
+  // per block while the pattern set is modest (num_gates * W * 8 bytes
+  // per block), and fall back to re-simulating each block per round
+  // beyond that cap -- a good-machine eval is cheap next to scoring a
+  // round of candidates, and the values are identical either way.
+  const std::size_t nblocks = (patterns.size() + lanes - 1) / lanes;
+  constexpr std::size_t kMaxCachedGoodBlocks = 64;
+  const bool cache_blocks = nblocks <= kMaxCachedGoodBlocks;
+  std::vector<BlockSimulator> goods;
+  if (cache_blocks) {
+    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+      goods.emplace_back(nl, W);
+      load_pattern_block(nl, patterns, base, goods.back());
+      goods.back().eval();
+    }
+  } else {
+    goods.emplace_back(nl, W);  // one streaming simulator, reloaded per block
+  }
+  for (std::size_t r0 = 0; r0 < candidates.size(); r0 += round_size) {
+    const std::size_t r1 = std::min(r0 + round_size, candidates.size());
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      if (cache_blocks) {
+        score_block(goods[b], b * lanes, r0, r1);
+      } else {
+        load_pattern_block(nl, patterns, b * lanes, goods[0]);
+        goods[0].eval();
+        score_block(goods[0], b * lanes, r0, r1);
+      }
+    }
+    for (std::size_t ci = r0; ci < r1; ++ci) {
+      if (scores[ci].dropped) continue;
+      best = std::min(best, total_fail - scores[ci].tfsf + scores[ci].tpsf);
+    }
   }
 }
 
@@ -217,14 +281,21 @@ DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
   }
 
   switch (opts_.block_words) {
-    case 1: score_candidates<1>(patterns, faults, candidates, observed, scores); break;
-    case 2: score_candidates<2>(patterns, faults, candidates, observed, scores); break;
-    case 4: score_candidates<4>(patterns, faults, candidates, observed, scores); break;
-    case 8: score_candidates<8>(patterns, faults, candidates, observed, scores); break;
+    case 1: score_candidates<1>(patterns, faults, candidates, observed, total_fail, scores); break;
+    case 2: score_candidates<2>(patterns, faults, candidates, observed, total_fail, scores); break;
+    case 4: score_candidates<4>(patterns, faults, candidates, observed, total_fail, scores); break;
+    case 8: score_candidates<8>(patterns, faults, candidates, observed, total_fail, scores); break;
     default: SP_ASSERT(false, "invalid block width");
   }
 
   for (CandidateScore& sc : scores) {
+    if (sc.dropped) {
+      // Partial counters depend on where the sweep aborted; canonicalize
+      // so rankings stay bit-identical across configurations.
+      sc.tfsf = 0;
+      sc.tpsf = 0;
+      ++res.num_dropped;
+    }
     sc.tfsp = total_fail - sc.tfsf;
   }
   std::sort(scores.begin(), scores.end());
@@ -243,10 +314,13 @@ std::size_t DiagnosisResult::rank_of(const Fault& f) const {
   if (at == ranked.size()) return 0;
   // Competition rank: candidates with equal (hamming, tfsf) -- and hence
   // equal counter triples -- are indistinguishable and share a rank.
+  // Dropped candidates form their own trailing class (their scoring was
+  // cut short, so only "cannot win" is known about them).
   std::size_t rank = 1;
   for (std::size_t i = 0; i < at; ++i) {
     if (ranked[i].hamming() != ranked[at].hamming() ||
-        ranked[i].tfsf != ranked[at].tfsf) {
+        ranked[i].tfsf != ranked[at].tfsf ||
+        ranked[i].dropped != ranked[at].dropped) {
       ++rank;
     }
   }

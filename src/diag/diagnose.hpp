@@ -49,6 +49,17 @@ struct DiagnosisOptions {
   /// Fanin-cone back-trace pruning before scoring. Disable to score the
   /// entire fault list (diagnosing logs with suspected multiple faults).
   bool cone_pruning = true;
+  /// Early-exit during scoring (mirrors fault dropping in the simulator):
+  /// TPSF only grows as a candidate's cone sweep tallies observation
+  /// points, so a candidate whose running TPSF already exceeds the best
+  /// completed Hamming distance (TFSP + TPSF) cannot win -- its sweep is
+  /// aborted and its remaining pattern blocks skipped. Candidates are
+  /// scored in fixed-size rounds and the best Hamming bound advances only
+  /// at round boundaries, so the dropped set -- and the final ranking --
+  /// stays bit-identical across every (block width, thread count)
+  /// configuration. Dropped candidates keep canonical zero counters and
+  /// rank after all fully scored candidates.
+  bool score_early_exit = true;
   /// Report size used by the CLI/JSON front ends; the ranked list itself
   /// always keeps every scored candidate.
   std::size_t max_report = 10;
@@ -61,12 +72,19 @@ struct CandidateScore {
   std::uint64_t tfsf = 0;         ///< tester fail & simulation fail
   std::uint64_t tfsp = 0;         ///< tester fail & simulation pass
   std::uint64_t tpsf = 0;         ///< tester pass & simulation fail
+  /// Scoring was cut short: the candidate provably cannot beat the best
+  /// explanation (see DiagnosisOptions::score_early_exit). Counters are
+  /// canonical (tfsf = tpsf = 0, tfsp = total failures).
+  bool dropped = false;
 
-  bool exact() const { return tfsp == 0 && tpsf == 0; }
+  bool exact() const { return !dropped && tfsp == 0 && tpsf == 0; }
   std::uint64_t hamming() const { return tfsp + tpsf; }
 
-  /// Strict-weak "explains the log better" order (see header comment).
+  /// Strict-weak "explains the log better" order (see header comment);
+  /// dropped candidates rank after every fully scored one.
   friend bool operator<(const CandidateScore& a, const CandidateScore& b) {
+    if (a.dropped != b.dropped) return !a.dropped;
+    if (a.dropped) return a.fault_index < b.fault_index;
     if (a.hamming() != b.hamming()) return a.hamming() < b.hamming();
     if (a.tfsf != b.tfsf) return a.tfsf > b.tfsf;
     return a.fault_index < b.fault_index;
@@ -79,6 +97,7 @@ struct DiagnosisResult {
 
   std::size_t num_faults = 0;            ///< fault universe diagnosed against
   std::size_t num_candidates = 0;        ///< survived cone pruning (= ranked.size())
+  std::size_t num_dropped = 0;           ///< scoring cut short by early-exit
   std::size_t num_failures = 0;          ///< log entries
   std::size_t num_failing_patterns = 0;
   std::size_t num_failing_points = 0;    ///< distinct failing observation points
@@ -119,6 +138,7 @@ class Diagnoser {
                         std::span<const Fault> faults,
                         std::span<const std::uint32_t> candidates,
                         const ResponseMatrix& observed,
+                        std::uint64_t total_fail,
                         std::vector<CandidateScore>& scores);
 
   const Netlist* nl_;

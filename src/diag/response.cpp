@@ -52,6 +52,49 @@ std::string ObservationPoints::name(const Netlist& nl, std::size_t op) const {
   return "dff:" + nl.gate_name(cells_[op - num_pos_]) + ".D";
 }
 
+std::string ObservationPoints::record_name(const Netlist& nl,
+                                           std::size_t op) const {
+  if (op < num_pos_) {
+    return "po:" + nl.gate_name(source_[op]);
+  }
+  return "ff:" + nl.gate_name(cells_[op - num_pos_]);
+}
+
+std::size_t ObservationPoints::resolve_record_name(
+    const Netlist& nl, const std::string& token) const {
+  std::string kind;
+  std::string net;
+  if (token.rfind("po:", 0) == 0) {
+    kind = "po";
+    net = token.substr(3);
+  } else if (token.rfind("ff:", 0) == 0) {
+    kind = "ff";
+    net = token.substr(3);
+  } else if (token.rfind("dff:", 0) == 0) {
+    kind = "ff";
+    net = token.substr(4);
+    if (net.size() > 2 && net.compare(net.size() - 2, 2, ".D") == 0) {
+      net.resize(net.size() - 2);  // accept the informational ".D" suffix
+    }
+  } else {
+    SP_CHECK(false, "failure log: bad observation-point token \"" + token +
+                        "\" (expected po:<net> or ff:<cell>)");
+  }
+  const GateId g = nl.find(net);
+  SP_CHECK(g != kInvalidGate,
+           "failure log: unknown net \"" + net + "\" in \"" + token + "\"");
+  if (kind == "ff") {
+    const std::size_t op = point_of_dff(g);
+    SP_CHECK(op != kNone,
+             "failure log: \"" + net + "\" is not a scan cell");
+    return op;
+  }
+  for (std::uint32_t op : points_of_gate(g)) {
+    if (!is_dff_capture(op) && source_[op] == g) return op;
+  }
+  throw Error("failure log: \"" + net + "\" is not a primary output");
+}
+
 std::span<const std::uint32_t> ObservationPoints::points_of_gate(GateId g) const {
   return {op_data_.data() + op_offsets_[g], op_offsets_[g + 1] - op_offsets_[g]};
 }
@@ -86,18 +129,29 @@ ResponseMatrix FailureLog::to_matrix(std::size_t num_points) const {
 }
 
 void save_failure_log(std::ostream& out, const FailureLog& log,
-                      const Netlist* nl, const ObservationPoints* ops) {
+                      const Netlist* nl, const ObservationPoints* ops,
+                      bool named_records) {
+  SP_CHECK(!named_records || (nl != nullptr && ops != nullptr),
+           "save_failure_log: named records need the netlist and points");
   out << "# scanpower failure log\n";
   if (!log.circuit.empty()) out << "circuit " << log.circuit << "\n";
   out << "patterns " << log.num_patterns << "\n";
   for (const Failure& f : log.failures) {
-    out << "fail " << f.pattern << " " << f.op;
-    if (nl && ops && f.op < ops->size()) out << " " << ops->name(*nl, f.op);
+    out << "fail " << f.pattern << " ";
+    if (named_records) {
+      SP_CHECK(f.op < ops->size(),
+               "save_failure_log: failure outside the observation space");
+      out << ops->record_name(*nl, f.op);
+    } else {
+      out << f.op;
+      if (nl && ops && f.op < ops->size()) out << " " << ops->name(*nl, f.op);
+    }
     out << "\n";
   }
 }
 
-FailureLog load_failure_log(std::istream& in) {
+FailureLog load_failure_log(std::istream& in, const Netlist* nl,
+                            const ObservationPoints* ops) {
   FailureLog log;
   std::string line;
   std::size_t lineno = 0;
@@ -116,10 +170,30 @@ FailureLog load_failure_log(std::istream& in) {
                                      lineno));
     } else if (kw == "fail") {
       Failure f;
-      ls >> f.pattern >> f.op;
-      SP_CHECK(!ls.fail(),
+      std::string op_tok;
+      ls >> f.pattern >> op_tok;
+      SP_CHECK(!ls.fail() && !op_tok.empty(),
                strprintf("failure log line %zu: expected \"fail <pattern> "
                          "<op>\"", lineno));
+      if (op_tok.find(':') == std::string::npos) {
+        std::size_t pos = 0;
+        unsigned long v = 0;
+        try {
+          v = std::stoul(op_tok, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        SP_CHECK(pos != 0 && pos == op_tok.size() && v <= 0xffffffffUL,
+                 strprintf("failure log line %zu: bad point index \"%s\"",
+                           lineno, op_tok.c_str()));
+        f.op = static_cast<std::uint32_t>(v);
+      } else {
+        SP_CHECK(nl != nullptr && ops != nullptr,
+                 strprintf("failure log line %zu: name-based record \"%s\" "
+                           "needs the netlist to resolve",
+                           lineno, op_tok.c_str()));
+        f.op = static_cast<std::uint32_t>(ops->resolve_record_name(*nl, op_tok));
+      }
       log.failures.push_back(f);
     } else {
       SP_CHECK(false, strprintf("failure log line %zu: unknown keyword \"%s\"",
@@ -131,16 +205,18 @@ FailureLog load_failure_log(std::istream& in) {
 }
 
 void save_failure_log_file(const std::string& path, const FailureLog& log,
-                           const Netlist* nl, const ObservationPoints* ops) {
+                           const Netlist* nl, const ObservationPoints* ops,
+                           bool named_records) {
   std::ofstream f(path);
   SP_CHECK(f.good(), "cannot write " + path);
-  save_failure_log(f, log, nl, ops);
+  save_failure_log(f, log, nl, ops, named_records);
 }
 
-FailureLog load_failure_log_file(const std::string& path) {
+FailureLog load_failure_log_file(const std::string& path, const Netlist* nl,
+                                 const ObservationPoints* ops) {
   std::ifstream f(path);
   SP_CHECK(f.good(), "cannot read " + path);
-  return load_failure_log(f);
+  return load_failure_log(f, nl, ops);
 }
 
 ResponseCapture::ResponseCapture(const Netlist& nl, int block_words)

@@ -49,6 +49,17 @@ class ObservationPoints {
   /// "po:<net>" or "dff:<cell>.D" -- stable across runs, used in logs.
   std::string name(const Netlist& nl, std::size_t op) const;
 
+  /// Name-based record token: "po:<net>" for a primary-output point,
+  /// "ff:<cell>" for a scan-cell capture point. Unlike raw indices these
+  /// survive netlist re-finalization and gate-id renumbering.
+  std::string record_name(const Netlist& nl, std::size_t op) const;
+
+  /// Resolves a record token ("po:<net>", "ff:<cell>"; "dff:<cell>" and
+  /// "dff:<cell>.D" accepted as aliases) to its point index. Throws Error
+  /// for unknown nets or tokens that name no observation point.
+  std::size_t resolve_record_name(const Netlist& nl,
+                                  const std::string& token) const;
+
   /// Observation points reading gate `g`'s net: its PO point (if marked
   /// an output) plus one capture point per DFF D pin it drives.
   std::span<const std::uint32_t> points_of_gate(GateId g) const;
@@ -116,16 +127,27 @@ struct FailureLog {
 ///   # comments
 ///   circuit <name>
 ///   patterns <n>
-///   fail <pattern> <op_index> [op_name]
-/// The op name is informational; load ignores it.
+///   fail <pattern> <op_index> [op_name]     (index-based record)
+///   fail <pattern> po:<net>                 (name-based record)
+///   fail <pattern> ff:<cell>                (name-based record)
+/// Index records carry an informational op name that load ignores.
+/// Name-based records survive netlist re-finalization; loading them
+/// requires the netlist/observation-point context (records are resolved
+/// through ObservationPoints::resolve_record_name). Loading a log that
+/// contains name-based records without that context throws Error.
 void save_failure_log(std::ostream& out, const FailureLog& log,
                       const Netlist* nl = nullptr,
-                      const ObservationPoints* ops = nullptr);
-FailureLog load_failure_log(std::istream& in);  ///< throws Error on bad input
+                      const ObservationPoints* ops = nullptr,
+                      bool named_records = false);
+FailureLog load_failure_log(std::istream& in, const Netlist* nl = nullptr,
+                            const ObservationPoints* ops = nullptr);
 void save_failure_log_file(const std::string& path, const FailureLog& log,
                            const Netlist* nl = nullptr,
-                           const ObservationPoints* ops = nullptr);
-FailureLog load_failure_log_file(const std::string& path);
+                           const ObservationPoints* ops = nullptr,
+                           bool named_records = false);
+FailureLog load_failure_log_file(const std::string& path,
+                                 const Netlist* nl = nullptr,
+                                 const ObservationPoints* ops = nullptr);
 
 /// Captures packed observable-point responses from the block simulator.
 class ResponseCapture {

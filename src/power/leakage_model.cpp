@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 
 #include "util/assert.hpp"
 #include "util/strings.hpp"
@@ -250,6 +251,79 @@ double LeakageModel::circuit_leakage_power_uw(const Netlist& nl,
                                               double vdd) const {
   // nA * V = nW; convert to uW.
   return circuit_leakage_na(nl, values) * vdd * 1e-3;
+}
+
+GateLeakageTables::GateLeakageTables(const Netlist& nl,
+                                     const LeakageModel& model)
+    : model_(&model) {
+  const std::size_t n = nl.num_gates();
+  width_.assign(n, 0);
+  leakless_.assign(n, 1);
+  offset_.assign(n, kNone);
+  xoffset_.assign(n, kNone);
+
+  // Shared tables keyed by (type, width): the leakage of a cell depends
+  // only on its shape and input state, never on which gate instantiates
+  // it.
+  std::map<std::pair<GateType, int>, std::pair<std::uint32_t, std::uint32_t>>
+      shapes;
+  for (GateId id = 0; id < n; ++id) {
+    const GateType t = nl.type(id);
+    if (!is_combinational(t) || t == GateType::Const0 ||
+        t == GateType::Const1) {
+      continue;  // sources and constants report zero leakage
+    }
+    const int w = static_cast<int>(nl.fanin_span(id).size());
+    // Same ceiling as cell_expected_leakage_na: wider gates have no
+    // leakage semantics anywhere in the stack, and width_ must not wrap.
+    SP_CHECK(w <= 20, "leakage tables: gate too wide");
+    leakless_[id] = 0;
+    width_[id] = static_cast<std::uint8_t>(w);
+    if (w > kMaxTableWidth) continue;  // analytic per-lane fallback
+
+    auto [it, inserted] = shapes.try_emplace({t, w}, kNone, kNone);
+    if (inserted) {
+      const std::uint32_t off = static_cast<std::uint32_t>(storage_.size());
+      const unsigned states = 1u << w;
+      for (unsigned s = 0; s < states; ++s) {
+        storage_.push_back(model.cell_leakage_na(t, w, s));
+      }
+      std::uint32_t xoff = kNone;
+      if (w <= kMaxXTableWidth) {
+        xoff = static_cast<std::uint32_t>(xstorage_.size());
+        xstorage_.resize(xstorage_.size() + (1u << (2 * w)), 0.0);
+        double* xt = xstorage_.data() + xoff;
+        const double* base = storage_.data() + off;
+        for (unsigned m = 0; m < states; ++m) {
+          // X positions of this mask, ascending -- the same enumeration
+          // order cell_expected_leakage_na uses, so sums round
+          // identically.
+          int xpos[kMaxXTableWidth];
+          int nx = 0;
+          for (int b = 0; b < w; ++b) {
+            if ((m >> b) & 1u) xpos[nx++] = b;
+          }
+          const unsigned combos = 1u << nx;
+          for (unsigned s = 0; s < states; ++s) {
+            if ((s & m) != 0) continue;  // state bits under X are unused
+            double sum = 0.0;
+            for (unsigned c = 0; c < combos; ++c) {
+              unsigned p = s;
+              for (int j = 0; j < nx; ++j) {
+                if ((c >> j) & 1u) p |= 1u << xpos[j];
+              }
+              sum += base[p];
+            }
+            xt[s | (m << w)] =
+                nx == 0 ? base[s] : sum / static_cast<double>(combos);
+          }
+        }
+      }
+      it->second = {off, xoff};
+    }
+    offset_[id] = it->second.first;
+    xoffset_[id] = it->second.second;
+  }
 }
 
 std::pair<unsigned, double> LeakageModel::min_leakage_pattern(GateType type,

@@ -91,4 +91,55 @@ class LeakageModel {
   std::vector<std::vector<std::vector<double>>> tables_;
 };
 
+/// Per-netlist state->leakage tables, precomputed once per (netlist,
+/// model) pair for the packed leakage engine: every leaking gate gets a
+/// 2^fanin table indexed by its fully specified input state (bit i = pin
+/// i), plus an expected-leakage table indexed by (state, xmask) pairs for
+/// 3-valued evaluation (entries average cell_leakage_na uniformly over
+/// the X positions, with exactly the arithmetic of
+/// cell_expected_leakage_na, so packed and scalar evaluation agree
+/// bit-for-bit). Tables are deduplicated by (type, width), so the
+/// footprint is per-library-shape, not per-gate. Instances are immutable
+/// after construction and safe to share across worker threads.
+class GateLeakageTables {
+ public:
+  /// Widest gate tabulated (2^w doubles per distinct shape); wider gates
+  /// fall back to analytic per-lane evaluation.
+  static constexpr int kMaxTableWidth = 12;
+  /// Widest gate with a precomputed (state, xmask) expected table
+  /// (4^w doubles per distinct shape).
+  static constexpr int kMaxXTableWidth = 6;
+
+  GateLeakageTables(const Netlist& nl, const LeakageModel& model);
+
+  const LeakageModel& model() const { return *model_; }
+
+  int width(GateId id) const { return width_[id]; }
+  /// True for gates that never leak (sources, constants).
+  bool leakless(GateId id) const { return leakless_[id] != 0; }
+
+  /// 2^width state table of gate id, or nullptr when the gate is leakless
+  /// or wider than kMaxTableWidth.
+  const double* table(GateId id) const {
+    return offset_[id] == kNone ? nullptr : storage_.data() + offset_[id];
+  }
+  /// Expected-leakage table indexed by `state | (xmask << width)` with
+  /// state & xmask == 0, or nullptr (leakless / wider than
+  /// kMaxXTableWidth).
+  const double* xtable(GateId id) const {
+    return xoffset_[id] == kNone ? nullptr : xstorage_.data() + xoffset_[id];
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  const LeakageModel* model_;
+  std::vector<std::uint8_t> width_;
+  std::vector<std::uint8_t> leakless_;
+  std::vector<std::uint32_t> offset_;   ///< per gate, into storage_
+  std::vector<std::uint32_t> xoffset_;  ///< per gate, into xstorage_
+  std::vector<double> storage_;
+  std::vector<double> xstorage_;
+};
+
 }  // namespace scanpower

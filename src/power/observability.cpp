@@ -1,11 +1,14 @@
 #include "power/observability.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scanpower {
 
@@ -15,13 +18,17 @@ LeakageObservability::LeakageObservability(const Netlist& nl,
   SP_CHECK(nl.finalized(), "observability requires a finalized netlist");
   obs_.assign(nl.num_gates(), 0.0);
   if (opts.method == ObservabilityMethod::MonteCarlo) {
-    compute_monte_carlo(nl, model, opts);
+    if (opts.packed) {
+      compute_monte_carlo_packed(nl, model, opts);
+    } else {
+      compute_monte_carlo_scalar(nl, model, opts);
+    }
   } else {
     compute_probabilistic(nl, model);
   }
 }
 
-void LeakageObservability::compute_monte_carlo(
+void LeakageObservability::compute_monte_carlo_scalar(
     const Netlist& nl, const LeakageModel& model,
     const ObservabilityOptions& opts) {
   SP_CHECK(opts.samples > 1, "observability: need at least 2 samples");
@@ -52,6 +59,122 @@ void LeakageObservability::compute_monte_carlo(
   for (GateId id = 0; id < n; ++id) {
     const std::uint32_t c1 = cnt1[id];
     const std::uint32_t c0 = static_cast<std::uint32_t>(opts.samples) - c1;
+    if (c1 == 0 || c0 == 0) {
+      obs_[id] = 0.0;  // line never observed both ways: no preference signal
+      continue;
+    }
+    obs_[id] = sum1[id] / c1 - sum0[id] / c0;
+  }
+}
+
+void LeakageObservability::compute_monte_carlo_packed(
+    const Netlist& nl, const LeakageModel& model,
+    const ObservabilityOptions& opts) {
+  SP_CHECK(opts.samples > 1, "observability: need at least 2 samples");
+  SP_CHECK(is_valid_block_words(opts.block_words),
+           "observability: block_words must be 1, 2, 4 or 8");
+  const std::size_t n = nl.num_gates();
+  const std::size_t samples = static_cast<std::size_t>(opts.samples);
+  const int W = opts.block_words;
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
+  const std::size_t nblocks = (samples + lanes - 1) / lanes;
+  const int T = ThreadPool::resolve_threads(opts.num_threads);
+  ThreadPool pool(T);
+
+  const GateLeakageTables tables(nl, model);
+  const PackedLeakageEvaluator leval(nl, tables);
+
+  // Per-worker simulation state; one block of samples per worker per
+  // wave. Block b draws from a generator seeded by (opts.seed, b) alone,
+  // and block partials are merged on the caller thread in ascending block
+  // order (ordered_block_sweep), so the reduction -- and therefore every
+  // observability value -- is bit-identical for any thread count.
+  struct Partial {
+    std::vector<double> sum1;
+    std::vector<std::uint32_t> cnt1;
+    double total = 0.0;
+  };
+  std::vector<Partial> parts(static_cast<std::size_t>(T));
+  std::vector<BlockSimulator> sims;
+  std::vector<std::vector<double>> leak_buf(static_cast<std::size_t>(T));
+  sims.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    sims.emplace_back(nl, W);
+    leak_buf[static_cast<std::size_t>(t)].resize(lanes);
+    parts[static_cast<std::size_t>(t)].sum1.resize(n);
+    parts[static_cast<std::size_t>(t)].cnt1.resize(n);
+  }
+
+  std::vector<double> sum1(n, 0.0);
+  std::vector<double> sum0(n, 0.0);
+  std::vector<std::uint32_t> cnt1(n, 0);
+  double leak_total = 0.0;
+
+  ordered_block_sweep(
+      pool, nblocks,
+      [&](int t, std::size_t b) {
+        Partial& part = parts[static_cast<std::size_t>(t)];
+        BlockSimulator& sim = sims[static_cast<std::size_t>(t)];
+        Rng rng(block_seed(opts.seed, b));
+        for (GateId pi : nl.inputs()) {
+          for (int w = 0; w < W; ++w) {
+            sim.set_source_word(pi, w, rng.next_u64());
+          }
+        }
+        for (GateId ff : nl.dffs()) {
+          for (int w = 0; w < W; ++w) {
+            sim.set_source_word(ff, w, rng.next_u64());
+          }
+        }
+        sim.eval();
+        double* const leak = leak_buf[static_cast<std::size_t>(t)].data();
+        leval.eval(sim, {leak, lanes});
+
+        const std::size_t base = b * lanes;
+        const std::size_t batch = std::min(lanes, samples - base);
+        PatternWord valid[8];
+        for (int w = 0; w < W; ++w) {
+          const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
+          valid[w] = batch >= lane0 + 64 ? ~PatternWord{0}
+                     : batch > lane0 ? (PatternWord{1} << (batch - lane0)) - 1
+                                     : 0;
+        }
+        part.total = 0.0;
+        for (std::size_t lane = 0; lane < batch; ++lane) {
+          part.total += leak[lane];
+        }
+        for (GateId id = 0; id < n; ++id) {
+          const PatternWord* v = sim.block(id);
+          double s1 = 0.0;
+          std::uint32_t c1 = 0;
+          for (int w = 0; w < W; ++w) {
+            PatternWord bits = v[w] & valid[w];
+            c1 += static_cast<std::uint32_t>(std::popcount(bits));
+            const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
+            while (bits != 0) {
+              s1 += leak[lane0 +
+                         static_cast<std::size_t>(std::countr_zero(bits))];
+              bits &= bits - 1;
+            }
+          }
+          part.sum1[id] = s1;
+          part.cnt1[id] = c1;
+        }
+      },
+      [&](int t, std::size_t) {
+        const Partial& part = parts[static_cast<std::size_t>(t)];
+        leak_total += part.total;
+        for (GateId id = 0; id < n; ++id) {
+          sum1[id] += part.sum1[id];
+          sum0[id] += part.total - part.sum1[id];
+          cnt1[id] += part.cnt1[id];
+        }
+      });
+
+  mean_leakage_na_ = leak_total / static_cast<double>(samples);
+  for (GateId id = 0; id < n; ++id) {
+    const std::uint32_t c1 = cnt1[id];
+    const std::uint32_t c0 = static_cast<std::uint32_t>(samples) - c1;
     if (c1 == 0 || c0 == 0) {
       obs_[id] = 0.0;  // line never observed both ways: no preference signal
       continue;

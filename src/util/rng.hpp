@@ -18,6 +18,16 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Fixed per-block seed for deterministic parallel sweeps: block `index`
+/// of a sweep seeded with `seed` always draws the same stream, whichever
+/// worker processes it. Shared by the packed observability engine and the
+/// min-leakage vector search, whose bit-identical-across-thread-counts
+/// guarantees both rest on this derivation.
+inline std::uint64_t block_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(state);
+}
+
 /// xoshiro256** generator. Small, fast, high quality; not cryptographic.
 class Rng {
  public:

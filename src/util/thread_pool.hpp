@@ -15,6 +15,7 @@
 // index-derived slice of the work and merging slices in index order.
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -56,5 +57,30 @@ class ThreadPool {
   int outstanding_ = 0;           ///< helpers still running current job
   bool shutdown_ = false;
 };
+
+/// Deterministic wave-parallel sweep over `nblocks` independent blocks:
+/// each wave assigns block `wave + t` to worker t (so a worker's scratch
+/// holds exactly one block's partial at a time), then `merge` runs on the
+/// calling thread in ascending block order. Results are therefore
+/// bit-identical for any pool size as long as `work` derives everything
+/// from the block index (e.g. via block_seed()). Used by the packed
+/// Monte-Carlo observability engine and the min-leakage vector search.
+///
+/// work(worker, block): compute block `block` into worker-local state.
+/// merge(worker, block): fold that partial into the global accumulators.
+template <typename WorkFn, typename MergeFn>
+void ordered_block_sweep(ThreadPool& pool, std::size_t nblocks, WorkFn&& work,
+                         MergeFn&& merge) {
+  const std::size_t num_workers = static_cast<std::size_t>(pool.size());
+  for (std::size_t wave = 0; wave < nblocks; wave += num_workers) {
+    pool.run_on_all([&](int t) {
+      const std::size_t b = wave + static_cast<std::size_t>(t);
+      if (b < nblocks) work(t, b);
+    });
+    for (std::size_t t = 0; t < num_workers && wave + t < nblocks; ++t) {
+      merge(static_cast<int>(t), wave + t);
+    }
+  }
+}
 
 }  // namespace scanpower

@@ -225,6 +225,101 @@ TEST(FailureLogTest, LoadRejectsGarbage) {
   EXPECT_THROW(load_failure_log(ss), Error);
 }
 
+// Name-based records ("fail <pattern> po:<net>" / "ff:<cell>") round-trip
+// through save/load and resolve to the same failures -- they reference
+// nets, not indices, so they survive netlist re-finalization.
+TEST(FailureLogTest, NamedRecordsRoundTrip) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto pats = random_patterns(nl, 40, 0x10c);
+  const auto faults = collapse_faults(nl);
+  ResponseCapture cap(nl, 4);
+  FailureLog log = cap.inject(pats, faults[7]);
+  ASSERT_FALSE(log.failures.empty());
+
+  std::stringstream ss;
+  save_failure_log(ss, log, &nl, &cap.points(), /*named_records=*/true);
+  const std::string text = ss.str();
+  EXPECT_EQ(text.find(" 7\n"), std::string::npos);  // no raw indices
+  EXPECT_TRUE(text.find("po:") != std::string::npos ||
+              text.find("ff:") != std::string::npos);
+
+  const FailureLog back = load_failure_log(ss, &nl, &cap.points());
+  EXPECT_EQ(back.num_patterns, log.num_patterns);
+  EXPECT_EQ(back.failures, log.failures);
+
+  // Loading name-based records without the netlist context must fail
+  // loudly rather than mis-index.
+  std::stringstream again(text);
+  EXPECT_THROW(load_failure_log(again), Error);
+
+  // The informational "dff:<cell>.D" alias resolves too.
+  const std::size_t cap_op = cap.points().num_pos();  // first capture point
+  std::stringstream alias("patterns 40\nfail 3 " +
+                          cap.points().name(nl, cap_op) + "\n");
+  const FailureLog al = load_failure_log(alias, &nl, &cap.points());
+  ASSERT_EQ(al.failures.size(), 1u);
+  EXPECT_EQ(al.failures[0].op, static_cast<std::uint32_t>(cap_op));
+}
+
+TEST(FailureLogTest, NamedRecordRejectsUnknownNet) {
+  const Netlist nl = map_to_nand_nor_inv(make_s27());
+  const ObservationPoints ops(nl);
+  std::stringstream ss("patterns 4\nfail 0 po:not_a_net\n");
+  EXPECT_THROW(load_failure_log(ss, &nl, &ops), Error);
+  std::stringstream ss2("patterns 4\nfail 0 zz:whatever\n");
+  EXPECT_THROW(load_failure_log(ss2, &nl, &ops), Error);
+}
+
+// ---------- scoring early-exit ----------------------------------------------
+
+// Early-exit may only drop candidates that provably cannot win: the top
+// of the ranking (and every candidate at least as good as the best
+// no-early-exit explanation) must be unchanged, and dropped candidates
+// must rank strictly after all fully scored ones.
+TEST(DiagnoseTest, EarlyExitPreservesTheWinner) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s382"));
+  const auto faults = collapse_faults(nl);
+  const auto pats = random_patterns(nl, 96, 0xe4e);
+  ResponseCapture cap(nl, 4);
+  Diagnoser fast(nl, DiagnosisOptions{.score_early_exit = true});
+  Diagnoser full(nl, DiagnosisOptions{.score_early_exit = false});
+
+  int compared = 0;
+  std::size_t total_dropped = 0;
+  for (std::size_t fi = 0; fi < faults.size(); fi += 23) {
+    const FailureLog log = cap.inject(pats, faults[fi]);
+    if (log.failures.empty()) continue;
+    const DiagnosisResult a = fast.diagnose(pats, faults, log);
+    const DiagnosisResult b = full.diagnose(pats, faults, log);
+    ASSERT_EQ(a.ranked.size(), b.ranked.size());
+    EXPECT_EQ(b.num_dropped, 0u);
+    total_dropped += a.num_dropped;
+    EXPECT_EQ(a.rank_of(faults[fi]), b.rank_of(faults[fi]));
+    EXPECT_EQ(a.ranked[0].fault, b.ranked[0].fault);
+    EXPECT_EQ(a.ranked[0].tfsf, b.ranked[0].tfsf);
+    EXPECT_EQ(a.ranked[0].hamming(), b.ranked[0].hamming());
+    const std::uint64_t best = b.ranked[0].hamming();
+    for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+      if (!a.ranked[i].dropped) continue;
+      // Every following candidate is dropped too (they sort last)...
+      for (std::size_t j = i; j < a.ranked.size(); ++j) {
+        EXPECT_TRUE(a.ranked[j].dropped);
+      }
+      // ...and the full scoring confirms each dropped candidate is
+      // strictly worse than the winner.
+      for (std::size_t j = i; j < a.ranked.size(); ++j) {
+        const std::size_t full_rank = b.rank_of(a.ranked[j].fault);
+        EXPECT_GT(full_rank, 1u) << a.ranked[j].fault.to_string(nl);
+      }
+      break;
+    }
+    ++compared;
+  }
+  EXPECT_GE(compared, 10);
+  // The whole point: on single-fault logs most candidates drop early.
+  EXPECT_GT(total_dropped, 0u);
+}
+
 // ---------- diagnosis -------------------------------------------------------
 
 TEST(DiagnoseTest, InjectedFaultRanksFirstOnS344) {
@@ -294,6 +389,41 @@ TEST(DiagnoseTest, EmptyLogScoresEverythingAsUndetected) {
   for (const CandidateScore& sc : res.ranked) {
     EXPECT_EQ(sc.exact(), !det.detected[sc.fault_index])
         << sc.fault.to_string(nl);
+  }
+}
+
+// A pattern set spanning more than 64 blocks at W=1 exercises the
+// re-simulating (uncached) good-machine path of the round loop; rankings
+// must still be bit-identical to a wide-block run that caches every
+// block.
+TEST(DiagnoseTest, ManyBlockPatternSetsMatchCachedPath) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const auto faults = collapse_faults(nl);
+  ASSERT_GT(faults.size(), 64u);  // several scoring rounds
+  const auto pats = random_patterns(nl, 70 * 64 + 17, 0xb10c);
+  ResponseCapture cap(nl, 4);
+  const FailureLog log = cap.inject(pats, faults[3]);
+  ASSERT_FALSE(log.failures.empty());
+
+  DiagnosisResult ref;
+  bool have_ref = false;
+  for (int words : {1, 8}) {
+    Diagnoser d(nl, DiagnosisOptions{.block_words = words,
+                                     .cone_pruning = false});
+    const DiagnosisResult res = d.diagnose(pats, faults, log);
+    EXPECT_EQ(res.rank_of(faults[3]), 1u);
+    if (!have_ref) {
+      ref = res;
+      have_ref = true;
+      continue;
+    }
+    ASSERT_EQ(res.ranked.size(), ref.ranked.size());
+    for (std::size_t i = 0; i < ref.ranked.size(); ++i) {
+      ASSERT_EQ(res.ranked[i].fault, ref.ranked[i].fault) << "W=" << words;
+      ASSERT_EQ(res.ranked[i].tfsf, ref.ranked[i].tfsf);
+      ASSERT_EQ(res.ranked[i].tpsf, ref.ranked[i].tpsf);
+      ASSERT_EQ(res.ranked[i].dropped, ref.ranked[i].dropped);
+    }
   }
 }
 
