@@ -11,6 +11,9 @@
 #include "atpg/packed_sim.hpp"
 #include "atpg/tpg.hpp"
 #include "benchgen/benchgen.hpp"
+#include "compact/compact_diag.hpp"
+#include "compact/misr.hpp"
+#include "compact/signature_log.hpp"
 #include "core/dont_care_fill.hpp"
 #include "core/justify.hpp"
 #include "diag/diagnose.hpp"
@@ -201,6 +204,82 @@ BENCHMARK(BM_DiagnosisS9234)
     ->Args({4, 1, 0})   // scoring early-exit disabled (baseline)
     ->Args({4, 1, 1})
     ->Args({4, 4, 1});  // acceptance configuration
+
+// MISR time-compaction of the s9234-like profile's full 256-pattern
+// response matrix (default width-32 register, 32-pattern windows). Arg 0
+// is the scalar reference register (one response bit per step), args
+// 1/4/8 the bit-sliced packed engine at that block width. Throughput in
+// response bits compacted per second.
+void BM_MisrCompact(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+  ResponseCapture cap(nl, 4);
+  const ResponseMatrix responses = cap.capture_good(pats);
+  const MisrConfig cfg;
+  if (state.range(0) == 0) {
+    const Misr misr(cfg);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(misr.compact_scalar(responses));
+    }
+  } else {
+    const MisrCompactor compactor(cfg, static_cast<int>(state.range(0)));
+    std::vector<std::uint64_t> sigs(compactor.num_windows(pats.size()));
+    for (auto _ : state) {
+      compactor.compact(responses, nullptr, sigs);
+      benchmark::DoNotOptimize(sigs.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(responses.num_points) *
+                          static_cast<int64_t>(responses.num_patterns));
+}
+BENCHMARK(BM_MisrCompact)->Unit(benchmark::kMillisecond)
+    ->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+// Compacted-diagnosis variant of BM_DiagnosisS9234: one full
+// SignatureDiagnoser::diagnose() against the MISR signature log of the
+// same injected fault (default width/window). Args are (block words W,
+// worker threads); rankings are bit-identical across configurations.
+void BM_DiagnosisS9234Compact(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const auto faults = collapse_faults(nl);
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+
+  // The same deterministic device-under-diagnosis as BM_DiagnosisS9234.
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+  const FaultSimResult det = fsim.run(pats, faults);
+  std::size_t injected = faults.size();
+  for (std::size_t fi = faults.size() / 2; fi < faults.size(); ++fi) {
+    if (det.detected[fi]) {
+      injected = fi;
+      break;
+    }
+  }
+  SP_CHECK(injected < faults.size(),
+           "BM_DiagnosisS9234Compact: no detected fault in the second half");
+  SignatureCapture capture(nl, MisrConfig{}, 4);
+  const SignatureLog log = capture.inject(pats, faults[injected]);
+
+  DiagnosisOptions opts;
+  opts.block_words = static_cast<int>(state.range(0));
+  opts.num_threads = static_cast<int>(state.range(1));
+  SignatureDiagnoser diag(nl, opts);
+  for (auto _ : state) {
+    const DiagnosisResult res = diag.diagnose(pats, faults, log);
+    benchmark::DoNotOptimize(res.ranked.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_DiagnosisS9234Compact)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4});
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {
   const Netlist& nl = circuit("s1423");

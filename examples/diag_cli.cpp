@@ -8,7 +8,8 @@
 //                          against the loaded design)
 //     --inject <fault>     inject "net/sa0" / "gate.in2/sa1" synthetically
 //     --inject-index <n>   inject the n-th collapsed fault
-//     --save-log <file>    write the (synthetic) failure log
+//     --save-log <file>    write the (synthetic) failure log (with --compact:
+//                          the signature log)
 //     --named-log          save name-based records (survive renumbering)
 //     --no-early-exit      score every candidate to completion
 //     --random <n>         use n random patterns instead of the ATPG set
@@ -20,6 +21,21 @@
 //     --json <file>        machine-readable result dump
 //     --no-map             skip NAND/NOR/INV technology mapping
 //     --verbose            narrate progress
+//
+//   Response compaction (diagnosis over MISR signatures):
+//     --compact            compact responses into per-window MISR signatures
+//                          and diagnose window signature mismatches instead
+//                          of per-point failures
+//     --misr-width <n>     MISR register width in bits, 4..64 (default 32;
+//                          implies --compact)
+//     --misr-poly <hex>    MISR feedback polynomial, Galois right-shift form,
+//                          top bit required (default: per-width CRC constant;
+//                          implies --compact)
+//     --window <k>         patterns compacted per signature window
+//                          (default 32; implies --compact)
+//     --signature-log <f>  load a signature log as the failure source (its
+//                          recorded MISR configuration wins; implies
+//                          --compact)
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +51,7 @@
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 using namespace scanpower;
 
@@ -44,11 +61,17 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <design.bench|design.v> [--log file | --inject fault |"
-      " --inject-index n]\n"
+      " --inject-index n | --signature-log file]\n"
       "          [--save-log file] [--named-log] [--random n] [--seed n]\n"
       "          [--threads n] [--block-words w] [--no-prune]\n"
       "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
-      "          [--verbose]\n",
+      "          [--verbose]\n"
+      "          [--compact] [--misr-width n] [--misr-poly hex] [--window k]\n"
+      "\n"
+      "  --compact diagnoses MISR-compacted per-window signatures instead of\n"
+      "  per-point failures; --misr-width/--misr-poly/--window configure the\n"
+      "  compactor (and imply --compact), --signature-log loads a recorded\n"
+      "  signature log (its MISR configuration wins).\n",
       argv0);
   return 2;
 }
@@ -56,7 +79,7 @@ int usage(const char* argv0) {
 void dump_json(const std::string& path, const Netlist& nl,
                const DiagnosisOptions& dopts, const FailureLog& log,
                const DiagnosisResult& res, std::size_t num_patterns,
-               std::size_t top) {
+               std::size_t top, const SignatureLog* slog = nullptr) {
   std::ofstream f(path);
   SP_CHECK(f.good(), "cannot write " + path);
   JsonWriter j(f);
@@ -69,8 +92,21 @@ void dump_json(const std::string& path, const Netlist& nl,
   j.field("cone_pruning", dopts.cone_pruning);
   j.field("score_early_exit", dopts.score_early_exit);
   j.end_object();
+  if (slog != nullptr) {
+    j.begin_object("compact");
+    j.field("misr_width", slog->misr.width);
+    j.field("misr_poly", strprintf("%llx", static_cast<unsigned long long>(
+                                               slog->misr.resolved_poly())));
+    j.field("window", slog->misr.window);
+    j.field("num_windows", static_cast<std::uint64_t>(res.num_windows));
+    j.field("num_failing_windows",
+            static_cast<std::uint64_t>(res.num_failing_windows));
+    j.field("num_masked", static_cast<std::uint64_t>(res.num_masked));
+    j.end_object();
+  }
   j.begin_object("log");
-  j.field("num_failures", static_cast<std::uint64_t>(log.failures.size()));
+  j.field("num_failures", static_cast<std::uint64_t>(
+                              slog ? res.num_failures : log.failures.size()));
   j.field("num_failing_patterns",
           static_cast<std::uint64_t>(res.num_failing_patterns));
   j.field("num_failing_points",
@@ -95,6 +131,24 @@ void dump_json(const std::string& path, const Netlist& nl,
   j.end_object();
 }
 
+void print_ranked(const Netlist& nl, const DiagnosisResult& res,
+                  std::size_t top) {
+  std::printf("%5s %-28s %8s %8s %8s %6s\n", "rank", "fault", "TFSF", "TFSP",
+              "TPSF", "exact");
+  for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
+    const CandidateScore& sc = res.ranked[i];
+    std::printf("%5zu %-28s %8llu %8llu %8llu %6s\n", res.rank_of(sc.fault),
+                sc.fault.to_string(nl).c_str(),
+                static_cast<unsigned long long>(sc.tfsf),
+                static_cast<unsigned long long>(sc.tfsp),
+                static_cast<unsigned long long>(sc.tpsf),
+                sc.exact() ? "yes" : "no");
+  }
+  if (res.ranked.size() > top) {
+    std::printf("  ... %zu more candidates\n", res.ranked.size() - top);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,14 +159,31 @@ int main(int argc, char** argv) {
   long inject_index = -1;
   const char* save_log_path = nullptr;
   const char* json_path = nullptr;
+  const char* sig_log_path = nullptr;
   long num_random = 0;
   std::uint64_t seed = 0xd1a6ULL;
   bool do_map = true;
   bool named_log = false;
+  bool compact = false;
+  MisrConfig misr;
   DiagnosisOptions dopts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      compact = true;
+    } else if (std::strcmp(argv[i], "--misr-width") == 0 && i + 1 < argc) {
+      misr.width = std::atoi(argv[++i]);
+      compact = true;
+    } else if (std::strcmp(argv[i], "--misr-poly") == 0 && i + 1 < argc) {
+      misr.poly = std::strtoull(argv[++i], nullptr, 16);
+      compact = true;
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      misr.window = std::atoi(argv[++i]);
+      compact = true;
+    } else if (std::strcmp(argv[i], "--signature-log") == 0 && i + 1 < argc) {
+      sig_log_path = argv[++i];
+      compact = true;
     } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
       inject_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--inject-index") == 0 && i + 1 < argc) {
@@ -149,11 +220,17 @@ int main(int argc, char** argv) {
   }
   if (!path) return usage(argv[0]);
   const int sources = (log_path != nullptr) + (inject_spec != nullptr) +
-                      (inject_index >= 0);
+                      (inject_index >= 0) + (sig_log_path != nullptr);
   if (sources != 1) {
     std::fprintf(stderr,
-                 "error: exactly one of --log / --inject / --inject-index "
-                 "is required\n");
+                 "error: exactly one of --log / --inject / --inject-index / "
+                 "--signature-log is required\n");
+    return 2;
+  }
+  if (compact && log_path != nullptr) {
+    std::fprintf(stderr,
+                 "error: --compact diagnoses signature logs; use "
+                 "--signature-log (or --inject) instead of --log\n");
     return 2;
   }
 
@@ -187,8 +264,59 @@ int main(int argc, char** argv) {
                   patterns.size(), 100.0 * tests.fault_coverage());
     }
 
-    // ---- failure log ----------------------------------------------------
     const std::vector<Fault> faults = collapse_faults(nl);
+
+    // ---- compacted path: per-window MISR signatures ---------------------
+    if (compact) {
+      SignatureLog slog;
+      if (sig_log_path) {
+        slog = load_signature_log_file(sig_log_path);
+        SP_CHECK(slog.num_patterns == patterns.size(),
+                 "signature log pattern count does not match the applied set");
+      } else {
+        Fault injected;
+        if (inject_spec) {
+          injected = parse_fault(nl, inject_spec);
+        } else {
+          SP_CHECK(static_cast<std::size_t>(inject_index) < faults.size(),
+                   "--inject-index out of range");
+          injected = faults[static_cast<std::size_t>(inject_index)];
+        }
+        SignatureCapture capture(nl, misr, dopts.block_words);
+        slog = capture.inject(patterns, injected);
+        std::printf("injected %s: %zu/%zu failing windows\n",
+                    injected.to_string(nl).c_str(), slog.num_failing_windows(),
+                    slog.num_windows());
+      }
+      std::printf("MISR width %d, poly %llx, window %d patterns\n",
+                  slog.misr.width,
+                  static_cast<unsigned long long>(slog.misr.resolved_poly()),
+                  slog.misr.window);
+      if (save_log_path) {
+        save_signature_log_file(save_log_path, slog);
+        std::printf("wrote signature log to %s\n", save_log_path);
+      }
+      const DiagnosisResult res =
+          run_compacted_diagnosis(nl, patterns, slog, dopts);
+      if (res.num_failing_windows == 0) {
+        std::printf("\nno failing windows: nothing to diagnose (fault "
+                    "undetected by this pattern set?)\n");
+      } else {
+        std::printf("\n%zu/%zu failing windows (%zu masked point-windows) -> "
+                    "%zu/%zu candidates after back-trace\n\n",
+                    res.num_failing_windows, res.num_windows, res.num_masked,
+                    res.num_candidates, res.num_faults);
+        print_ranked(nl, res, dopts.max_report);
+      }
+      if (json_path) {
+        dump_json(json_path, nl, dopts, FailureLog{}, res, patterns.size(),
+                  dopts.max_report, &slog);
+        std::printf("\nwrote JSON result to %s\n", json_path);
+      }
+      return 0;
+    }
+
+    // ---- failure log ----------------------------------------------------
     FailureLog log;
     ResponseCapture capture(nl, dopts.block_words);
     if (log_path) {
@@ -232,20 +360,7 @@ int main(int argc, char** argv) {
                 res.num_failing_points, res.num_candidates, res.num_faults,
                 res.num_dropped);
     const std::size_t top = dopts.max_report;
-    std::printf("%5s %-28s %8s %8s %8s %6s\n", "rank", "fault", "TFSF", "TFSP",
-                "TPSF", "exact");
-    for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
-      const CandidateScore& sc = res.ranked[i];
-      std::printf("%5zu %-28s %8llu %8llu %8llu %6s\n", res.rank_of(sc.fault),
-                  sc.fault.to_string(nl).c_str(),
-                  static_cast<unsigned long long>(sc.tfsf),
-                  static_cast<unsigned long long>(sc.tfsp),
-                  static_cast<unsigned long long>(sc.tpsf),
-                  sc.exact() ? "yes" : "no");
-    }
-    if (res.ranked.size() > top) {
-      std::printf("  ... %zu more candidates\n", res.ranked.size() - top);
-    }
+    print_ranked(nl, res, top);
 
     if (json_path) {
       dump_json(json_path, nl, dopts, log, res, patterns.size(), top);

@@ -1,0 +1,249 @@
+#include "compact/compact_diag.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace scanpower {
+
+/// Per-worker mutable state for the parallel candidate sweep. Each
+/// candidate's predicted response diff is collected into `diff` (only
+/// rows the cone sweep actually reached are written, tracked in `dirty`
+/// so clearing is sparse), compacted into `diff_sigs`, and matched
+/// against the log's window signatures.
+struct SignatureDiagnoser::Worker {
+  FaultConeEvaluator eval;
+  std::vector<PatternWord> diff;          ///< num_points * words_per_point
+  std::vector<std::uint32_t> dirty;       ///< rows written for this candidate
+  std::vector<std::uint8_t> dirty_mark;   ///< per row
+  std::vector<std::uint64_t> diff_sigs;   ///< per window
+  std::unique_ptr<BlockSimulator> stream; ///< streaming good machine (only
+                                          ///< when blocks are not cached)
+};
+
+SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts)
+    : nl_(&nl), opts_(opts), points_(nl), cones_(nl, points_) {
+  SP_CHECK(nl.finalized(), "SignatureDiagnoser requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "diagnose: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
+  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  for (auto& w : workers_) {
+    w = std::make_unique<Worker>();
+    w->eval.init(nl, opts_.block_words);
+  }
+}
+
+SignatureDiagnoser::~SignatureDiagnoser() = default;
+
+std::vector<std::uint32_t> SignatureDiagnoser::prune_candidates(
+    std::span<const Fault> faults, const SignatureLog& log,
+    const XMaskPlan& plan) {
+  const Netlist& nl = *nl_;
+  // A failing window names no failing point, so the candidate must lie in
+  // the union of every unmasked point's cone for that window. Distinct
+  // unmasked sets are deduplicated before intersecting; without X-masking
+  // every failing window shares the full point set and the union is built
+  // once.
+  std::vector<std::vector<std::uint32_t>> op_sets;
+  for (std::size_t w = 0; w < log.num_windows(); ++w) {
+    if (!log.window_fails(w)) continue;
+    std::vector<std::uint32_t> ops;
+    for (std::size_t op = 0; op < points_.size(); ++op) {
+      if (!plan.masked(op, w)) ops.push_back(static_cast<std::uint32_t>(op));
+    }
+    op_sets.push_back(std::move(ops));
+  }
+  std::sort(op_sets.begin(), op_sets.end());
+  op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
+
+  return prune_by_cone_unions(nl, cones_, faults, op_sets);
+}
+
+template <int W>
+void SignatureDiagnoser::score_candidates(
+    std::span<const TestPattern> patterns, std::span<const Fault> faults,
+    std::span<const std::uint32_t> candidates, const SignatureLog& log,
+    const XMaskPlan& plan, const MisrCompactor& compactor,
+    std::vector<CandidateScore>& scores) {
+  const Netlist& nl = *nl_;
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
+  const std::size_t nblocks = (patterns.size() + lanes - 1) / lanes;
+  const std::size_t wpp = (patterns.size() + 63) / 64;
+  const std::size_t nwin = log.num_windows();
+  const int num_workers = pool_->size();
+
+  std::vector<std::uint64_t> obs_diff(nwin);
+  std::uint64_t num_failing = 0;
+  for (std::size_t w = 0; w < nwin; ++w) {
+    obs_diff[w] = log.observed[w] ^ log.expected[w];
+    if (obs_diff[w] != 0) ++num_failing;
+  }
+
+  // Every candidate revisits every block, so cache the simulated good
+  // machine per block while the pattern set is modest (num_gates * W * 8
+  // bytes per block) and fall back to per-worker re-simulation beyond
+  // the cap -- values are identical either way.
+  constexpr std::size_t kMaxCachedGoodBlocks = 256;
+  const bool cache_blocks = nblocks <= kMaxCachedGoodBlocks;
+  std::vector<BlockSimulator> goods;
+  if (cache_blocks) {
+    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+      goods.emplace_back(nl, W);
+      load_pattern_block(nl, patterns, base, goods.back());
+      goods.back().eval();
+    }
+  }
+
+  // Candidates round-robin across workers: each score slot has exactly
+  // one writer, and a candidate's counters depend only on its own full
+  // diff, so the ranking is bit-identical for every (block width, thread
+  // count) configuration.
+  pool_->run_on_all([&](int t) {
+    Worker& wk = *workers_[static_cast<std::size_t>(t)];
+    wk.diff.assign(points_.size() * wpp, 0);
+    wk.dirty.clear();
+    wk.dirty_mark.assign(points_.size(), 0);
+    wk.diff_sigs.assign(nwin, 0);
+    if (!cache_blocks && !wk.stream) {
+      wk.stream = std::make_unique<BlockSimulator>(nl, W);
+    }
+    for (std::size_t ci = static_cast<std::size_t>(t); ci < candidates.size();
+         ci += static_cast<std::size_t>(num_workers)) {
+      CandidateScore& sc = scores[ci];
+      const Fault& f = faults[candidates[ci]];
+      // A D-branch fault sinks its DFF gate id as the capture branch; a
+      // Q-stem fault sinks the same id meaning the Q net (read by
+      // downstream points).
+      const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+      bool any = false;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::size_t base = b * lanes;
+        const std::size_t batch = std::min(lanes, patterns.size() - base);
+        const BlockSimulator* good;
+        if (cache_blocks) {
+          good = &goods[b];
+        } else {
+          load_pattern_block(nl, patterns, base, *wk.stream);
+          wk.stream->eval();
+          good = wk.stream.get();
+        }
+        const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+        const std::size_t word0 = base / 64;
+        const std::size_t nwords = (batch + 63) / 64;
+        wk.eval.propagate<W>(
+            *good, f, mask, points_.observable(),
+            [&](GateId gate, const PatternWord* diff) {
+              const auto record = [&](std::uint32_t op) {
+                PatternWord* row = wk.diff.data() + op * wpp + word0;
+                for (std::size_t w = 0; w < nwords; ++w) row[w] = diff[w];
+                if (!wk.dirty_mark[op]) {
+                  wk.dirty_mark[op] = 1;
+                  wk.dirty.push_back(op);
+                }
+                any = true;
+              };
+              if (d_branch && gate == f.gate) {
+                record(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
+              } else {
+                for (std::uint32_t op : points_.points_of_gate(gate)) {
+                  record(op);
+                }
+              }
+            });
+      }
+      if (!any) {
+        // Unexcited candidate: predicts every window passing.
+        sc.tfsp = num_failing;
+        continue;
+      }
+      compactor.compact_rows(wk.diff, points_.size(), patterns.size(), &plan,
+                             wk.diff_sigs);
+      for (std::size_t w = 0; w < nwin; ++w) {
+        const std::uint64_t d = wk.diff_sigs[w];
+        if (obs_diff[w] != 0) {
+          if (d == obs_diff[w]) {
+            ++sc.tfsf;
+          } else if (d == 0) {
+            ++sc.tfsp;
+          } else {
+            ++sc.tfsp;  // fails the window, but with the wrong signature:
+            ++sc.tpsf;  // unexplained observation AND a misprediction
+          }
+        } else if (d != 0) {
+          ++sc.tpsf;
+        }
+      }
+      for (std::uint32_t op : wk.dirty) {
+        PatternWord* row = wk.diff.data() + op * wpp;
+        std::fill(row, row + wpp, 0);
+        wk.dirty_mark[op] = 0;
+      }
+      wk.dirty.clear();
+    }
+  });
+}
+
+DiagnosisResult SignatureDiagnoser::diagnose(
+    std::span<const TestPattern> patterns, std::span<const Fault> faults,
+    const SignatureLog& log) {
+  SP_CHECK(log.num_patterns == patterns.size(),
+           "diagnose: signature log covers a different pattern count");
+  SP_CHECK(log.num_windows() == log.misr.num_windows(patterns.size()) &&
+               log.observed.size() == log.expected.size(),
+           "diagnose: malformed signature log");
+  DiagnosisResult res;
+  res.num_faults = faults.size();
+  res.num_windows = log.num_windows();
+  res.num_failing_windows = log.num_failing_windows();
+  res.num_failures = res.num_failing_windows;
+
+  const MisrCompactor compactor(log.misr, opts_.block_words);
+  const XMaskPlan plan(*nl_, points_, patterns, log.misr.window,
+                       opts_.block_words);
+  res.num_masked = plan.num_masked();
+
+  // Recompute the expected signatures from the good machine; a mismatch
+  // means the log was recorded for different patterns or a different
+  // MISR configuration, which would silently wreck every score.
+  const std::vector<TestPattern> filled = zero_filled_patterns(patterns);
+  const std::span<const TestPattern> sim_patterns =
+      filled.empty() ? patterns : std::span<const TestPattern>(filled);
+  ResponseCapture capture(*nl_, opts_.block_words);
+  const ResponseMatrix good = capture.capture_good(sim_patterns);
+  SP_CHECK(compactor.compact(good, &plan) == log.expected,
+           "diagnose: signature log's expected signatures do not match the "
+           "good machine (wrong pattern set or MISR configuration?)");
+
+  std::vector<std::uint32_t> candidates;
+  if (opts_.cone_pruning) {
+    candidates = prune_candidates(faults, log, plan);
+  } else {
+    candidates.resize(faults.size());
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      candidates[fi] = static_cast<std::uint32_t>(fi);
+    }
+  }
+  res.num_candidates = candidates.size();
+
+  std::vector<CandidateScore> scores(candidates.size());
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    scores[ci].fault = faults[candidates[ci]];
+    scores[ci].fault_index = candidates[ci];
+  }
+
+  switch (opts_.block_words) {
+    case 1: score_candidates<1>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 2: score_candidates<2>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 4: score_candidates<4>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 8: score_candidates<8>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+
+  std::sort(scores.begin(), scores.end());
+  res.ranked = std::move(scores);
+  return res;
+}
+
+}  // namespace scanpower

@@ -1,0 +1,164 @@
+#include "compact/signature_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+std::size_t SignatureLog::num_failing_windows() const {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < num_windows(); ++w) {
+    if (window_fails(w)) ++n;
+  }
+  return n;
+}
+
+void save_signature_log(std::ostream& out, const SignatureLog& log) {
+  SP_CHECK(log.expected.size() == log.observed.size(),
+           "save_signature_log: expected/observed window counts differ");
+  out << "# scanpower signature log\n";
+  if (!log.circuit.empty()) out << "circuit " << log.circuit << "\n";
+  out << "patterns " << log.num_patterns << "\n";
+  out << strprintf("misr %d %llx %d\n", log.misr.width,
+                   static_cast<unsigned long long>(log.misr.resolved_poly()),
+                   log.misr.window);
+  out << "windows " << log.num_windows() << "\n";
+  for (std::size_t w = 0; w < log.num_windows(); ++w) {
+    out << strprintf("sig %zu %016llx %016llx\n", w,
+                     static_cast<unsigned long long>(log.expected[w]),
+                     static_cast<unsigned long long>(log.observed[w]));
+  }
+}
+
+SignatureLog load_signature_log(std::istream& in) {
+  SignatureLog log;
+  bool have_windows = false;
+  std::vector<std::uint8_t> seen;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed(trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    std::string kw;
+    ls >> kw;
+    if (kw == "circuit") {
+      ls >> log.circuit;
+    } else if (kw == "patterns") {
+      ls >> log.num_patterns;
+      SP_CHECK(!ls.fail(), strprintf("signature log line %zu: bad pattern "
+                                     "count", lineno));
+    } else if (kw == "misr") {
+      unsigned long long poly = 0;
+      ls >> log.misr.width >> std::hex >> poly >> std::dec >> log.misr.window;
+      SP_CHECK(!ls.fail(),
+               strprintf("signature log line %zu: expected \"misr <width> "
+                         "<poly-hex> <window>\"", lineno));
+      log.misr.poly = poly;
+    } else if (kw == "windows") {
+      std::size_t count = 0;
+      ls >> count;
+      SP_CHECK(!ls.fail(), strprintf("signature log line %zu: bad window "
+                                     "count", lineno));
+      log.expected.assign(count, 0);
+      log.observed.assign(count, 0);
+      seen.assign(count, 0);
+      have_windows = true;
+    } else if (kw == "sig") {
+      SP_CHECK(have_windows,
+               strprintf("signature log line %zu: \"sig\" before \"windows\"",
+                         lineno));
+      std::size_t w = 0;
+      unsigned long long exp = 0;
+      unsigned long long obs = 0;
+      ls >> w >> std::hex >> exp >> obs >> std::dec;
+      SP_CHECK(!ls.fail(), strprintf("signature log line %zu: expected \"sig "
+                                     "<window> <expected> <observed>\"",
+                                     lineno));
+      SP_CHECK(w < seen.size(),
+               strprintf("signature log line %zu: window %zu out of range",
+                         lineno, w));
+      SP_CHECK(!seen[w],
+               strprintf("signature log line %zu: duplicate window %zu",
+                         lineno, w));
+      seen[w] = 1;
+      log.expected[w] = exp;
+      log.observed[w] = obs;
+    } else {
+      SP_CHECK(false, strprintf("signature log line %zu: unknown keyword "
+                                "\"%s\"", lineno, kw.c_str()));
+    }
+  }
+  SP_CHECK(have_windows, "signature log: missing \"windows\" record");
+  SP_CHECK(std::all_of(seen.begin(), seen.end(),
+                       [](std::uint8_t s) { return s != 0; }),
+           "signature log: missing window records");
+  // Validate the MISR configuration (and that the window count matches it).
+  (void)Misr(log.misr);
+  SP_CHECK(log.misr.num_windows(log.num_patterns) == log.num_windows(),
+           "signature log: window count does not match patterns/window");
+  return log;
+}
+
+void save_signature_log_file(const std::string& path, const SignatureLog& log) {
+  std::ofstream f(path);
+  SP_CHECK(f.good(), "cannot write " + path);
+  save_signature_log(f, log);
+}
+
+SignatureLog load_signature_log_file(const std::string& path) {
+  std::ifstream f(path);
+  SP_CHECK(f.good(), "cannot read " + path);
+  return load_signature_log(f);
+}
+
+SignatureCapture::SignatureCapture(const Netlist& nl, MisrConfig cfg,
+                                   int block_words)
+    : nl_(&nl), cfg_(cfg), capture_(nl, block_words),
+      compactor_(cfg, block_words) {
+  cfg_.poly = cfg_.resolved_poly();
+}
+
+void SignatureCapture::bind(std::span<const TestPattern> patterns) {
+  const auto same = [](const TestPattern& a, const TestPattern& b) {
+    return a.pi == b.pi && a.ppi == b.ppi;
+  };
+  if (bound_valid_ && patterns.size() == bound_.size() &&
+      std::equal(patterns.begin(), patterns.end(), bound_.begin(), same)) {
+    return;
+  }
+  bound_.assign(patterns.begin(), patterns.end());
+  bound_valid_ = true;
+  filled_ = zero_filled_patterns(patterns);
+  mask_ = XMaskPlan(*nl_, capture_.points(), patterns, cfg_.window,
+                    capture_.block_words());
+  const ResponseMatrix good = capture_.capture_good(effective_patterns());
+  expected_ = compactor_.compact(good, &mask_);
+}
+
+SignatureLog SignatureCapture::inject(std::span<const TestPattern> patterns,
+                                      const Fault& f) {
+  bind(patterns);
+  const FailureLog failures = capture_.inject(effective_patterns(), f);
+  const ResponseMatrix diff = failures.to_matrix(points().size());
+  std::vector<std::uint64_t> diff_sigs = compactor_.compact(diff, &mask_);
+  SignatureLog log;
+  log.circuit = nl_->name();
+  log.num_patterns = patterns.size();
+  log.misr = cfg_;
+  log.expected = expected_;
+  log.observed.resize(expected_.size());
+  for (std::size_t w = 0; w < expected_.size(); ++w) {
+    log.observed[w] = expected_[w] ^ diff_sigs[w];
+  }
+  return log;
+}
+
+}  // namespace scanpower

@@ -126,6 +126,31 @@ DiagnosisResult run_diagnosis(const Netlist& nl,
   return res;
 }
 
+DiagnosisResult run_compacted_diagnosis(const Netlist& nl,
+                                        std::span<const TestPattern> patterns,
+                                        const SignatureLog& log,
+                                        const DiagnosisOptions& opts) {
+  SP_CHECK(nl.finalized(), "run_compacted_diagnosis requires a finalized netlist");
+  const std::vector<Fault> faults = collapse_faults(nl);
+  SignatureDiagnoser diag(nl, opts);
+  DiagnosisResult res = diag.diagnose(patterns, faults, log);
+  log_info(strprintf(
+      "compacted diagnosis[%s]: %zu/%zu failing windows (MISR width %d, "
+      "window %d, %zu masked point-windows) -> %zu/%zu candidates, best %s "
+      "(tfsf %llu, tfsp %llu, tpsf %llu)",
+      nl.name().c_str(), res.num_failing_windows, res.num_windows,
+      log.misr.width, log.misr.window, res.num_masked, res.num_candidates,
+      res.num_faults,
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl).c_str(),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
+  return res;
+}
+
 FlowResult run_flow(const Netlist& nl, const FlowOptions& opts) {
   SP_CHECK(nl.finalized(), "run_flow requires a finalized netlist");
   FlowResult res;

@@ -19,6 +19,9 @@
 #include <string>
 
 #include "atpg/tpg.hpp"
+#include "compact/compact_diag.hpp"
+#include "compact/misr.hpp"
+#include "compact/signature_log.hpp"
 #include "core/dont_care_fill.hpp"
 #include "core/find_pattern.hpp"
 #include "core/pin_reorder.hpp"
@@ -36,6 +39,7 @@ namespace scanpower {
 struct FlowOptions {
   TpgOptions tpg;
   DiagnosisOptions diag;  ///< used by the diagnosis flow entry points
+  MisrConfig misr;        ///< response-compaction config (compacted diagnosis)
   ObservabilityOptions observability;
   MuxPlanOptions mux;
   FillOptions fill;
@@ -100,5 +104,14 @@ DiagnosisResult run_diagnosis(const Netlist& nl,
                               std::span<const TestPattern> patterns,
                               const FailureLog& log,
                               const DiagnosisOptions& opts = {});
+
+/// Compacted-response analogue of run_diagnosis: diagnoses a per-window
+/// MISR signature log (the tester's view when responses are time-compacted
+/// instead of observed per point). The MISR configuration comes from the
+/// log; `opts` supplies the engine knobs.
+DiagnosisResult run_compacted_diagnosis(const Netlist& nl,
+                                        std::span<const TestPattern> patterns,
+                                        const SignatureLog& log,
+                                        const DiagnosisOptions& opts = {});
 
 }  // namespace scanpower

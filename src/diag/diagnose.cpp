@@ -8,8 +8,47 @@
 
 namespace scanpower {
 
+std::vector<std::uint32_t> prune_by_cone_unions(
+    const Netlist& nl, ObservationConeCache& cones,
+    std::span<const Fault> faults,
+    const std::vector<std::vector<std::uint32_t>>& op_sets) {
+  // allowed[g] = 1 iff gate g is in every op set's cone union. (The cone
+  // cache owns its DFS scratch; the union uses its own, so a lazy cone
+  // build mid-union cannot collide.)
+  std::vector<std::uint8_t> allowed(nl.num_gates(), 1);
+  std::vector<std::uint8_t> union_mark(nl.num_gates(), 0);
+  std::vector<GateId> uni;
+  for (const std::vector<std::uint32_t>& ops : op_sets) {
+    uni.clear();
+    for (std::uint32_t op : ops) {
+      for (GateId g : cones.cone(op)) {
+        if (!union_mark[g]) {
+          union_mark[g] = 1;
+          uni.push_back(g);
+        }
+      }
+    }
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      allowed[g] &= union_mark[g];
+    }
+    for (GateId g : uni) union_mark[g] = 0;
+  }
+
+  // A fault's effect enters observation cones at its site gate -- for a
+  // D-branch fault that is the capture cell itself, which the capture
+  // point's cone includes.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(faults.size());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (allowed[faults[fi].gate]) {
+      candidates.push_back(static_cast<std::uint32_t>(fi));
+    }
+  }
+  return candidates;
+}
+
 Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
-    : nl_(&nl), opts_(opts), points_(nl) {
+    : nl_(&nl), opts_(opts), points_(nl), cones_(nl, points_) {
   SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
            "diagnose: block_words must be 1, 2, 4 or 8");
@@ -17,50 +56,9 @@ Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
   pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
-  cone_cache_.resize(points_.size());
-  cone_cached_.assign(points_.size(), 0);
-  mark_.assign(nl.num_gates(), 0);
-  union_mark_.assign(nl.num_gates(), 0);
 }
 
 Diagnoser::~Diagnoser() = default;
-
-const std::vector<GateId>& Diagnoser::fanin_cone(std::size_t op) {
-  if (cone_cached_[op]) return cone_cache_[op];
-  const Netlist& nl = *nl_;
-  const std::span<const GateType> types = nl.types_flat();
-  std::vector<GateId> out;
-  std::vector<GateId> stack{points_.observed_gate(op)};
-  // `mark_` is reusable scratch: every entry set here is in `out` and is
-  // cleared before returning.
-  mark_[stack[0]] = 1;
-  while (!stack.empty()) {
-    const GateId id = stack.back();
-    stack.pop_back();
-    out.push_back(id);
-    // The scan boundary cuts the cone: a DFF's Q net is a pseudo-input
-    // (its own fault site), but logic behind its D pin belongs to the
-    // previous capture cycle.
-    if (!is_combinational(types[id])) continue;
-    for (GateId fin : nl.fanin_span(id)) {
-      if (!mark_[fin]) {
-        mark_[fin] = 1;
-        stack.push_back(fin);
-      }
-    }
-  }
-  if (points_.is_dff_capture(op)) {
-    const GateId cell = points_.dff_gate(op);
-    if (!mark_[cell]) {
-      mark_[cell] = 1;
-      out.push_back(cell);  // D-branch fault sites live on the capture cell
-    }
-  }
-  for (GateId id : out) mark_[id] = 0;
-  cone_cache_[op] = std::move(out);
-  cone_cached_[op] = 1;
-  return cone_cache_[op];
-}
 
 std::vector<std::uint32_t> Diagnoser::prune_candidates(
     std::span<const Fault> faults, const FailureLog& log) {
@@ -83,38 +81,7 @@ std::vector<std::uint32_t> Diagnoser::prune_candidates(
   std::sort(op_sets.begin(), op_sets.end());
   op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
 
-  // allowed[g] = 1 iff gate g is in every failing pattern's cone union.
-  // (fanin_cone owns mark_; the union uses its own scratch so a lazy cone
-  // build mid-union cannot collide.)
-  std::vector<std::uint8_t> allowed(nl.num_gates(), 1);
-  std::vector<GateId> uni;
-  for (const std::vector<std::uint32_t>& ops : op_sets) {
-    uni.clear();
-    for (std::uint32_t op : ops) {
-      for (GateId g : fanin_cone(op)) {
-        if (!union_mark_[g]) {
-          union_mark_[g] = 1;
-          uni.push_back(g);
-        }
-      }
-    }
-    for (GateId g = 0; g < nl.num_gates(); ++g) {
-      allowed[g] &= union_mark_[g];
-    }
-    for (GateId g : uni) union_mark_[g] = 0;
-  }
-
-  // A fault's effect enters observation cones at its site gate -- for a
-  // D-branch fault that is the capture cell itself, which the capture
-  // point's cone includes.
-  std::vector<std::uint32_t> candidates;
-  candidates.reserve(faults.size());
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    if (allowed[faults[fi].gate]) {
-      candidates.push_back(static_cast<std::uint32_t>(fi));
-    }
-  }
-  return candidates;
+  return prune_by_cone_unions(nl, cones_, faults, op_sets);
 }
 
 template <int W>

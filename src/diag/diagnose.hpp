@@ -40,6 +40,17 @@
 
 namespace scanpower {
 
+/// Shared cone-union back-trace used by both diagnosers: a candidate
+/// survives iff its site gate lies, for every op set, in the union of
+/// that set's observation-point cones. Full-response diagnosis passes
+/// one set per distinct failing-point pattern; compacted diagnosis one
+/// set of unmasked points per distinct failing window. Callers
+/// deduplicate `op_sets` (identical sets contribute identical unions).
+std::vector<std::uint32_t> prune_by_cone_unions(
+    const Netlist& nl, ObservationConeCache& cones,
+    std::span<const Fault> faults,
+    const std::vector<std::vector<std::uint32_t>>& op_sets);
+
 struct DiagnosisOptions {
   /// Pattern words per simulation block (1, 2, 4 or 8).
   int block_words = 4;
@@ -98,9 +109,16 @@ struct DiagnosisResult {
   std::size_t num_faults = 0;            ///< fault universe diagnosed against
   std::size_t num_candidates = 0;        ///< survived cone pruning (= ranked.size())
   std::size_t num_dropped = 0;           ///< scoring cut short by early-exit
-  std::size_t num_failures = 0;          ///< log entries
+  std::size_t num_failures = 0;          ///< log entries (failing windows
+                                         ///< for compacted diagnosis)
   std::size_t num_failing_patterns = 0;
   std::size_t num_failing_points = 0;    ///< distinct failing observation points
+
+  // Compacted-signature diagnosis only (SignatureDiagnoser); zero when
+  // diagnosing a full failure log.
+  std::size_t num_windows = 0;
+  std::size_t num_failing_windows = 0;
+  std::size_t num_masked = 0;            ///< masked (point, window) pairs
 
   /// 1-based competition rank of fault `f` among the scored candidates:
   /// candidates with equal scores share a rank (they are indistinguishable
@@ -124,12 +142,6 @@ class Diagnoser {
                            const FailureLog& log);
 
  private:
-  /// Gates a candidate's effect can pass through on the way to `op`:
-  /// the transitive fanin of the observed gate (sources included, cut at
-  /// the scan boundary) plus the op gate itself and, for capture points,
-  /// the scan cell (D-branch fault sites). Cached per observation point.
-  const std::vector<GateId>& fanin_cone(std::size_t op);
-
   std::vector<std::uint32_t> prune_candidates(std::span<const Fault> faults,
                                               const FailureLog& log);
 
@@ -144,10 +156,7 @@ class Diagnoser {
   const Netlist* nl_;
   DiagnosisOptions opts_;
   ObservationPoints points_;
-  std::vector<std::vector<GateId>> cone_cache_;  ///< per op, lazily built
-  std::vector<std::uint8_t> cone_cached_;
-  std::vector<std::uint8_t> mark_;               ///< fanin_cone DFS scratch
-  std::vector<std::uint8_t> union_mark_;         ///< cone-union scratch
+  ObservationConeCache cones_;           ///< per-op fanin cones, lazily built
   std::vector<FaultConeEvaluator> workers_;
   std::unique_ptr<ThreadPool> pool_;
 };

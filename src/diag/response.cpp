@@ -104,6 +104,51 @@ std::size_t ObservationPoints::point_of_dff(GateId d) const {
   return op == static_cast<std::uint32_t>(-1) ? kNone : op;
 }
 
+ObservationConeCache::ObservationConeCache(const Netlist& nl,
+                                           const ObservationPoints& points)
+    : nl_(&nl), points_(&points) {
+  cache_.resize(points.size());
+  cached_.assign(points.size(), 0);
+  mark_.assign(nl.num_gates(), 0);
+}
+
+const std::vector<GateId>& ObservationConeCache::cone(std::size_t op) {
+  if (cached_[op]) return cache_[op];
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+  std::vector<GateId> out;
+  std::vector<GateId> stack{points_->observed_gate(op)};
+  // `mark_` is reusable scratch: every entry set here is in `out` and is
+  // cleared before returning.
+  mark_[stack[0]] = 1;
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // The scan boundary cuts the cone: a DFF's Q net is a pseudo-input
+    // (its own fault site), but logic behind its D pin belongs to the
+    // previous capture cycle.
+    if (!is_combinational(types[id])) continue;
+    for (GateId fin : nl.fanin_span(id)) {
+      if (!mark_[fin]) {
+        mark_[fin] = 1;
+        stack.push_back(fin);
+      }
+    }
+  }
+  if (points_->is_dff_capture(op)) {
+    const GateId cell = points_->dff_gate(op);
+    if (!mark_[cell]) {
+      mark_[cell] = 1;
+      out.push_back(cell);  // D-branch fault sites live on the capture cell
+    }
+  }
+  for (GateId id : out) mark_[id] = 0;
+  cache_[op] = std::move(out);
+  cached_[op] = 1;
+  return cache_[op];
+}
+
 std::size_t ResponseMatrix::popcount() const {
   std::size_t n = 0;
   for (PatternWord w : words) n += static_cast<std::size_t>(std::popcount(w));

@@ -82,6 +82,27 @@ class ObservationPoints {
   std::vector<std::uint8_t> observable_;
 };
 
+/// Lazily built fanin cones of observation points: the gates a fault
+/// effect can pass through on the way to point `op` -- the transitive
+/// fanin of the observed gate (sources included, cut at the scan
+/// boundary: logic behind a DFF's D pin belongs to the previous capture
+/// cycle) plus, for capture points, the scan cell itself (D-branch fault
+/// sites live there). Shared by full-response and compacted-signature
+/// diagnosis, so the two engines cannot disagree about reachability.
+class ObservationConeCache {
+ public:
+  ObservationConeCache(const Netlist& nl, const ObservationPoints& points);
+
+  const std::vector<GateId>& cone(std::size_t op);
+
+ private:
+  const Netlist* nl_;
+  const ObservationPoints* points_;
+  std::vector<std::vector<GateId>> cache_;
+  std::vector<std::uint8_t> cached_;
+  std::vector<std::uint8_t> mark_;  ///< DFS scratch, all-zero between calls
+};
+
 /// Packed per-point response signatures: row `op` holds one bit per
 /// pattern (bit lane i of word w = pattern 64*w + i).
 struct ResponseMatrix {

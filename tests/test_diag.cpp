@@ -261,6 +261,51 @@ TEST(FailureLogTest, NamedRecordsRoundTrip) {
   EXPECT_EQ(al.failures[0].op, static_cast<std::uint32_t>(cap_op));
 }
 
+// Fuzz: random failure logs survive save -> load -> save in both text
+// formats (index-based and named po:/ff: records) with a byte-identical
+// second save and structural equality -- not just the hand-written logs
+// the example tests cover.
+TEST(FailureLogTest, FuzzRoundTripIsByteIdentical) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const ObservationPoints ops(nl);
+  Rng rng(0xf0f0);
+  for (int t = 0; t < 200; ++t) {
+    FailureLog log;
+    log.circuit = t % 7 == 0 ? "" : "c" + std::to_string(rng.next_below(1000));
+    log.num_patterns = 1 + rng.next_below(200);
+    const std::size_t raw = rng.next_below(60);  // duplicates welcome
+    for (std::size_t i = 0; i < raw; ++i) {
+      log.failures.push_back(
+          {static_cast<std::uint32_t>(rng.next_below(log.num_patterns)),
+           static_cast<std::uint32_t>(rng.next_below(ops.size()))});
+    }
+    log.normalize();
+
+    // Index-based records: loadable without any netlist context.
+    std::stringstream first;
+    save_failure_log(first, log, &nl, &ops);
+    const FailureLog back = load_failure_log(first);
+    EXPECT_EQ(back.circuit, log.circuit);
+    EXPECT_EQ(back.num_patterns, log.num_patterns);
+    EXPECT_EQ(back.failures, log.failures);
+    std::stringstream second;
+    save_failure_log(second, back, &nl, &ops);
+    EXPECT_EQ(second.str(), first.str());
+
+    // Named po:/ff: records: resolved against the netlist on load.
+    std::stringstream named_first;
+    save_failure_log(named_first, log, &nl, &ops, /*named_records=*/true);
+    const FailureLog named_back = load_failure_log(named_first, &nl, &ops);
+    EXPECT_EQ(named_back.circuit, log.circuit);
+    EXPECT_EQ(named_back.num_patterns, log.num_patterns);
+    EXPECT_EQ(named_back.failures, log.failures);
+    std::stringstream named_second;
+    save_failure_log(named_second, named_back, &nl, &ops,
+                     /*named_records=*/true);
+    EXPECT_EQ(named_second.str(), named_first.str());
+  }
+}
+
 TEST(FailureLogTest, NamedRecordRejectsUnknownNet) {
   const Netlist nl = map_to_nand_nor_inv(make_s27());
   const ObservationPoints ops(nl);
