@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       FlowOptions opts = base;
       opts.mux.slack_margin_ps = margin;
       FlowResult details;
-      const ScanPowerResult r = run_proposed(nl, tests, opts, &details);
+      ScanSession session(nl, opts);
+      const ScanPowerResult r = session.run_proposed(tests, &details);
       std::printf("%-7s* %12.0f %8zu %8zu %14.3e %12.2f\n", row.circuit,
                   margin, details.mux_plan.num_multiplexed,
                   details.mux_plan.multiplexed.size(), r.dynamic_per_hz_uw,

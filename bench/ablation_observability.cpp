@@ -42,9 +42,12 @@ int main(int argc, char** argv) {
     FlowOptions prob = base;
     prob.observability.method = ObservabilityMethod::Probabilistic;
 
-    const ScanPowerResult r_un = run_proposed(nl, tests, undirected, nullptr);
-    const ScanPowerResult r_mc = run_proposed(nl, tests, mc, nullptr);
-    const ScanPowerResult r_pr = run_proposed(nl, tests, prob, nullptr);
+    ScanSession s_un(nl, undirected);
+    ScanSession s_mc(nl, mc);
+    ScanSession s_pr(nl, prob);
+    const ScanPowerResult r_un = s_un.run_proposed(tests, nullptr);
+    const ScanPowerResult r_mc = s_mc.run_proposed(tests, nullptr);
+    const ScanPowerResult r_pr = s_pr.run_proposed(tests, nullptr);
     std::printf("%-7s* | %12.2f %12.2f %12.2f | dyn %.3e / %.3e / %.3e\n",
                 row.circuit, r_un.static_uw, r_mc.static_uw, r_pr.static_uw,
                 r_un.dynamic_per_hz_uw, r_mc.dynamic_per_hz_uw,

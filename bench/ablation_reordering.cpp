@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
     run4({}, {}, "traditional");
     // Proposed structure (pattern from the flow).
     FlowResult details;
-    run_proposed(nl, tests, opts, &details);
+    ScanSession session(nl, opts);
+    session.run_proposed(tests, &details);
     run4(details.pattern.pi_pattern, details.pattern.mux_pattern, "proposed");
     std::printf("\n");
     std::fflush(stdout);

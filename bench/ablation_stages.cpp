@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
       opts.use_observability_directive = c.obs;
       opts.do_min_leakage_fill = c.fill;
       opts.do_pin_reorder = c.reorder;
-      const ScanPowerResult r = run_proposed(nl, tests, opts, nullptr);
+      ScanSession session(nl, opts);
+      const ScanPowerResult r = session.run_proposed(tests, nullptr);
       std::printf("%-7s* %-22s %14.3e %12.2f\n", row.circuit, c.name,
                   r.dynamic_per_hz_uw, r.static_uw);
       std::fflush(stdout);

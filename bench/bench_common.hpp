@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "techmap/techmap.hpp"
 
 namespace scanpower::benchtool {

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     FlowOptions opts = tuned_options(st.num_comb_gates);
     const TestSet tests = generate_tests(nl, opts.tpg);
     FlowResult details;
-    run_proposed(nl, tests, opts, &details);
+    ScanSession session(nl, opts);
+    session.run_proposed(tests, &details);
     const StructureVerification v = verify_mux_structure(
         nl, details.mux_plan, details.pattern.mux_pattern, opts.delay, &tests);
     std::printf("%-7s* %8zu %9zu %9.1f%% | %8s %8s %8s\n", row.circuit,

@@ -16,6 +16,7 @@
 #include "compact/signature_log.hpp"
 #include "core/dont_care_fill.hpp"
 #include "core/justify.hpp"
+#include "core/session.hpp"
 #include "diag/diagnose.hpp"
 #include "diag/response.hpp"
 #include "power/leakage_model.hpp"
@@ -280,6 +281,78 @@ BENCHMARK(BM_DiagnosisS9234Compact)
     ->Args({1, 1})
     ->Args({4, 1})
     ->Args({4, 4});
+
+// The service-API acceptance kernel: 8 independent single-fault failure
+// logs against the s9234-like profile (256 patterns, full collapsed
+// list), diagnosed cold vs warm. Args are (warm session, worker threads):
+//  - warm = 0: the stateless per-call path -- every log constructs a
+//    throwaway ScanSession, paying the full shared-state build (netlist
+//    copy, collapsed fault list, observation points + cones, good-machine
+//    block cache, worker pool) before its diagnosis, which is what each
+//    separate diag_cli-style invocation costs.
+//  - warm = 1: one long-lived session diagnoses all 8 logs through
+//    diagnose_batch(); the shared state was built once outside the loop,
+//    logs fan round-robin across the session pool.
+// Results are bit-identical between the two paths (guarded by
+// tests/test_session.cpp); the warm/cold per-log time ratio is the
+// amortization headline recorded in BENCH_session.json.
+void BM_DiagnosisS9234Batch(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const bool warm = state.range(0) != 0;
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+
+  FlowOptions fopts;
+  fopts.diag.block_words = 4;
+  fopts.diag.num_threads = static_cast<int>(state.range(1));
+
+  // 8 deterministic devices-under-diagnosis: detected collapsed faults,
+  // evenly spread over the fault list (an undetected fault's empty log
+  // would skip cone pruning and distort the per-log cost).
+  const auto faults = collapse_faults(nl);
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+  const FaultSimResult det = fsim.run(pats, faults);
+  ScanSession session(nl, fopts);
+  session.bind_patterns(pats);
+  std::vector<Evidence> evidence;
+  std::size_t next = 0;  // never re-pick a fault: 8 *distinct* logs
+  for (std::size_t fi = 0; fi < faults.size() && evidence.size() < 8;
+       fi += faults.size() / 11 + 1) {
+    std::size_t pick = std::max(fi, next);
+    while (pick < faults.size() && !det.detected[pick]) ++pick;
+    if (pick >= faults.size()) break;
+    next = pick + 1;
+    evidence.push_back(session.inject(faults[pick]));
+  }
+  SP_CHECK(evidence.size() == 8, "BM_DiagnosisS9234Batch: need 8 logs");
+
+  if (warm) {
+    // Populate the lazy caches once so the loop measures steady state.
+    benchmark::DoNotOptimize(session.diagnose_batch(evidence));
+    for (auto _ : state) {
+      const std::vector<DiagnosisResult> rs = session.diagnose_batch(evidence);
+      benchmark::DoNotOptimize(rs.data());
+    }
+  } else {
+    for (auto _ : state) {
+      for (const Evidence& ev : evidence) {
+        ScanSession cold(nl, fopts);
+        cold.bind_patterns(pats);
+        const DiagnosisResult r = cold.diagnose(ev);
+        benchmark::DoNotOptimize(r.ranked.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(evidence.size()));
+}
+BENCHMARK(BM_DiagnosisS9234Batch)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 1})   // cold per-call baseline
+    ->Args({1, 1})   // warm session (acceptance comparison at T=1)
+    ->Args({0, 4})
+    ->Args({1, 4});
 
 void BM_StaticTimingAnalysis(benchmark::State& state) {
   const Netlist& nl = circuit("s1423");

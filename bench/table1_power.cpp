@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
       continue;
     }
     const FlowOptions opts = tuned_options(st.num_comb_gates);
-    const FlowResult r = run_flow(nl, opts);
+    ScanSession session(nl, opts);
+    const FlowResult r = session.run_flow();
     std::printf(
         "%-7s* | %11.3e %11.2f | %11.3e %11.2f | %11.3e %11.2f | %7.2f "
         "%7.2f | %7.2f %7.2f   (measured)\n",

@@ -1,15 +1,20 @@
 // Fault-diagnosis front end: read a .bench / structural .v design, obtain
-// a failing-pattern log (from a tester file, or synthetically by injecting
-// a fault), and print the ranked candidate report.
+// one or more failing-pattern logs (from tester files, or synthetically by
+// injecting a fault), and print the ranked candidate report(s). Built on
+// the stateful ScanSession API: the design's engine state (collapsed
+// faults, observation cones, good-machine blocks, worker pool) is paid
+// once and shared by every log -- a batch of K logs costs K scoring
+// passes, not K full setups.
 //
 //   diag_cli <design.bench|design.v> [options]
-//     --log <file>         load a failure log (see diag/response.hpp format;
-//                          name-based "po:<net>"/"ff:<cell>" records resolve
-//                          against the loaded design)
+//     --log <file>         load a failure log (repeatable: each --log adds
+//                          one log to the batch; see diag/response.hpp
+//                          format; name-based "po:<net>"/"ff:<cell>"
+//                          records resolve against the loaded design)
 //     --inject <fault>     inject "net/sa0" / "gate.in2/sa1" synthetically
 //     --inject-index <n>   inject the n-th collapsed fault
-//     --save-log <file>    write the (synthetic) failure log (with --compact:
-//                          the signature log)
+//     --save-log <file>    write the (synthetic or loaded) log back out;
+//                          single-log runs only
 //     --named-log          save name-based records (survive renumbering)
 //     --no-early-exit      score every candidate to completion
 //     --random <n>         use n random patterns instead of the ATPG set
@@ -18,7 +23,8 @@
 //     --block-words <w>    packed block width (1, 2, 4 or 8)
 //     --no-prune           score the whole fault list (skip cone back-trace)
 //     --top <n>            report size (default 10)
-//     --json <file>        machine-readable result dump
+//     --json <file>        machine-readable result dump (an object for a
+//                          single log, an array of objects for a batch)
 //     --no-map             skip NAND/NOR/INV technology mapping
 //     --verbose            narrate progress
 //
@@ -33,20 +39,23 @@
 //                          implies --compact)
 //     --window <k>         patterns compacted per signature window
 //                          (default 32; implies --compact)
-//     --signature-log <f>  load a signature log as the failure source (its
-//                          recorded MISR configuration wins; implies
-//                          --compact)
+//     --signature-log <f>  load a signature log (repeatable, may be mixed
+//                          with --log; its recorded MISR configuration
+//                          wins; implies --compact)
+//
+// Batches mix freely: two failure logs and a signature log in one run hit
+// the same session.diagnose_batch() entry point and come back in order.
 
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
+#include <variant>
+#include <vector>
 
-#include "core/flow.hpp"
-#include "netlist/bench_io.hpp"
+#include "cli_common.hpp"
+#include "core/session.hpp"
 #include "netlist/stats.hpp"
-#include "netlist/verilog_io.hpp"
-#include "techmap/techmap.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -60,31 +69,34 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <design.bench|design.v> [--log file | --inject fault |"
-      " --inject-index n | --signature-log file]\n"
+      "usage: %s <design.bench|design.v> [--log file]... "
+      "[--signature-log file]...\n"
+      "          [--inject fault | --inject-index n]\n"
       "          [--save-log file] [--named-log] [--random n] [--seed n]\n"
       "          [--threads n] [--block-words w] [--no-prune]\n"
       "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
       "          [--verbose]\n"
       "          [--compact] [--misr-width n] [--misr-poly hex] [--window k]\n"
       "\n"
-      "  --compact diagnoses MISR-compacted per-window signatures instead of\n"
-      "  per-point failures; --misr-width/--misr-poly/--window configure the\n"
-      "  compactor (and imply --compact), --signature-log loads a recorded\n"
-      "  signature log (its MISR configuration wins).\n",
+      "  --log / --signature-log are repeatable and may be mixed: all logs\n"
+      "  are diagnosed in one batch against one shared engine session, and\n"
+      "  --json then emits one array with a result object per log (in\n"
+      "  input order). --compact diagnoses MISR-compacted per-window\n"
+      "  signatures for the injection modes; --misr-width/--misr-poly/\n"
+      "  --window configure the compactor (and imply --compact).\n",
       argv0);
   return 2;
 }
 
-void dump_json(const std::string& path, const Netlist& nl,
-               const DiagnosisOptions& dopts, const FailureLog& log,
-               const DiagnosisResult& res, std::size_t num_patterns,
-               std::size_t top, const SignatureLog* slog = nullptr) {
-  std::ofstream f(path);
-  SP_CHECK(f.good(), "cannot write " + path);
-  JsonWriter j(f);
+void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts,
+                 const std::string& source, const Evidence& ev,
+                 const DiagnosisResult& res, std::size_t num_patterns,
+                 std::size_t top) {
+  const SignatureLog* slog = std::get_if<SignatureLog>(&ev);
+  const FailureLog* flog = std::get_if<FailureLog>(&ev);
   j.begin_object();
   j.field("circuit", nl.name());
+  j.field("source", source);
   j.field("num_patterns", static_cast<std::uint64_t>(num_patterns));
   j.begin_object("options");
   j.field("block_words", dopts.block_words);
@@ -105,8 +117,9 @@ void dump_json(const std::string& path, const Netlist& nl,
     j.end_object();
   }
   j.begin_object("log");
-  j.field("num_failures", static_cast<std::uint64_t>(
-                              slog ? res.num_failures : log.failures.size()));
+  j.field("num_failures",
+          static_cast<std::uint64_t>(flog ? flog->failures.size()
+                                          : res.num_failures));
   j.field("num_failing_patterns",
           static_cast<std::uint64_t>(res.num_failing_patterns));
   j.field("num_failing_points",
@@ -149,17 +162,46 @@ void print_ranked(const Netlist& nl, const DiagnosisResult& res,
   }
 }
 
+void print_result(const Netlist& nl, const std::string& source,
+                  const Evidence& ev, const DiagnosisResult& res,
+                  std::size_t top) {
+  if (std::holds_alternative<SignatureLog>(ev)) {
+    std::printf("\n[%s] %zu/%zu failing windows (%zu masked point-windows) -> "
+                "%zu/%zu candidates after back-trace\n\n",
+                source.c_str(), res.num_failing_windows, res.num_windows,
+                res.num_masked, res.num_candidates, res.num_faults);
+  } else {
+    std::printf("\n[%s] %zu failures (%zu patterns, %zu observation points) "
+                "-> %zu/%zu candidates after back-trace (%zu dropped "
+                "early)\n\n",
+                source.c_str(), res.num_failures, res.num_failing_patterns,
+                res.num_failing_points, res.num_candidates, res.num_faults,
+                res.num_dropped);
+  }
+  print_ranked(nl, res, top);
+}
+
+bool evidence_has_failures(const Evidence& ev) {
+  if (const FailureLog* flog = std::get_if<FailureLog>(&ev)) {
+    return !flog->failures.empty();
+  }
+  return std::get<SignatureLog>(ev).num_failing_windows() != 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const char* path = nullptr;
-  const char* log_path = nullptr;
+  struct FileLog {
+    const char* path;
+    bool signature;
+  };
+  std::vector<FileLog> file_logs;  // in argv order
   const char* inject_spec = nullptr;
   long inject_index = -1;
   const char* save_log_path = nullptr;
   const char* json_path = nullptr;
-  const char* sig_log_path = nullptr;
   long num_random = 0;
   std::uint64_t seed = 0xd1a6ULL;
   bool do_map = true;
@@ -168,49 +210,41 @@ int main(int argc, char** argv) {
   MisrConfig misr;
   DiagnosisOptions dopts;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
-      log_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--compact") == 0) {
+    const char* v = nullptr;
+    if (cli::value_flag(argc, argv, i, "--log", v)) {
+      file_logs.push_back({v, false});
+    } else if (cli::flag(argv, i, "--compact")) {
       compact = true;
-    } else if (std::strcmp(argv[i], "--misr-width") == 0 && i + 1 < argc) {
-      misr.width = std::atoi(argv[++i]);
+    } else if (cli::value_flag(argc, argv, i, "--misr-width", misr.width)) {
       compact = true;
-    } else if (std::strcmp(argv[i], "--misr-poly") == 0 && i + 1 < argc) {
-      misr.poly = std::strtoull(argv[++i], nullptr, 16);
+    } else if (cli::hex_value_flag(argc, argv, i, "--misr-poly", misr.poly)) {
       compact = true;
-    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
-      misr.window = std::atoi(argv[++i]);
+    } else if (cli::value_flag(argc, argv, i, "--window", misr.window)) {
       compact = true;
-    } else if (std::strcmp(argv[i], "--signature-log") == 0 && i + 1 < argc) {
-      sig_log_path = argv[++i];
-      compact = true;
-    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
-      inject_spec = argv[++i];
-    } else if (std::strcmp(argv[i], "--inject-index") == 0 && i + 1 < argc) {
-      inject_index = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--save-log") == 0 && i + 1 < argc) {
-      save_log_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--random") == 0 && i + 1 < argc) {
-      num_random = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      dopts.num_threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--block-words") == 0 && i + 1 < argc) {
-      dopts.block_words = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+    } else if (cli::value_flag(argc, argv, i, "--signature-log", v)) {
+      // Signature logs are inherently compacted; no --compact implied, so
+      // they mix with --log files in one batch.
+      file_logs.push_back({v, true});
+    } else if (cli::value_flag(argc, argv, i, "--inject", inject_spec)) {
+    } else if (cli::value_flag(argc, argv, i, "--inject-index", inject_index)) {
+    } else if (cli::value_flag(argc, argv, i, "--save-log", save_log_path)) {
+    } else if (cli::value_flag(argc, argv, i, "--random", num_random)) {
+    } else if (cli::value_flag(argc, argv, i, "--seed", seed)) {
+    } else if (cli::value_flag(argc, argv, i, "--threads", dopts.num_threads)) {
+    } else if (cli::value_flag(argc, argv, i, "--block-words",
+                               dopts.block_words)) {
+    } else if (cli::flag(argv, i, "--no-prune")) {
       dopts.cone_pruning = false;
-    } else if (std::strcmp(argv[i], "--no-early-exit") == 0) {
+    } else if (cli::flag(argv, i, "--no-early-exit")) {
       dopts.score_early_exit = false;
-    } else if (std::strcmp(argv[i], "--named-log") == 0) {
+    } else if (cli::flag(argv, i, "--named-log")) {
       named_log = true;
-    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
-      dopts.max_report = static_cast<std::size_t>(std::atol(argv[++i]));
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--no-map") == 0) {
+    } else if (cli::value_flag(argc, argv, i, "--top", v)) {
+      dopts.max_report = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
+    } else if (cli::flag(argv, i, "--no-map")) {
       do_map = false;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+    } else if (cli::flag(argv, i, "--verbose")) {
       set_log_level(LogLevel::Info);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
@@ -219,152 +253,184 @@ int main(int argc, char** argv) {
     }
   }
   if (!path) return usage(argv[0]);
-  const int sources = (log_path != nullptr) + (inject_spec != nullptr) +
-                      (inject_index >= 0) + (sig_log_path != nullptr);
-  if (sources != 1) {
+  const bool inject_mode = inject_spec != nullptr || inject_index >= 0;
+  if (inject_mode ? !file_logs.empty() || (inject_spec && inject_index >= 0)
+                  : file_logs.empty()) {
     std::fprintf(stderr,
-                 "error: exactly one of --log / --inject / --inject-index / "
-                 "--signature-log is required\n");
+                 "error: give either one --inject / --inject-index, or any "
+                 "number of --log / --signature-log files\n");
     return 2;
   }
-  if (compact && log_path != nullptr) {
+  const bool any_full_log =
+      std::any_of(file_logs.begin(), file_logs.end(),
+                  [](const FileLog& f) { return !f.signature; });
+  if (compact && any_full_log) {
     std::fprintf(stderr,
                  "error: --compact diagnoses signature logs; use "
                  "--signature-log (or --inject) instead of --log\n");
     return 2;
   }
+  if (save_log_path && !inject_mode && file_logs.size() != 1) {
+    std::fprintf(stderr, "error: --save-log needs a single-log run\n");
+    return 2;
+  }
 
   try {
-    const std::string path_str(path);
-    const bool is_verilog =
-        path_str.size() > 2 && path_str.rfind(".v") == path_str.size() - 2;
-    Netlist nl =
-        is_verilog ? parse_verilog_file(path_str) : parse_bench_file(path_str);
-    if (do_map && !is_mapped(nl)) nl = map_to_nand_nor_inv(nl);
+    Netlist nl = cli::load_design(path, do_map);
     std::printf("%s: %s\n", nl.name().c_str(),
                 compute_stats(nl).to_string().c_str());
 
+    // One session carries every shared piece of engine state -- faults,
+    // observation cones, good-machine blocks, X-mask plans, the worker
+    // pool -- across all logs of this run.
+    FlowOptions fopts;
+    fopts.diag = dopts;
+    fopts.misr = misr;
+    fopts.tpg.seed = seed;
+    fopts.tpg.fault_sim.block_words = dopts.block_words;
+    fopts.tpg.fault_sim.num_threads = dopts.num_threads;
+    ScanSession session(std::move(nl), fopts);
+    const Netlist& design = session.netlist();
+
     // ---- pattern set ----------------------------------------------------
-    std::vector<TestPattern> patterns;
     if (num_random > 0) {
       Rng rng(seed);
+      std::vector<TestPattern> patterns;
       for (long i = 0; i < num_random; ++i) {
-        patterns.push_back(random_pattern(nl, rng));
+        patterns.push_back(random_pattern(design, rng));
       }
+      session.bind_patterns(patterns);
       std::printf("%zu random patterns (seed 0x%llx)\n", patterns.size(),
                   static_cast<unsigned long long>(seed));
     } else {
-      TpgOptions tpg;
-      tpg.seed = seed;
-      tpg.fault_sim.block_words = dopts.block_words;
-      tpg.fault_sim.num_threads = dopts.num_threads;
-      const TestSet tests = generate_tests(nl, tpg);
-      patterns = tests.patterns;
+      session.bind_tests();
       std::printf("%zu ATPG patterns, %.1f%% fault coverage\n",
-                  patterns.size(), 100.0 * tests.fault_coverage());
+                  session.patterns().size(),
+                  100.0 * session.tests().fault_coverage());
     }
+    const std::size_t num_patterns = session.patterns().size();
 
-    const std::vector<Fault> faults = collapse_faults(nl);
-
-    // ---- compacted path: per-window MISR signatures ---------------------
-    if (compact) {
-      SignatureLog slog;
-      if (sig_log_path) {
-        slog = load_signature_log_file(sig_log_path);
-        SP_CHECK(slog.num_patterns == patterns.size(),
-                 "signature log pattern count does not match the applied set");
-      } else {
-        Fault injected;
-        if (inject_spec) {
-          injected = parse_fault(nl, inject_spec);
-        } else {
-          SP_CHECK(static_cast<std::size_t>(inject_index) < faults.size(),
-                   "--inject-index out of range");
-          injected = faults[static_cast<std::size_t>(inject_index)];
-        }
-        SignatureCapture capture(nl, misr, dopts.block_words);
-        slog = capture.inject(patterns, injected);
-        std::printf("injected %s: %zu/%zu failing windows\n",
-                    injected.to_string(nl).c_str(), slog.num_failing_windows(),
-                    slog.num_windows());
-      }
-      std::printf("MISR width %d, poly %llx, window %d patterns\n",
-                  slog.misr.width,
-                  static_cast<unsigned long long>(slog.misr.resolved_poly()),
-                  slog.misr.window);
-      if (save_log_path) {
-        save_signature_log_file(save_log_path, slog);
-        std::printf("wrote signature log to %s\n", save_log_path);
-      }
-      const DiagnosisResult res =
-          run_compacted_diagnosis(nl, patterns, slog, dopts);
-      if (res.num_failing_windows == 0) {
-        std::printf("\nno failing windows: nothing to diagnose (fault "
-                    "undetected by this pattern set?)\n");
-      } else {
-        std::printf("\n%zu/%zu failing windows (%zu masked point-windows) -> "
-                    "%zu/%zu candidates after back-trace\n\n",
-                    res.num_failing_windows, res.num_windows, res.num_masked,
-                    res.num_candidates, res.num_faults);
-        print_ranked(nl, res, dopts.max_report);
-      }
-      if (json_path) {
-        dump_json(json_path, nl, dopts, FailureLog{}, res, patterns.size(),
-                  dopts.max_report, &slog);
-        std::printf("\nwrote JSON result to %s\n", json_path);
-      }
-      return 0;
-    }
-
-    // ---- failure log ----------------------------------------------------
-    FailureLog log;
-    ResponseCapture capture(nl, dopts.block_words);
-    if (log_path) {
-      log = load_failure_log_file(log_path, &nl, &capture.points());
-      SP_CHECK(log.num_patterns == patterns.size(),
-               "failure log pattern count does not match the applied set");
-    } else {
+    // ---- evidence -------------------------------------------------------
+    std::vector<Evidence> evidence;
+    std::vector<std::string> sources;
+    if (inject_mode) {
       Fault injected;
       if (inject_spec) {
-        injected = parse_fault(nl, inject_spec);
+        injected = parse_fault(design, inject_spec);
       } else {
-        SP_CHECK(static_cast<std::size_t>(inject_index) < faults.size(),
+        SP_CHECK(static_cast<std::size_t>(inject_index) <
+                     session.faults().size(),
                  "--inject-index out of range");
-        injected = faults[static_cast<std::size_t>(inject_index)];
+        injected = session.faults()[static_cast<std::size_t>(inject_index)];
       }
-      log = capture.inject(patterns, injected);
-      std::printf("injected %s: %zu failures\n",
-                  injected.to_string(nl).c_str(), log.failures.size());
-    }
-    if (save_log_path) {
-      save_failure_log_file(save_log_path, log, &nl, &capture.points(),
-                            named_log);
-      std::printf("wrote failure log to %s\n", save_log_path);
-    }
-    if (log.failures.empty()) {
-      std::printf("\nno failures: nothing to diagnose (fault undetected by "
-                  "this pattern set?)\n");
-      if (json_path) {
-        const DiagnosisResult empty_res;
-        dump_json(json_path, nl, dopts, log, empty_res, patterns.size(),
-                  dopts.max_report);
+      if (compact) {
+        SignatureLog slog = session.inject_compacted(injected);
+        std::printf("injected %s: %zu/%zu failing windows\n",
+                    injected.to_string(design).c_str(),
+                    slog.num_failing_windows(), slog.num_windows());
+        std::printf("MISR width %d, poly %llx, window %d patterns\n",
+                    slog.misr.width,
+                    static_cast<unsigned long long>(slog.misr.resolved_poly()),
+                    slog.misr.window);
+        if (save_log_path) {
+          save_signature_log_file(save_log_path, slog);
+          std::printf("wrote signature log to %s\n", save_log_path);
+        }
+        evidence.push_back(std::move(slog));
+      } else {
+        FailureLog log = session.inject(injected);
+        std::printf("injected %s: %zu failures\n",
+                    injected.to_string(design).c_str(), log.failures.size());
+        if (save_log_path) {
+          save_failure_log_file(save_log_path, log, &design, &session.points(),
+                                named_log);
+          std::printf("wrote failure log to %s\n", save_log_path);
+        }
+        evidence.push_back(std::move(log));
       }
-      return 0;
+      sources.push_back("injected " + injected.to_string(design));
+    } else {
+      // Load in argv order: batch results come back index-aligned, so the
+      // report / JSON array order must match the flags as given.
+      for (const FileLog& f : file_logs) {
+        if (f.signature) {
+          SignatureLog slog = load_signature_log_file(f.path);
+          SP_CHECK(slog.num_patterns == num_patterns,
+                   std::string(f.path) +
+                       ": signature log pattern count does not match the "
+                       "applied set");
+          if (save_log_path) {
+            save_signature_log_file(save_log_path, slog);
+            std::printf("wrote signature log to %s\n", save_log_path);
+          }
+          evidence.push_back(std::move(slog));
+        } else {
+          FailureLog log =
+              load_failure_log_file(f.path, &design, &session.points());
+          SP_CHECK(log.num_patterns == num_patterns,
+                   std::string(f.path) +
+                       ": failure log pattern count does not match the "
+                       "applied set");
+          if (save_log_path) {
+            save_failure_log_file(save_log_path, log, &design,
+                                  &session.points(), named_log);
+            std::printf("wrote failure log to %s\n", save_log_path);
+          }
+          evidence.push_back(std::move(log));
+        }
+        sources.push_back(f.path);
+      }
     }
 
     // ---- diagnosis ------------------------------------------------------
-    const DiagnosisResult res = run_diagnosis(nl, patterns, log, dopts);
-    std::printf("\n%zu failures (%zu patterns, %zu observation points) -> "
-                "%zu/%zu candidates after back-trace (%zu dropped early)\n\n",
-                res.num_failures, res.num_failing_patterns,
-                res.num_failing_points, res.num_candidates, res.num_faults,
-                res.num_dropped);
-    const std::size_t top = dopts.max_report;
-    print_ranked(nl, res, top);
+    // A log with nothing failing means an undetected fault: diagnosing it
+    // would rank every fault as a perfect explanation, so such entries are
+    // skipped (empty result object) and flagged instead. The filtered
+    // copy is only built when something actually needs skipping.
+    const bool all_fail = std::all_of(evidence.begin(), evidence.end(),
+                                      evidence_has_failures);
+    std::vector<DiagnosisResult> results;
+    if (all_fail) {
+      results = session.diagnose_batch(evidence);
+    } else {
+      std::vector<Evidence> todo;
+      std::vector<std::size_t> todo_at;
+      for (std::size_t i = 0; i < evidence.size(); ++i) {
+        if (evidence_has_failures(evidence[i])) {
+          todo.push_back(evidence[i]);
+          todo_at.push_back(i);
+        }
+      }
+      results.resize(evidence.size());
+      std::vector<DiagnosisResult> done = session.diagnose_batch(todo);
+      for (std::size_t k = 0; k < done.size(); ++k) {
+        results[todo_at[k]] = std::move(done[k]);
+      }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!evidence_has_failures(evidence[i])) {
+        std::printf("\n[%s] no failures: nothing to diagnose (fault "
+                    "undetected by this pattern set?)\n",
+                    sources[i].c_str());
+      } else {
+        print_result(design, sources[i], evidence[i], results[i],
+                     dopts.max_report);
+      }
+    }
 
     if (json_path) {
-      dump_json(json_path, nl, dopts, log, res, patterns.size(), top);
-      std::printf("\nwrote JSON result to %s\n", json_path);
+      std::ofstream f(json_path);
+      SP_CHECK(f.good(), std::string("cannot write ") + json_path);
+      JsonWriter j(f);
+      const bool array = results.size() > 1;
+      if (array) j.begin_array();
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        json_result(j, design, dopts, sources[i], evidence[i], results[i],
+                    num_patterns, dopts.max_report);
+      }
+      if (array) j.end_array();
+      std::printf("\nwrote JSON result%s to %s\n", array ? " array" : "",
+                  json_path);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

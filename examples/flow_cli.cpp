@@ -1,5 +1,7 @@
 // Command-line front end for arbitrary .bench / structural .v designs: runs the full
-// DATE'05 comparison flow on a user-supplied circuit.
+// DATE'05 comparison flow on a user-supplied circuit through a ScanSession
+// (one session per run; its cached test set / observability / tables are
+// what a long-running service would keep warm between queries).
 //
 //   flow_cli <design.bench> [options]
 //     --no-map            skip NAND/NOR/INV technology mapping
@@ -14,16 +16,13 @@
 //     --verbose           narrate flow progress
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
-#include "core/flow.hpp"
+#include "cli_common.hpp"
+#include "core/session.hpp"
 #include "core/verify.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/verilog_io.hpp"
 #include "netlist/stats.hpp"
 #include "scan/add_mux.hpp"
-#include "techmap/techmap.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -87,32 +86,29 @@ int main(int argc, char** argv) {
   const char* write_path = nullptr;
   const char* json_path = nullptr;
   bool do_map = true;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
   FlowOptions opts;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-map") == 0) {
+    if (cli::flag(argv, i, "--no-map")) {
       do_map = false;
-    } else if (std::strcmp(argv[i], "--no-reorder") == 0) {
+    } else if (cli::flag(argv, i, "--no-reorder")) {
       opts.do_pin_reorder = false;
-    } else if (std::strcmp(argv[i], "--no-obs") == 0) {
+    } else if (cli::flag(argv, i, "--no-obs")) {
       opts.use_observability_directive = false;
-    } else if (std::strcmp(argv[i], "--margin") == 0 && i + 1 < argc) {
-      opts.mux.slack_margin_ps = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      const auto seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      opts.tpg.seed = seed;
-      opts.observability.seed = seed ^ 0x0b5e;
-      opts.fill.seed = seed ^ 0xf111;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      opts.tpg.fault_sim.num_threads = std::atoi(argv[++i]);
+    } else if (cli::value_flag(argc, argv, i, "--margin",
+                               opts.mux.slack_margin_ps)) {
+    } else if (cli::value_flag(argc, argv, i, "--seed", seed)) {
+      have_seed = true;
+    } else if (cli::value_flag(argc, argv, i, "--threads",
+                               opts.tpg.fault_sim.num_threads)) {
       opts.diag.num_threads = opts.tpg.fault_sim.num_threads;
-    } else if (std::strcmp(argv[i], "--block-words") == 0 && i + 1 < argc) {
-      opts.tpg.fault_sim.block_words = std::atoi(argv[++i]);
+    } else if (cli::value_flag(argc, argv, i, "--block-words",
+                               opts.tpg.fault_sim.block_words)) {
       opts.diag.block_words = opts.tpg.fault_sim.block_words;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--write") == 0 && i + 1 < argc) {
-      write_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+    } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
+    } else if (cli::value_flag(argc, argv, i, "--write", write_path)) {
+    } else if (cli::flag(argv, i, "--verbose")) {
       set_log_level(LogLevel::Info);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
@@ -121,18 +117,19 @@ int main(int argc, char** argv) {
     }
   }
   if (!path) return usage(argv[0]);
+  if (have_seed) {
+    opts.tpg.seed = seed;
+    opts.observability.seed = seed ^ 0x0b5e;
+    opts.fill.seed = seed ^ 0xf111;
+  }
 
   try {
-    const std::string path_str(path);
-    const bool is_verilog =
-        path_str.size() > 2 && path_str.rfind(".v") == path_str.size() - 2;
-    Netlist nl =
-        is_verilog ? parse_verilog_file(path_str) : parse_bench_file(path_str);
-    if (do_map && !is_mapped(nl)) nl = map_to_nand_nor_inv(nl);
+    Netlist nl = cli::load_design(path, do_map);
     std::printf("%s: %s\n\n", nl.name().c_str(),
                 compute_stats(nl).to_string().c_str());
 
-    const FlowResult r = run_flow(nl, opts);
+    ScanSession session(std::move(nl), opts);
+    const FlowResult r = session.run_flow();
     std::printf("%zu test patterns, %.1f%% fault coverage, %zu/%zu cells "
                 "multiplexed\n\n",
                 r.num_patterns, 100.0 * r.fault_coverage,
@@ -157,8 +154,8 @@ int main(int argc, char** argv) {
     }
 
     if (write_path) {
-      const Netlist muxed =
-          insert_muxes_physically(nl, r.mux_plan, r.pattern.mux_pattern);
+      const Netlist muxed = insert_muxes_physically(
+          session.netlist(), r.mux_plan, r.pattern.mux_pattern);
       std::ofstream f(write_path);
       SP_CHECK(f.good(), std::string("cannot write ") + write_path);
       write_bench(f, muxed);

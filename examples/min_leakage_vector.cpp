@@ -8,15 +8,13 @@
 // exhaustive search when the input space is small enough.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "benchgen/benchgen.hpp"
+#include "cli_common.hpp"
 #include "core/find_pattern.hpp"
 #include "power/leakage_model.hpp"
 #include "power/observability.hpp"
 #include "sim/simulator.hpp"
-#include "techmap/techmap.hpp"
 #include "util/rng.hpp"
 
 using namespace scanpower;
@@ -26,12 +24,10 @@ int main(int argc, char** argv) {
   MinLeakageSearchOptions sopts;
   sopts.seed = 0xbeef;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--sweeps") == 0 && i + 1 < argc) {
-      sopts.sweeps = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      sopts.num_threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--block-words") == 0 && i + 1 < argc) {
-      sopts.block_words = std::atoi(argv[++i]);
+    if (cli::value_flag(argc, argv, i, "--sweeps", sopts.sweeps)) {
+    } else if (cli::value_flag(argc, argv, i, "--threads", sopts.num_threads)) {
+    } else if (cli::value_flag(argc, argv, i, "--block-words",
+                               sopts.block_words)) {
     } else {
       name = argv[i];
     }

@@ -1,28 +1,35 @@
-// Quickstart: run the full DATE'05 flow on one circuit and print the
-// three-way power comparison (traditional scan vs input control vs the
-// proposed multiplexed structure).
+// Quickstart: one ScanSession serving several queries against one design.
+//
+// A session is the unit of state in this library: constructed once from a
+// (netlist, options) pair, it owns the worker pool and lazily caches
+// everything expensive (ATPG test set, collapsed fault list, observation
+// cones, leakage tables, good-machine pattern blocks), so the second
+// query against the same design costs only its own scoring work. Here we
+// run the paper's three-way power comparison, then play tester: inject a
+// defect, diagnose its full failure log, and diagnose the MISR-compacted
+// signature log of the same defect -- both through the single
+// session.diagnose(Evidence) entry point.
 
 #include <cstdio>
 
 #include "benchgen/benchgen.hpp"
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "techmap/techmap.hpp"
 
 using namespace scanpower;
 
 int main() {
-  // 1. Get a circuit (synthetic ISCAS89-profile s344; see DESIGN.md) and
-  //    map it onto the paper's NAND/NOR/INV library.
-  Netlist rtl = make_iscas89_like("s344");
-  Netlist mapped = map_to_nand_nor_inv(rtl);
+  // 1. Get a circuit (synthetic ISCAS89-profile s344; see DESIGN.md), map
+  //    it onto the paper's NAND/NOR/INV library, and open a session.
+  Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  ScanSession session(std::move(mapped), FlowOptions{});
+  const Netlist& nl = session.netlist();
 
-  // 2. Run the whole comparison flow: ATPG, AddMUX, leakage observability,
+  // 2. The full comparison flow: ATPG, AddMUX, leakage observability,
   //    FindControlledInputPattern, don't-care filling, pin reordering and
   //    scan-shift power simulation.
-  FlowOptions opts;
-  const FlowResult r = run_flow(mapped, opts);
+  const FlowResult r = session.run_flow();
 
-  // 3. Report.
   std::printf("circuit %s*: %s\n", r.circuit.c_str(),
               r.stats.to_string().c_str());
   std::printf("tests: %zu patterns, %.1f%% fault coverage\n", r.num_patterns,
@@ -41,5 +48,28 @@ int main() {
               r.dyn_vs_traditional_pct, r.stat_vs_traditional_pct);
   std::printf("improvement vs input ctl  : dynamic %.1f%%, static %.1f%%\n",
               r.dyn_vs_input_control_pct, r.stat_vs_input_control_pct);
+
+  // 3. Diagnosis against the same session: bind the ATPG patterns (free --
+  //    run_flow already generated them) and pick a defect to plant.
+  session.bind_tests();
+  const Fault defect = session.faults()[session.faults().size() / 3];
+
+  // 3a. Full tester observability: per-(pattern, point) failure log.
+  const Evidence full_log = session.inject(defect);
+  const DiagnosisResult full = session.diagnose(full_log);
+
+  // 3b. Production tester: per-window MISR signatures only. Same entry
+  //     point -- diagnose() dispatches on the evidence alternative.
+  const Evidence sig_log = session.inject_compacted(defect);
+  const DiagnosisResult compacted = session.diagnose(sig_log);
+
+  std::printf("\ninjected %s\n", defect.to_string(nl).c_str());
+  std::printf("  full-response log : rank %zu of %zu candidates%s\n",
+              full.rank_of(defect), full.num_candidates,
+              !full.ranked.empty() && full.ranked[0].exact() ? " (exact)" : "");
+  std::printf("  MISR signature log: rank %zu of %zu candidates "
+              "(%zu/%zu failing windows)\n",
+              compacted.rank_of(defect), compacted.num_candidates,
+              compacted.num_failing_windows, compacted.num_windows);
   return 0;
 }

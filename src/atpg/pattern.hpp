@@ -20,6 +20,8 @@ struct TestPattern {
   std::vector<Logic> pi;
   std::vector<Logic> ppi;
 
+  friend bool operator==(const TestPattern&, const TestPattern&) = default;
+
   bool fully_specified() const;
   /// Replaces every X with a random bit.
   void random_fill(Rng& rng);

@@ -6,6 +6,22 @@
 
 namespace scanpower {
 
+namespace {
+
+/// Structural validation shared by diagnose() and diagnose_with(): the
+/// log must cover the applied pattern set and be internally consistent
+/// before any plan/signature work is spent on it.
+void check_signature_log(std::span<const TestPattern> patterns,
+                         const SignatureLog& log) {
+  SP_CHECK(log.num_patterns == patterns.size(),
+           "diagnose: signature log covers a different pattern count");
+  SP_CHECK(log.num_windows() == log.misr.num_windows(patterns.size()) &&
+               log.observed.size() == log.expected.size(),
+           "diagnose: malformed signature log");
+}
+
+}  // namespace
+
 /// Per-worker mutable state for the parallel candidate sweep. Each
 /// candidate's predicted response diff is collected into `diff` (only
 /// rows the cone sweep actually reached are written, tracked in `dirty`
@@ -22,12 +38,37 @@ struct SignatureDiagnoser::Worker {
 };
 
 SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts)
-    : nl_(&nl), opts_(opts), points_(nl), cones_(nl, points_) {
+    : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "SignatureDiagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
            "diagnose: block_words must be 1, 2, 4 or 8");
   opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
-  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  owned_points_ = std::make_unique<ObservationPoints>(nl);
+  owned_cones_ = std::make_unique<ObservationConeCache>(nl, *owned_points_);
+  owned_goods_ = std::make_unique<GoodBlockCache>();
+  owned_pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  points_ = owned_points_.get();
+  cones_ = owned_cones_.get();
+  goods_ = owned_goods_.get();
+  pool_ = owned_pool_.get();
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  for (auto& w : workers_) {
+    w = std::make_unique<Worker>();
+    w->eval.init(nl, opts_.block_words);
+  }
+}
+
+SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts,
+                                       ThreadPool& pool,
+                                       const ObservationPoints& points,
+                                       ObservationConeCache& cones,
+                                       GoodBlockCache& goods)
+    : nl_(&nl), opts_(opts), points_(&points), cones_(&cones), goods_(&goods),
+      pool_(&pool) {
+  SP_CHECK(nl.finalized(), "SignatureDiagnoser requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "diagnose: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = pool.size();
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (auto& w : workers_) {
     w = std::make_unique<Worker>();
@@ -36,6 +77,16 @@ SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts)
 }
 
 SignatureDiagnoser::~SignatureDiagnoser() = default;
+
+void SignatureDiagnoser::ensure_goods(std::span<const TestPattern> patterns) {
+  if (owned_goods_) {
+    goods_->bind(*nl_, patterns, opts_.block_words);
+    return;
+  }
+  SP_CHECK(goods_->bound_to(patterns, opts_.block_words),
+           "diagnose: the shared good-block cache is bound to a different "
+           "pattern set (bind the session to these patterns first)");
+}
 
 std::vector<std::uint32_t> SignatureDiagnoser::prune_candidates(
     std::span<const Fault> faults, const SignatureLog& log,
@@ -50,7 +101,7 @@ std::vector<std::uint32_t> SignatureDiagnoser::prune_candidates(
   for (std::size_t w = 0; w < log.num_windows(); ++w) {
     if (!log.window_fails(w)) continue;
     std::vector<std::uint32_t> ops;
-    for (std::size_t op = 0; op < points_.size(); ++op) {
+    for (std::size_t op = 0; op < points_->size(); ++op) {
       if (!plan.masked(op, w)) ops.push_back(static_cast<std::uint32_t>(op));
     }
     op_sets.push_back(std::move(ops));
@@ -58,7 +109,7 @@ std::vector<std::uint32_t> SignatureDiagnoser::prune_candidates(
   std::sort(op_sets.begin(), op_sets.end());
   op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
 
-  return prune_by_cone_unions(nl, cones_, faults, op_sets);
+  return prune_by_cone_unions(nl, *cones_, faults, op_sets);
 }
 
 template <int W>
@@ -68,8 +119,9 @@ void SignatureDiagnoser::score_candidates(
     const XMaskPlan& plan, const MisrCompactor& compactor,
     std::vector<CandidateScore>& scores) {
   const Netlist& nl = *nl_;
+  const GoodBlockCache& goods = *goods_;
   const std::size_t lanes = static_cast<std::size_t>(W) * 64;
-  const std::size_t nblocks = (patterns.size() + lanes - 1) / lanes;
+  const std::size_t nblocks = goods.num_blocks();
   const std::size_t wpp = (patterns.size() + 63) / 64;
   const std::size_t nwin = log.num_windows();
   const int num_workers = pool_->size();
@@ -81,32 +133,19 @@ void SignatureDiagnoser::score_candidates(
     if (obs_diff[w] != 0) ++num_failing;
   }
 
-  // Every candidate revisits every block, so cache the simulated good
-  // machine per block while the pattern set is modest (num_gates * W * 8
-  // bytes per block) and fall back to per-worker re-simulation beyond
-  // the cap -- values are identical either way.
-  constexpr std::size_t kMaxCachedGoodBlocks = 256;
-  const bool cache_blocks = nblocks <= kMaxCachedGoodBlocks;
-  std::vector<BlockSimulator> goods;
-  if (cache_blocks) {
-    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
-      goods.emplace_back(nl, W);
-      load_pattern_block(nl, patterns, base, goods.back());
-      goods.back().eval();
-    }
-  }
-
   // Candidates round-robin across workers: each score slot has exactly
   // one writer, and a candidate's counters depend only on its own full
   // diff, so the ranking is bit-identical for every (block width, thread
-  // count) configuration.
+  // count) configuration. Good-machine blocks come from the shared cache;
+  // past its cap each worker streams them through its own simulator (the
+  // values are identical either way).
   pool_->run_on_all([&](int t) {
     Worker& wk = *workers_[static_cast<std::size_t>(t)];
-    wk.diff.assign(points_.size() * wpp, 0);
+    wk.diff.assign(points_->size() * wpp, 0);
     wk.dirty.clear();
-    wk.dirty_mark.assign(points_.size(), 0);
+    wk.dirty_mark.assign(points_->size(), 0);
     wk.diff_sigs.assign(nwin, 0);
-    if (!cache_blocks && !wk.stream) {
+    if (!goods.cached() && !wk.stream) {
       wk.stream = std::make_unique<BlockSimulator>(nl, W);
     }
     for (std::size_t ci = static_cast<std::size_t>(t); ci < candidates.size();
@@ -122,18 +161,17 @@ void SignatureDiagnoser::score_candidates(
         const std::size_t base = b * lanes;
         const std::size_t batch = std::min(lanes, patterns.size() - base);
         const BlockSimulator* good;
-        if (cache_blocks) {
-          good = &goods[b];
+        if (goods.cached()) {
+          good = &goods.block(b);
         } else {
-          load_pattern_block(nl, patterns, base, *wk.stream);
-          wk.stream->eval();
+          goods.stream(b, *wk.stream);
           good = wk.stream.get();
         }
         const PackedBlock<W> mask = lane_validity_mask<W>(batch);
         const std::size_t word0 = base / 64;
         const std::size_t nwords = (batch + 63) / 64;
         wk.eval.propagate<W>(
-            *good, f, mask, points_.observable(),
+            *good, f, mask, points_->observable(),
             [&](GateId gate, const PatternWord* diff) {
               const auto record = [&](std::uint32_t op) {
                 PatternWord* row = wk.diff.data() + op * wpp + word0;
@@ -145,9 +183,9 @@ void SignatureDiagnoser::score_candidates(
                 any = true;
               };
               if (d_branch && gate == f.gate) {
-                record(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
+                record(static_cast<std::uint32_t>(points_->point_of_dff(gate)));
               } else {
-                for (std::uint32_t op : points_.points_of_gate(gate)) {
+                for (std::uint32_t op : points_->points_of_gate(gate)) {
                   record(op);
                 }
               }
@@ -158,7 +196,7 @@ void SignatureDiagnoser::score_candidates(
         sc.tfsp = num_failing;
         continue;
       }
-      compactor.compact_rows(wk.diff, points_.size(), patterns.size(), &plan,
+      compactor.compact_rows(wk.diff, points_->size(), patterns.size(), &plan,
                              wk.diff_sigs);
       for (std::size_t w = 0; w < nwin; ++w) {
         const std::uint64_t d = wk.diff_sigs[w];
@@ -188,33 +226,46 @@ void SignatureDiagnoser::score_candidates(
 DiagnosisResult SignatureDiagnoser::diagnose(
     std::span<const TestPattern> patterns, std::span<const Fault> faults,
     const SignatureLog& log) {
-  SP_CHECK(log.num_patterns == patterns.size(),
-           "diagnose: signature log covers a different pattern count");
-  SP_CHECK(log.num_windows() == log.misr.num_windows(patterns.size()) &&
-               log.observed.size() == log.expected.size(),
-           "diagnose: malformed signature log");
-  DiagnosisResult res;
-  res.num_faults = faults.size();
-  res.num_windows = log.num_windows();
-  res.num_failing_windows = log.num_failing_windows();
-  res.num_failures = res.num_failing_windows;
+  check_signature_log(patterns, log);
 
+  // Rebuild the X-mask plan and the expected signatures from the good
+  // machine -- the per-call state a ScanSession caches per MISR
+  // configuration and feeds to diagnose_with() directly.
   const MisrCompactor compactor(log.misr, opts_.block_words);
-  const XMaskPlan plan(*nl_, points_, patterns, log.misr.window,
+  const XMaskPlan plan(*nl_, *points_, patterns, log.misr.window,
                        opts_.block_words);
-  res.num_masked = plan.num_masked();
-
-  // Recompute the expected signatures from the good machine; a mismatch
-  // means the log was recorded for different patterns or a different
-  // MISR configuration, which would silently wreck every score.
   const std::vector<TestPattern> filled = zero_filled_patterns(patterns);
   const std::span<const TestPattern> sim_patterns =
       filled.empty() ? patterns : std::span<const TestPattern>(filled);
   ResponseCapture capture(*nl_, opts_.block_words);
   const ResponseMatrix good = capture.capture_good(sim_patterns);
-  SP_CHECK(compactor.compact(good, &plan) == log.expected,
+  const std::vector<std::uint64_t> expected = compactor.compact(good, &plan);
+
+  return diagnose_with(sim_patterns, faults, log, plan, expected);
+}
+
+DiagnosisResult SignatureDiagnoser::diagnose_with(
+    std::span<const TestPattern> patterns, std::span<const Fault> faults,
+    const SignatureLog& log, const XMaskPlan& plan,
+    std::span<const std::uint64_t> expected) {
+  check_signature_log(patterns, log);
+  // A mismatch between the log's expected signatures and the good machine
+  // means the log was recorded for different patterns or a different MISR
+  // configuration, which would silently wreck every score.
+  SP_CHECK(std::equal(expected.begin(), expected.end(), log.expected.begin(),
+                      log.expected.end()),
            "diagnose: signature log's expected signatures do not match the "
            "good machine (wrong pattern set or MISR configuration?)");
+  ensure_goods(patterns);
+
+  DiagnosisResult res;
+  res.num_faults = faults.size();
+  res.num_windows = log.num_windows();
+  res.num_failing_windows = log.num_failing_windows();
+  res.num_failures = res.num_failing_windows;
+  res.num_masked = plan.num_masked();
+
+  const MisrCompactor compactor(log.misr, opts_.block_words);
 
   std::vector<std::uint32_t> candidates;
   if (opts_.cone_pruning) {
@@ -234,10 +285,10 @@ DiagnosisResult SignatureDiagnoser::diagnose(
   }
 
   switch (opts_.block_words) {
-    case 1: score_candidates<1>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 2: score_candidates<2>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 4: score_candidates<4>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 8: score_candidates<8>(sim_patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 1: score_candidates<1>(patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 2: score_candidates<2>(patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 4: score_candidates<4>(patterns, faults, candidates, log, plan, compactor, scores); break;
+    case 8: score_candidates<8>(patterns, faults, candidates, log, plan, compactor, scores); break;
     default: SP_ASSERT(false, "invalid block width");
   }
 

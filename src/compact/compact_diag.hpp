@@ -52,16 +52,26 @@ namespace scanpower {
 
 class SignatureDiagnoser {
  public:
-  /// Takes the engine knobs from DiagnosisOptions (block_words,
-  /// num_threads, cone_pruning, max_report); the MISR configuration comes
-  /// from the diagnosed log. score_early_exit does not apply -- window
-  /// counters are too coarse for a sound mid-sweep bound -- and is
-  /// ignored.
+  /// Standalone: builds a private worker pool, observation-point space,
+  /// cone cache and good-block cache, and rebuilds the X-mask plan plus
+  /// expected signatures on every diagnose() call -- the one-shot
+  /// behaviour behind the deprecated run_compacted_diagnosis(). Takes the
+  /// engine knobs from DiagnosisOptions (block_words, num_threads,
+  /// cone_pruning, max_report); the MISR configuration comes from the
+  /// diagnosed log. score_early_exit does not apply -- window counters
+  /// are too coarse for a sound mid-sweep bound -- and is ignored.
   explicit SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts = {});
+  /// Borrowing: shares a ScanSession's pool, point space, cone cache and
+  /// good-block cache; the session also caches (X-mask plan, expected
+  /// signatures) per MISR configuration and hands them to
+  /// diagnose_with(). opts.num_threads is superseded by the pool's size.
+  SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts,
+                     ThreadPool& pool, const ObservationPoints& points,
+                     ObservationConeCache& cones, GoodBlockCache& goods);
   ~SignatureDiagnoser();
 
   const DiagnosisOptions& options() const { return opts_; }
-  const ObservationPoints& points() const { return points_; }
+  const ObservationPoints& points() const { return *points_; }
 
   /// Scores `faults` against a compacted signature log under `patterns`
   /// (the set the log was recorded for; X bits allowed -- they are
@@ -72,9 +82,21 @@ class SignatureDiagnoser {
                            std::span<const Fault> faults,
                            const SignatureLog& log);
 
+  /// Precomputed-state variant used by ScanSession: `patterns` must be
+  /// fully specified (the session's zero-filled view), `plan` the X-mask
+  /// plan of the original patterns at the log's window size, and
+  /// `expected` the good-machine window signatures under that plan --
+  /// the state diagnose() rebuilds per call.
+  DiagnosisResult diagnose_with(std::span<const TestPattern> patterns,
+                                std::span<const Fault> faults,
+                                const SignatureLog& log,
+                                const XMaskPlan& plan,
+                                std::span<const std::uint64_t> expected);
+
  private:
   struct Worker;
 
+  void ensure_goods(std::span<const TestPattern> patterns);
   std::vector<std::uint32_t> prune_candidates(std::span<const Fault> faults,
                                               const SignatureLog& log,
                                               const XMaskPlan& plan);
@@ -89,10 +111,17 @@ class SignatureDiagnoser {
 
   const Netlist* nl_;
   DiagnosisOptions opts_;
-  ObservationPoints points_;
-  ObservationConeCache cones_;
+  // Owned engine state (standalone construction only; null when borrowed).
+  std::unique_ptr<ObservationPoints> owned_points_;
+  std::unique_ptr<ObservationConeCache> owned_cones_;
+  std::unique_ptr<GoodBlockCache> owned_goods_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  // Borrowed-or-owned views used by all engine code.
+  const ObservationPoints* points_ = nullptr;
+  ObservationConeCache* cones_ = nullptr;
+  GoodBlockCache* goods_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace scanpower

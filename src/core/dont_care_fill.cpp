@@ -1,6 +1,7 @@
 #include "core/dont_care_fill.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
@@ -84,7 +85,12 @@ FillResult fill_packed(const Netlist& nl, const LeakageModel& model,
                        FillResult res) {
   SP_CHECK(is_valid_block_words(opts.block_words),
            "fill: block_words must be 1, 2, 4 or 8");
-  const GateLeakageTables tables(nl, model);
+  std::unique_ptr<const GateLeakageTables> owned_tables;
+  if (opts.tables == nullptr) {
+    owned_tables = std::make_unique<GateLeakageTables>(nl, model);
+  }
+  const GateLeakageTables& tables =
+      opts.tables ? *opts.tables : *owned_tables;
   const PackedLeakageEvaluator leval(nl, tables);
 
   // Free positions in the scalar engine's draw order.

@@ -32,6 +32,11 @@ struct FillOptions {
   bool packed = true;
   /// Pattern words per packed sweep (1, 2, 4 or 8).
   int block_words = 4;
+  /// Borrowed per-(netlist, model) leakage tables for the packed engine;
+  /// null = build a private copy per call (the one-shot cost a
+  /// ScanSession amortizes). Must match the (netlist, model) pair passed
+  /// to fill_dont_cares_min_leakage.
+  const GateLeakageTables* tables = nullptr;
 };
 
 struct FillResult {

@@ -1,216 +1,54 @@
+// Deprecated one-shot wrappers over the stateful ScanSession API: each
+// call constructs a throwaway session, pays the full shared-state build
+// (collapsed faults, observation cones, leakage tables, good-machine
+// blocks, worker pool) and throws it away -- exactly the cost
+// ScanSession amortizes for multi-query workloads. Kept for source
+// compatibility only; in-repo callers are migrated and CI enforces
+// -Werror=deprecated-declarations on them.
+
 #include "core/flow.hpp"
 
-#include <memory>
+// The wrappers below intentionally implement the deprecated entry points;
+// silence the self-referential deprecation warnings for this one TU.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
-#include "sim/simulator.hpp"
-#include "util/assert.hpp"
-#include "util/log.hpp"
-#include "util/strings.hpp"
+#include "core/session.hpp"
 
 namespace scanpower {
 
-namespace {
-
-/// Implied internal values under a final control pattern: controlled
-/// inputs at their constants, everything else X.
-std::vector<Logic> implied_scan_values(const Netlist& nl,
-                                       std::span<const Logic> pi_pattern,
-                                       std::span<const Logic> mux_pattern) {
-  Simulator sim(nl);
-  for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
-    sim.set_input(nl.inputs()[k],
-                  pi_pattern.empty() ? Logic::X : pi_pattern[k]);
-  }
-  for (std::size_t c = 0; c < nl.dffs().size(); ++c) {
-    sim.set_state(nl.dffs()[c],
-                  mux_pattern.empty() ? Logic::X : mux_pattern[c]);
-  }
-  sim.eval();
-  return sim.values();
-}
-
-}  // namespace
-
-namespace {
-
-/// Applies FlowOptions::max_power_patterns (truncation keeps the original
-/// scan-in sequence, so all structures see identical stimulus).
-TestSet capped_tests(const TestSet& tests, std::size_t cap) {
-  if (cap == 0 || tests.patterns.size() <= cap) return tests;
-  TestSet out = tests;
-  out.patterns.resize(cap);
-  return out;
-}
-
-}  // namespace
-
 ScanPowerResult run_proposed(const Netlist& nl, const TestSet& tests,
                              const FlowOptions& opts, FlowResult* details) {
-  const LeakageModel leakage(opts.leakage_params);
-  const CapacitanceModel& caps = opts.delay.caps();
-
-  // --- AddMUX -----------------------------------------------------------
-  MuxPlan plan;
-  if (opts.insert_muxes) {
-    plan = plan_muxes(nl, opts.delay, opts.mux);
-  } else {
-    plan.multiplexed.assign(nl.dffs().size(), false);
-    plan.base_critical_delay_ps = 0.0;
-  }
-
-  // --- leakage observability ---------------------------------------------
-  std::unique_ptr<LeakageObservability> obs;
-  if (opts.use_observability_directive) {
-    obs = std::make_unique<LeakageObservability>(nl, leakage,
-                                                 opts.observability);
-  }
-
-  // --- FindControlledInputPattern -----------------------------------------
-  FindPatternOptions fopts;
-  fopts.observability = obs ? &obs->values() : nullptr;
-  fopts.justify_backtrack_limit = opts.justify_backtrack_limit;
-  FindPatternResult pat = find_controlled_input_pattern(nl, plan, caps, fopts);
-
-  // --- don't-care filling --------------------------------------------------
-  FillOptions fill_opts = opts.fill;
-  fill_opts.minimize_leakage = opts.do_min_leakage_fill;
-  const FillResult fill = fill_dont_cares_min_leakage(
-      nl, leakage, pat.pi_pattern, pat.mux_pattern, plan.multiplexed,
-      fill_opts);
-
-  // --- pin reordering -------------------------------------------------------
-  // Work on a copy: reordering is a physical rewrite of the circuit.
-  Netlist tuned = nl;
-  ReorderResult reorder;
-  if (opts.do_pin_reorder) {
-    const std::vector<Logic> scan_vals =
-        implied_scan_values(nl, pat.pi_pattern, pat.mux_pattern);
-    reorder = reorder_pins_for_leakage(tuned, leakage, scan_vals);
-  }
-
-  // --- evaluation -------------------------------------------------------------
-  ScanPowerEvaluator eval(tuned, leakage, caps, opts.power);
-  const TestSet eval_tests = capped_tests(tests, opts.max_power_patterns);
-  const ScanPowerResult power =
-      eval.evaluate(eval_tests, pat.pi_pattern, pat.mux_pattern, opts.scan);
-
-  if (details) {
-    details->mux_plan = plan;
-    details->pattern = pat;
-    details->fill = fill;
-    details->reorder = reorder;
-  }
-  return power;
+  ScanSession session(nl, opts);
+  return session.run_proposed(tests, details);
 }
 
 DiagnosisResult run_diagnosis(const Netlist& nl,
                               std::span<const TestPattern> patterns,
                               const FailureLog& log,
                               const DiagnosisOptions& opts) {
-  SP_CHECK(nl.finalized(), "run_diagnosis requires a finalized netlist");
-  const std::vector<Fault> faults = collapse_faults(nl);
-  Diagnoser diag(nl, opts);
-  DiagnosisResult res = diag.diagnose(patterns, faults, log);
-  log_info(strprintf(
-      "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
-      "best %s (tfsf %llu, tfsp %llu, tpsf %llu)",
-      nl.name().c_str(), res.num_failures, res.num_failing_patterns,
-      res.num_candidates, res.num_faults,
-      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl).c_str(),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
-  return res;
+  FlowOptions fopts;
+  fopts.diag = opts;
+  ScanSession session(nl, fopts);
+  session.bind_patterns(patterns);
+  return session.diagnose(Evidence(log));
 }
 
 DiagnosisResult run_compacted_diagnosis(const Netlist& nl,
                                         std::span<const TestPattern> patterns,
                                         const SignatureLog& log,
                                         const DiagnosisOptions& opts) {
-  SP_CHECK(nl.finalized(), "run_compacted_diagnosis requires a finalized netlist");
-  const std::vector<Fault> faults = collapse_faults(nl);
-  SignatureDiagnoser diag(nl, opts);
-  DiagnosisResult res = diag.diagnose(patterns, faults, log);
-  log_info(strprintf(
-      "compacted diagnosis[%s]: %zu/%zu failing windows (MISR width %d, "
-      "window %d, %zu masked point-windows) -> %zu/%zu candidates, best %s "
-      "(tfsf %llu, tfsp %llu, tpsf %llu)",
-      nl.name().c_str(), res.num_failing_windows, res.num_windows,
-      log.misr.width, log.misr.window, res.num_masked, res.num_candidates,
-      res.num_faults,
-      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl).c_str(),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
-      res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
-  return res;
+  FlowOptions fopts;
+  fopts.diag = opts;
+  ScanSession session(nl, fopts);
+  session.bind_patterns(patterns);
+  return session.diagnose(Evidence(log));
 }
 
 FlowResult run_flow(const Netlist& nl, const FlowOptions& opts) {
-  SP_CHECK(nl.finalized(), "run_flow requires a finalized netlist");
-  FlowResult res;
-  res.circuit = nl.name();
-  res.stats = compute_stats(nl);
-
-  const LeakageModel leakage(opts.leakage_params);
-  const CapacitanceModel& caps = opts.delay.caps();
-
-  // Shared test set (the paper uses the same ATOM vectors for all three
-  // structures; "no test vector reordering or scan cell reordering").
-  const TestSet tests = generate_tests(nl, opts.tpg);
-  res.num_patterns = tests.patterns.size();
-  res.fault_coverage = tests.fault_coverage();
-
-  const TestSet eval_tests = capped_tests(tests, opts.max_power_patterns);
-
-  // --- traditional scan -------------------------------------------------
-  {
-    ScanPowerEvaluator eval(nl, leakage, caps, opts.power);
-    res.traditional = eval.evaluate(eval_tests, {}, {}, opts.scan);
-  }
-
-  // --- input control [8] --------------------------------------------------
-  {
-    MuxPlan no_mux;
-    no_mux.multiplexed.assign(nl.dffs().size(), false);
-    FindPatternOptions fopts;
-    fopts.observability = nullptr;  // undirected
-    fopts.justify_backtrack_limit = opts.justify_backtrack_limit;
-    FindPatternResult pat =
-        find_controlled_input_pattern(nl, no_mux, caps, fopts);
-    FillOptions fill_opts = opts.fill;
-    fill_opts.minimize_leakage = false;  // [8] targets transitions only
-    fill_dont_cares_min_leakage(nl, leakage, pat.pi_pattern, pat.mux_pattern,
-                                no_mux.multiplexed, fill_opts);
-    ScanPowerEvaluator eval(nl, leakage, caps, opts.power);
-    res.input_control =
-        eval.evaluate(eval_tests, pat.pi_pattern, {}, opts.scan);
-  }
-
-  // --- proposed ------------------------------------------------------------
-  res.proposed = run_proposed(nl, tests, opts, &res);
-
-  res.dyn_vs_traditional_pct = improvement_pct(
-      res.traditional.dynamic_per_hz_uw, res.proposed.dynamic_per_hz_uw);
-  res.stat_vs_traditional_pct =
-      improvement_pct(res.traditional.static_uw, res.proposed.static_uw);
-  res.dyn_vs_input_control_pct = improvement_pct(
-      res.input_control.dynamic_per_hz_uw, res.proposed.dynamic_per_hz_uw);
-  res.stat_vs_input_control_pct =
-      improvement_pct(res.input_control.static_uw, res.proposed.static_uw);
-
-  log_info(strprintf(
-      "flow[%s]: dyn %.3e -> %.3e uW/Hz (%.1f%%), stat %.2f -> %.2f uW (%.1f%%)",
-      nl.name().c_str(), res.traditional.dynamic_per_hz_uw,
-      res.proposed.dynamic_per_hz_uw, res.dyn_vs_traditional_pct,
-      res.traditional.static_uw, res.proposed.static_uw,
-      res.stat_vs_traditional_pct));
-  return res;
+  ScanSession session(nl, opts);
+  return session.run_flow();
 }
 
 }  // namespace scanpower

@@ -1,0 +1,465 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scanpower {
+
+namespace {
+
+void check_block_words(int w, const char* knob) {
+  SP_CHECK(is_valid_block_words(w),
+           strprintf("ScanSession: %s must be 1, 2, 4 or 8 (got %d)", knob, w));
+}
+
+void check_threads(int t, const char* knob) {
+  SP_CHECK(t >= 0,
+           strprintf("ScanSession: %s must be >= 0 (0 = all hardware "
+                     "threads; got %d)",
+                     knob, t));
+}
+
+/// Applies FlowOptions::max_power_patterns (truncation keeps the original
+/// scan-in sequence, so all structures see identical stimulus).
+TestSet capped_tests(const TestSet& tests, std::size_t cap) {
+  if (cap == 0 || tests.patterns.size() <= cap) return tests;
+  TestSet out = tests;
+  out.patterns.resize(cap);
+  return out;
+}
+
+/// Implied internal values under a final control pattern: controlled
+/// inputs at their constants, everything else X.
+std::vector<Logic> implied_scan_values(const Netlist& nl,
+                                       std::span<const Logic> pi_pattern,
+                                       std::span<const Logic> mux_pattern) {
+  Simulator sim(nl);
+  for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
+    sim.set_input(nl.inputs()[k],
+                  pi_pattern.empty() ? Logic::X : pi_pattern[k]);
+  }
+  for (std::size_t c = 0; c < nl.dffs().size(); ++c) {
+    sim.set_state(nl.dffs()[c],
+                  mux_pattern.empty() ? Logic::X : mux_pattern[c]);
+  }
+  sim.eval();
+  return sim.values();
+}
+
+}  // namespace
+
+ScanSession::ScanSession(Netlist nl, FlowOptions opts)
+    : nl_(std::move(nl)), opts_(std::move(opts)),
+      model_(opts_.leakage_params) {
+  SP_CHECK(nl_.finalized(),
+           "ScanSession: netlist must be finalized (call Netlist::finalize "
+           "before constructing a session)");
+  // Validate every engine knob up front, naming the knob -- the same
+  // misconfigurations used to surface as failures deep inside the engines.
+  check_block_words(opts_.tpg.fault_sim.block_words,
+                    "tpg.fault_sim.block_words");
+  check_block_words(opts_.diag.block_words, "diag.block_words");
+  check_block_words(opts_.observability.block_words,
+                    "observability.block_words");
+  check_block_words(opts_.fill.block_words, "fill.block_words");
+  check_threads(opts_.tpg.fault_sim.num_threads, "tpg.fault_sim.num_threads");
+  check_threads(opts_.diag.num_threads, "diag.num_threads");
+  check_threads(opts_.observability.num_threads, "observability.num_threads");
+  SP_CHECK(opts_.misr.width >= 4 && opts_.misr.width <= 64,
+           strprintf("ScanSession: misr.width must be in 4..64 (got %d)",
+                     opts_.misr.width));
+  SP_CHECK(opts_.misr.window >= 1,
+           strprintf("ScanSession: misr.window must be >= 1 pattern (got %d)",
+                     opts_.misr.window));
+  const std::uint64_t poly = opts_.misr.resolved_poly();
+  SP_CHECK((opts_.misr.width == 64 || (poly >> opts_.misr.width) == 0) &&
+               ((poly >> (opts_.misr.width - 1)) & 1) != 0,
+           strprintf("ScanSession: misr.poly %llx does not fit width %d with "
+                     "the top (bit %d) tap set; the top tap keeps the MISR "
+                     "transition invertible -- see default_misr_poly()",
+                     static_cast<unsigned long long>(poly), opts_.misr.width,
+                     opts_.misr.width - 1));
+  SP_CHECK(opts_.observability.samples > 1,
+           strprintf("ScanSession: observability.samples must be >= 2 (got "
+                     "%d)",
+                     opts_.observability.samples));
+  SP_CHECK(opts_.fill.trials >= 1,
+           strprintf("ScanSession: fill.trials must be >= 1 (got %d)",
+                     opts_.fill.trials));
+}
+
+ScanSession::~ScanSession() = default;
+
+ThreadPool& ScanSession::pool() {
+  if (!pool_) {
+    const int t = std::max(
+        ThreadPool::resolve_threads(opts_.diag.num_threads),
+        ThreadPool::resolve_threads(opts_.observability.num_threads));
+    pool_ = std::make_unique<ThreadPool>(t);
+  }
+  return *pool_;
+}
+
+const std::vector<Fault>& ScanSession::faults() {
+  if (!faults_) {
+    faults_ = std::make_unique<std::vector<Fault>>(collapse_faults(nl_));
+  }
+  return *faults_;
+}
+
+const ObservationPoints& ScanSession::points() {
+  if (!points_) points_ = std::make_unique<ObservationPoints>(nl_);
+  return *points_;
+}
+
+ObservationConeCache& ScanSession::cones() {
+  if (!cones_) {
+    cones_ = std::make_unique<ObservationConeCache>(nl_, points());
+  }
+  return *cones_;
+}
+
+const GateLeakageTables& ScanSession::leakage_tables() {
+  if (!tables_) tables_ = std::make_unique<GateLeakageTables>(nl_, model_);
+  return *tables_;
+}
+
+const LeakageObservability& ScanSession::observability() {
+  if (!obs_) {
+    ObservabilityOptions o = opts_.observability;
+    if (o.method == ObservabilityMethod::MonteCarlo && o.packed) {
+      o.tables = &leakage_tables();
+      o.pool = &pool();
+    }
+    obs_ = std::make_unique<LeakageObservability>(nl_, model_, o);
+  }
+  return *obs_;
+}
+
+const TestSet& ScanSession::tests() {
+  if (!tests_) {
+    tests_ = std::make_unique<TestSet>(generate_tests(nl_, opts_.tpg));
+  }
+  return *tests_;
+}
+
+void ScanSession::bind_patterns(std::span<const TestPattern> patterns) {
+  SP_CHECK(!patterns.empty(),
+           "ScanSession::bind_patterns: empty pattern set (a bound test set "
+           "must contain at least one pattern)");
+  if (has_patterns_ && bound_.size() == patterns.size() &&
+      std::equal(patterns.begin(), patterns.end(), bound_.begin())) {
+    return;  // identical content: every pattern-keyed cache stays valid
+  }
+  bound_.assign(patterns.begin(), patterns.end());
+  filled_ = zero_filled_patterns(bound_);
+  has_patterns_ = true;
+  goods_.bind(nl_, effective_patterns(), opts_.diag.block_words);
+  // Per-MisrConfig compaction states rebind themselves lazily (they
+  // compare the bound content on next use).
+}
+
+void ScanSession::bind_tests() { bind_patterns(tests().patterns); }
+
+void ScanSession::require_bound() const {
+  SP_CHECK(has_patterns_,
+           "ScanSession: no pattern set bound -- call bind_patterns() or "
+           "bind_tests() before diagnose()/inject()");
+}
+
+void ScanSession::require_fully_specified(const char* what) const {
+  SP_CHECK(filled_.empty(),
+           strprintf("ScanSession: %s needs a fully specified pattern set, "
+                     "but the bound set carries X bits (compacted diagnosis "
+                     "X-masks them instead; for full-response flows fill the "
+                     "patterns first)",
+                     what));
+}
+
+Diagnoser& ScanSession::diagnoser() {
+  if (!diagnoser_) {
+    diagnoser_ = std::make_unique<Diagnoser>(nl_, opts_.diag, pool(), points(),
+                                             cones(), goods_);
+  }
+  return *diagnoser_;
+}
+
+SignatureDiagnoser& ScanSession::sig_diagnoser() {
+  if (!sig_diagnoser_) {
+    sig_diagnoser_ = std::make_unique<SignatureDiagnoser>(
+        nl_, opts_.diag, pool(), points(), cones(), goods_);
+  }
+  return *sig_diagnoser_;
+}
+
+ResponseCapture& ScanSession::capture() {
+  if (!capture_) {
+    capture_ = std::make_unique<ResponseCapture>(nl_, opts_.diag.block_words);
+  }
+  return *capture_;
+}
+
+SignatureCapture& ScanSession::compact_state(const MisrConfig& cfg) {
+  // Each entry is a self-contained SignatureCapture (own pattern copy +
+  // response capture); the duplication is bounded by the handful of MISR
+  // configurations a session sees, and none of it sits on the diagnosis
+  // hot path -- entries only build the per-config plan/expected once and
+  // serve synthetic injection.
+  (void)Misr(cfg);  // full MISR validation before keying on resolved_poly()
+  const auto key = std::make_tuple(cfg.width, cfg.resolved_poly(), cfg.window);
+  auto it = compact_.find(key);
+  if (it == compact_.end()) {
+    it = compact_
+             .emplace(key, std::make_unique<SignatureCapture>(
+                               nl_, cfg, opts_.diag.block_words))
+             .first;
+  }
+  it->second->bind(bound_);  // no-op while the bound content is unchanged
+  return *it->second;
+}
+
+DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
+  require_bound();
+  require_fully_specified("full-response diagnosis");
+  DiagnosisResult res = diagnoser().diagnose(effective_patterns(), faults(), log);
+  log_info(strprintf(
+      "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
+      "best %s (tfsf %llu, tfsp %llu, tpsf %llu)",
+      nl_.name().c_str(), res.num_failures, res.num_failing_patterns,
+      res.num_candidates, res.num_faults,
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl_).c_str(),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
+  return res;
+}
+
+DiagnosisResult ScanSession::diagnose_compacted(const SignatureLog& log) {
+  require_bound();
+  SignatureCapture& cs = compact_state(log.misr);
+  DiagnosisResult res = sig_diagnoser().diagnose_with(
+      effective_patterns(), faults(), log, cs.mask(), cs.expected());
+  log_info(strprintf(
+      "compacted diagnosis[%s]: %zu/%zu failing windows (MISR width %d, "
+      "window %d, %zu masked point-windows) -> %zu/%zu candidates, best %s "
+      "(tfsf %llu, tfsp %llu, tpsf %llu)",
+      nl_.name().c_str(), res.num_failing_windows, res.num_windows,
+      log.misr.width, log.misr.window, res.num_masked, res.num_candidates,
+      res.num_faults,
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl_).c_str(),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsf),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tfsp),
+      res.ranked.empty() ? 0ULL
+                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
+  return res;
+}
+
+DiagnosisResult ScanSession::diagnose(const Evidence& evidence) {
+  return std::visit(
+      [&](const auto& log) -> DiagnosisResult {
+        using T = std::decay_t<decltype(log)>;
+        if constexpr (std::is_same_v<T, FailureLog>) {
+          return diagnose_full(log);
+        } else {
+          return diagnose_compacted(log);
+        }
+      },
+      evidence);
+}
+
+std::vector<DiagnosisResult> ScanSession::diagnose_batch(
+    std::span<const Evidence> evidence) {
+  require_bound();
+  std::vector<DiagnosisResult> results(evidence.size());
+
+  // Full-response logs are batched: prune serially, then fan the logs
+  // round-robin across the worker pool (each log scored wholly within one
+  // worker). Compacted logs keep their per-log pool-parallel candidate
+  // sweep; their shared state (plan, expected signatures, good blocks) is
+  // already cached on the session, so there is nothing left to batch.
+  std::vector<const FailureLog*> full;
+  std::vector<std::size_t> full_at;
+  for (std::size_t i = 0; i < evidence.size(); ++i) {
+    if (const FailureLog* log = std::get_if<FailureLog>(&evidence[i])) {
+      full.push_back(log);
+      full_at.push_back(i);
+    } else {
+      results[i] = diagnose_compacted(std::get<SignatureLog>(evidence[i]));
+    }
+  }
+  if (!full.empty()) {
+    require_fully_specified("full-response diagnosis");
+    std::vector<DiagnosisResult> rs =
+        diagnoser().diagnose_batch(effective_patterns(), faults(), full);
+    for (std::size_t k = 0; k < rs.size(); ++k) {
+      results[full_at[k]] = std::move(rs[k]);
+    }
+    log_info(strprintf("diagnosis batch[%s]: %zu failure logs over %zu "
+                       "patterns on %d workers",
+                       nl_.name().c_str(), full.size(), bound_.size(),
+                       pool().size()));
+  }
+  return results;
+}
+
+FailureLog ScanSession::inject(const Fault& f) {
+  require_bound();
+  require_fully_specified("full-response injection");
+  return capture().inject(effective_patterns(), f);
+}
+
+SignatureLog ScanSession::inject_compacted(const Fault& f) {
+  return inject_compacted(f, opts_.misr);
+}
+
+SignatureLog ScanSession::inject_compacted(const Fault& f,
+                                           const MisrConfig& cfg) {
+  require_bound();
+  return compact_state(cfg).inject(bound_, f);
+}
+
+FillResult ScanSession::fill(std::vector<Logic>& pi_pattern,
+                             std::vector<Logic>& mux_pattern,
+                             const std::vector<bool>& mux_eligible) {
+  FillOptions fo = opts_.fill;
+  if (fo.packed) fo.tables = &leakage_tables();
+  return fill_dont_cares_min_leakage(nl_, model_, pi_pattern, mux_pattern,
+                                     mux_eligible, fo);
+}
+
+ScanPowerResult ScanSession::power_report(const TestSet& tests,
+                                          std::span<const Logic> pi_control,
+                                          std::span<const Logic> mux_control) {
+  ScanPowerEvaluator eval(nl_, model_, opts_.delay.caps(), opts_.power);
+  return eval.evaluate(capped_tests(tests, opts_.max_power_patterns),
+                       pi_control, mux_control, opts_.scan);
+}
+
+ScanPowerResult ScanSession::power_report() { return power_report(tests()); }
+
+ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
+                                          FlowResult* details) {
+  const CapacitanceModel& caps = opts_.delay.caps();
+
+  // --- AddMUX -----------------------------------------------------------
+  MuxPlan plan;
+  if (opts_.insert_muxes) {
+    plan = plan_muxes(nl_, opts_.delay, opts_.mux);
+  } else {
+    plan.multiplexed.assign(nl_.dffs().size(), false);
+    plan.base_critical_delay_ps = 0.0;
+  }
+
+  // --- FindControlledInputPattern ---------------------------------------
+  FindPatternOptions fopts;
+  fopts.observability =
+      opts_.use_observability_directive ? &observability().values() : nullptr;
+  fopts.justify_backtrack_limit = opts_.justify_backtrack_limit;
+  FindPatternResult pat = find_controlled_input_pattern(nl_, plan, caps, fopts);
+
+  // --- don't-care filling ------------------------------------------------
+  FillOptions fill_opts = opts_.fill;
+  fill_opts.minimize_leakage = opts_.do_min_leakage_fill;
+  if (fill_opts.packed) fill_opts.tables = &leakage_tables();
+  const FillResult fill = fill_dont_cares_min_leakage(
+      nl_, model_, pat.pi_pattern, pat.mux_pattern, plan.multiplexed,
+      fill_opts);
+
+  // --- pin reordering -----------------------------------------------------
+  // Work on a copy: reordering is a physical rewrite of the circuit.
+  Netlist tuned = nl_;
+  ReorderResult reorder;
+  if (opts_.do_pin_reorder) {
+    const std::vector<Logic> scan_vals =
+        implied_scan_values(nl_, pat.pi_pattern, pat.mux_pattern);
+    reorder = reorder_pins_for_leakage(tuned, model_, scan_vals);
+  }
+
+  // --- evaluation ---------------------------------------------------------
+  ScanPowerEvaluator eval(tuned, model_, caps, opts_.power);
+  const TestSet eval_tests = capped_tests(tests, opts_.max_power_patterns);
+  const ScanPowerResult power =
+      eval.evaluate(eval_tests, pat.pi_pattern, pat.mux_pattern, opts_.scan);
+
+  if (details) {
+    details->mux_plan = plan;
+    details->pattern = pat;
+    details->fill = fill;
+    details->reorder = reorder;
+  }
+  return power;
+}
+
+FlowResult ScanSession::run_flow() {
+  FlowResult res;
+  res.circuit = nl_.name();
+  res.stats = compute_stats(nl_);
+
+  const CapacitanceModel& caps = opts_.delay.caps();
+
+  // Shared test set (the paper uses the same ATOM vectors for all three
+  // structures; "no test vector reordering or scan cell reordering").
+  const TestSet& shared_tests = tests();
+  res.num_patterns = shared_tests.patterns.size();
+  res.fault_coverage = shared_tests.fault_coverage();
+
+  const TestSet eval_tests =
+      capped_tests(shared_tests, opts_.max_power_patterns);
+
+  // --- traditional scan -------------------------------------------------
+  {
+    ScanPowerEvaluator eval(nl_, model_, caps, opts_.power);
+    res.traditional = eval.evaluate(eval_tests, {}, {}, opts_.scan);
+  }
+
+  // --- input control [8] --------------------------------------------------
+  {
+    MuxPlan no_mux;
+    no_mux.multiplexed.assign(nl_.dffs().size(), false);
+    FindPatternOptions fopts;
+    fopts.observability = nullptr;  // undirected
+    fopts.justify_backtrack_limit = opts_.justify_backtrack_limit;
+    FindPatternResult pat =
+        find_controlled_input_pattern(nl_, no_mux, caps, fopts);
+    FillOptions fill_opts = opts_.fill;
+    fill_opts.minimize_leakage = false;  // [8] targets transitions only
+    if (fill_opts.packed) fill_opts.tables = &leakage_tables();
+    fill_dont_cares_min_leakage(nl_, model_, pat.pi_pattern, pat.mux_pattern,
+                                no_mux.multiplexed, fill_opts);
+    ScanPowerEvaluator eval(nl_, model_, caps, opts_.power);
+    res.input_control =
+        eval.evaluate(eval_tests, pat.pi_pattern, {}, opts_.scan);
+  }
+
+  // --- proposed ------------------------------------------------------------
+  res.proposed = run_proposed(shared_tests, &res);
+
+  res.dyn_vs_traditional_pct = improvement_pct(
+      res.traditional.dynamic_per_hz_uw, res.proposed.dynamic_per_hz_uw);
+  res.stat_vs_traditional_pct =
+      improvement_pct(res.traditional.static_uw, res.proposed.static_uw);
+  res.dyn_vs_input_control_pct = improvement_pct(
+      res.input_control.dynamic_per_hz_uw, res.proposed.dynamic_per_hz_uw);
+  res.stat_vs_input_control_pct =
+      improvement_pct(res.input_control.static_uw, res.proposed.static_uw);
+
+  log_info(strprintf(
+      "flow[%s]: dyn %.3e -> %.3e uW/Hz (%.1f%%), stat %.2f -> %.2f uW (%.1f%%)",
+      nl_.name().c_str(), res.traditional.dynamic_per_hz_uw,
+      res.proposed.dynamic_per_hz_uw, res.dyn_vs_traditional_pct,
+      res.traditional.static_uw, res.proposed.static_uw,
+      res.stat_vs_traditional_pct));
+  return res;
+}
+
+}  // namespace scanpower

@@ -48,17 +48,51 @@ std::vector<std::uint32_t> prune_by_cone_unions(
 }
 
 Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
-    : nl_(&nl), opts_(opts), points_(nl), cones_(nl, points_) {
+    : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
            "diagnose: block_words must be 1, 2, 4 or 8");
   opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
-  pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  owned_points_ = std::make_unique<ObservationPoints>(nl);
+  owned_cones_ = std::make_unique<ObservationConeCache>(nl, *owned_points_);
+  owned_goods_ = std::make_unique<GoodBlockCache>();
+  owned_pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  points_ = owned_points_.get();
+  cones_ = owned_cones_.get();
+  goods_ = owned_goods_.get();
+  pool_ = owned_pool_.get();
+  workers_.resize(static_cast<std::size_t>(pool_->size()));
+  for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
+}
+
+Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts, ThreadPool& pool,
+                     const ObservationPoints& points,
+                     ObservationConeCache& cones, GoodBlockCache& goods)
+    : nl_(&nl), opts_(opts), points_(&points), cones_(&cones), goods_(&goods),
+      pool_(&pool) {
+  SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
+  SP_CHECK(is_valid_block_words(opts_.block_words),
+           "diagnose: block_words must be 1, 2, 4 or 8");
+  opts_.num_threads = pool.size();
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
 }
 
 Diagnoser::~Diagnoser() = default;
+
+void Diagnoser::ensure_goods(std::span<const TestPattern> patterns) {
+  if (owned_goods_) {
+    // Standalone: rebuild the good machine per call, the one-shot cost the
+    // session API amortizes away. The cache cap stays at this engine's
+    // historical 64 blocks -- a throwaway binding should not hold the
+    // session-sized 256-block footprint.
+    goods_->bind(*nl_, patterns, opts_.block_words, /*max_cached_blocks=*/64);
+    return;
+  }
+  SP_CHECK(goods_->bound_to(patterns, opts_.block_words),
+           "diagnose: the shared good-block cache is bound to a different "
+           "pattern set (bind the session to these patterns first)");
+}
 
 std::vector<std::uint32_t> Diagnoser::prune_candidates(
     std::span<const Fault> faults, const FailureLog& log) {
@@ -81,18 +115,117 @@ std::vector<std::uint32_t> Diagnoser::prune_candidates(
   std::sort(op_sets.begin(), op_sets.end());
   op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
 
-  return prune_by_cone_unions(nl, cones_, faults, op_sets);
+  return prune_by_cone_unions(nl, *cones_, faults, op_sets);
+}
+
+Diagnoser::Prepared Diagnoser::prepare(std::span<const TestPattern> patterns,
+                                       std::span<const Fault> faults,
+                                       const FailureLog& log) {
+  SP_CHECK(log.num_patterns == patterns.size(),
+           "diagnose: failure log covers a different pattern count");
+  SP_CHECK(std::is_sorted(log.failures.begin(), log.failures.end()),
+           "diagnose: failure log must be sorted (FailureLog::normalize)");
+  Prepared p;
+  p.log = &log;
+  p.res.num_faults = faults.size();
+
+  p.observed = log.to_matrix(points_->size());
+  p.total_fail = p.observed.popcount();
+  p.res.num_failures = static_cast<std::size_t>(p.total_fail);
+  {
+    std::vector<std::uint32_t> pats, ops;
+    for (const Failure& f : log.failures) {
+      pats.push_back(f.pattern);
+      ops.push_back(f.op);
+    }
+    std::sort(pats.begin(), pats.end());
+    std::sort(ops.begin(), ops.end());
+    p.res.num_failing_patterns = static_cast<std::size_t>(
+        std::unique(pats.begin(), pats.end()) - pats.begin());
+    p.res.num_failing_points = static_cast<std::size_t>(
+        std::unique(ops.begin(), ops.end()) - ops.begin());
+  }
+
+  if (opts_.cone_pruning) {
+    p.candidates = prune_candidates(faults, log);
+  } else {
+    p.candidates.resize(faults.size());
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      p.candidates[fi] = static_cast<std::uint32_t>(fi);
+    }
+  }
+  p.res.num_candidates = p.candidates.size();
+
+  p.scores.resize(p.candidates.size());
+  for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+    p.scores[ci].fault = faults[p.candidates[ci]];
+    p.scores[ci].fault_index = p.candidates[ci];
+  }
+  return p;
+}
+
+void Diagnoser::finalize(Prepared& p) {
+  for (CandidateScore& sc : p.scores) {
+    if (sc.dropped) {
+      // Partial counters depend on where the sweep aborted; canonicalize
+      // so rankings stay bit-identical across configurations.
+      sc.tfsf = 0;
+      sc.tpsf = 0;
+      ++p.res.num_dropped;
+    }
+    sc.tfsp = p.total_fail - sc.tfsf;
+  }
+  std::sort(p.scores.begin(), p.scores.end());
+  p.res.ranked = std::move(p.scores);
 }
 
 template <int W>
-void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
-                                 std::span<const Fault> faults,
-                                 std::span<const std::uint32_t> candidates,
-                                 const ResponseMatrix& observed,
-                                 std::uint64_t total_fail,
-                                 std::vector<CandidateScore>& scores) {
+void Diagnoser::score_candidate_block(FaultConeEvaluator& ev,
+                                      CandidateScore& sc, const Fault& f,
+                                      const BlockSimulator& good,
+                                      std::size_t block,
+                                      const ResponseMatrix& observed,
+                                      bool early_exit, std::uint64_t best) {
   const Netlist& nl = *nl_;
-  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
+  const std::size_t lanes = goods_->lanes();
+  const std::size_t base = block * lanes;
+  const std::size_t batch =
+      std::min(lanes, goods_->patterns().size() - base);
+  const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+  const std::size_t word0 = base / 64;
+  const std::size_t nwords = (batch + 63) / 64;
+
+  // A D-branch fault sinks its DFF gate id as the capture branch; a
+  // Q-stem fault sinks the same id meaning the Q net, which is read by
+  // downstream capture points / its PO point.
+  const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+  ev.propagate<W>(
+      good, f, mask, points_->observable(),
+      [&](GateId gate, const PatternWord* diff) -> bool {
+        const auto tally = [&](std::uint32_t op) {
+          const PatternWord* obs = observed.row(op) + word0;
+          for (std::size_t w = 0; w < nwords; ++w) {
+            sc.tfsf += static_cast<std::uint64_t>(
+                std::popcount(diff[w] & obs[w]));
+            sc.tpsf += static_cast<std::uint64_t>(
+                std::popcount(diff[w] & ~obs[w]));
+          }
+        };
+        if (d_branch && gate == f.gate) {
+          tally(static_cast<std::uint32_t>(points_->point_of_dff(gate)));
+        } else {
+          for (std::uint32_t op : points_->points_of_gate(gate)) {
+            tally(op);
+          }
+        }
+        return !(early_exit && sc.tpsf > best);
+      });
+  if (early_exit && sc.tpsf > best) sc.dropped = true;
+}
+
+template <int W>
+void Diagnoser::score_candidates(std::span<const Fault> faults, Prepared& p) {
+  const GoodBlockCache& goods = *goods_;
   const int num_workers = pool_->size();
   const bool early_exit = opts_.score_early_exit;
 
@@ -106,99 +239,79 @@ void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
   // per-candidate totals, never on block partitioning or scheduling, so
   // the dropped set is bit-identical across (block width, thread count)
   // configurations.
-  const std::size_t round_size = early_exit ? 64 : candidates.size();
+  const std::size_t round_size =
+      early_exit ? 64 : std::max<std::size_t>(p.candidates.size(), 1);
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
 
-  // Scores candidates [r0, r1) against one simulated good-machine block.
-  const auto score_block = [&](const BlockSimulator& good, std::size_t base,
-                               std::size_t r0, std::size_t r1) {
-    const std::size_t batch = std::min(lanes, patterns.size() - base);
-    const PackedBlock<W> mask = lane_validity_mask<W>(batch);
-    const std::size_t word0 = base / 64;
-    const std::size_t nwords = (batch + 63) / 64;
+  // Streaming scratch for pattern sets past the cache cap; the cached and
+  // streamed values are identical, so so is the ranking.
+  std::unique_ptr<BlockSimulator> stream;
+  if (!goods.cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
 
-    pool_->run_on_all([&](int t) {
-      FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(t)];
-      for (std::size_t ci = r0 + static_cast<std::size_t>(t); ci < r1;
-           ci += static_cast<std::size_t>(num_workers)) {
-        CandidateScore& sc = scores[ci];
-        if (sc.dropped) continue;
-        const Fault& f = faults[candidates[ci]];
-        // A D-branch fault sinks its DFF gate id as the capture branch;
-        // a Q-stem fault sinks the same id meaning the Q net, which is
-        // read by downstream capture points / its PO point.
-        const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
-        ev.propagate<W>(
-            good, f, mask, points_.observable(),
-            [&](GateId gate, const PatternWord* diff) -> bool {
-              const auto tally = [&](std::uint32_t op) {
-                const PatternWord* obs = observed.row(op) + word0;
-                for (std::size_t w = 0; w < nwords; ++w) {
-                  sc.tfsf += static_cast<std::uint64_t>(
-                      std::popcount(diff[w] & obs[w]));
-                  sc.tpsf += static_cast<std::uint64_t>(
-                      std::popcount(diff[w] & ~obs[w]));
-                }
-              };
-              if (d_branch && gate == f.gate) {
-                tally(static_cast<std::uint32_t>(points_.point_of_dff(gate)));
-              } else {
-                for (std::uint32_t op : points_.points_of_gate(gate)) {
-                  tally(op);
-                }
-              }
-              return !(early_exit && sc.tpsf > best);
-            });
-        if (early_exit && sc.tpsf > best) sc.dropped = true;
-      }
-    });
-  };
-
-  if (candidates.size() <= round_size) {
-    // Single round (early-exit off, or few candidates): the bound never
-    // advances mid-round, so stream the blocks through one reused
-    // simulator instead of caching them all.
-    BlockSimulator good(nl, W);
-    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
-      load_pattern_block(nl, patterns, base, good);
-      good.eval();
-      score_block(good, base, 0, candidates.size());
-    }
-    return;
-  }
-
-  // Multiple rounds revisit every block: cache the simulated good machine
-  // per block while the pattern set is modest (num_gates * W * 8 bytes
-  // per block), and fall back to re-simulating each block per round
-  // beyond that cap -- a good-machine eval is cheap next to scoring a
-  // round of candidates, and the values are identical either way.
-  const std::size_t nblocks = (patterns.size() + lanes - 1) / lanes;
-  constexpr std::size_t kMaxCachedGoodBlocks = 64;
-  const bool cache_blocks = nblocks <= kMaxCachedGoodBlocks;
-  std::vector<BlockSimulator> goods;
-  if (cache_blocks) {
-    for (std::size_t base = 0; base < patterns.size(); base += lanes) {
-      goods.emplace_back(nl, W);
-      load_pattern_block(nl, patterns, base, goods.back());
-      goods.back().eval();
-    }
-  } else {
-    goods.emplace_back(nl, W);  // one streaming simulator, reloaded per block
-  }
-  for (std::size_t r0 = 0; r0 < candidates.size(); r0 += round_size) {
-    const std::size_t r1 = std::min(r0 + round_size, candidates.size());
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      if (cache_blocks) {
-        score_block(goods[b], b * lanes, r0, r1);
+  for (std::size_t r0 = 0; r0 < p.candidates.size(); r0 += round_size) {
+    const std::size_t r1 = std::min(r0 + round_size, p.candidates.size());
+    for (std::size_t b = 0; b < goods.num_blocks(); ++b) {
+      const BlockSimulator* good;
+      if (goods.cached()) {
+        good = &goods.block(b);
       } else {
-        load_pattern_block(nl, patterns, b * lanes, goods[0]);
-        goods[0].eval();
-        score_block(goods[0], b * lanes, r0, r1);
+        goods.stream(b, *stream);
+        good = stream.get();
+      }
+      pool_->run_on_all([&](int t) {
+        FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(t)];
+        for (std::size_t ci = r0 + static_cast<std::size_t>(t); ci < r1;
+             ci += static_cast<std::size_t>(num_workers)) {
+          CandidateScore& sc = p.scores[ci];
+          if (sc.dropped) continue;
+          score_candidate_block<W>(ev, sc, faults[p.candidates[ci]], *good, b,
+                                   p.observed, early_exit, best);
+        }
+      });
+    }
+    for (std::size_t ci = r0; ci < r1; ++ci) {
+      if (p.scores[ci].dropped) continue;
+      best = std::min(best, p.total_fail - p.scores[ci].tfsf +
+                                p.scores[ci].tpsf);
+    }
+  }
+}
+
+template <int W>
+void Diagnoser::score_log_serial(int worker, std::span<const Fault> faults,
+                                 Prepared& p, BlockSimulator* stream) {
+  const GoodBlockCache& goods = *goods_;
+  const bool early_exit = opts_.score_early_exit;
+  // Identical round structure and per-candidate block order to the
+  // pool-parallel path: the dropped set and every counter depend only on
+  // per-candidate totals at block/round boundaries, so a log scored
+  // serially by one worker is bit-identical to diagnose()'s result.
+  const std::size_t round_size =
+      early_exit ? 64 : std::max<std::size_t>(p.candidates.size(), 1);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(worker)];
+
+  for (std::size_t r0 = 0; r0 < p.candidates.size(); r0 += round_size) {
+    const std::size_t r1 = std::min(r0 + round_size, p.candidates.size());
+    for (std::size_t b = 0; b < goods.num_blocks(); ++b) {
+      const BlockSimulator* good;
+      if (goods.cached()) {
+        good = &goods.block(b);
+      } else {
+        goods.stream(b, *stream);
+        good = stream;
+      }
+      for (std::size_t ci = r0; ci < r1; ++ci) {
+        CandidateScore& sc = p.scores[ci];
+        if (sc.dropped) continue;
+        score_candidate_block<W>(ev, sc, faults[p.candidates[ci]], *good, b,
+                                 p.observed, early_exit, best);
       }
     }
     for (std::size_t ci = r0; ci < r1; ++ci) {
-      if (scores[ci].dropped) continue;
-      best = std::min(best, total_fail - scores[ci].tfsf + scores[ci].tpsf);
+      if (p.scores[ci].dropped) continue;
+      best = std::min(best, p.total_fail - p.scores[ci].tfsf +
+                                p.scores[ci].tpsf);
     }
   }
 }
@@ -206,68 +319,78 @@ void Diagnoser::score_candidates(std::span<const TestPattern> patterns,
 DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
                                     std::span<const Fault> faults,
                                     const FailureLog& log) {
-  SP_CHECK(log.num_patterns == patterns.size(),
-           "diagnose: failure log covers a different pattern count");
-  SP_CHECK(std::is_sorted(log.failures.begin(), log.failures.end()),
-           "diagnose: failure log must be sorted (FailureLog::normalize)");
-  DiagnosisResult res;
-  res.num_faults = faults.size();
-
-  const ResponseMatrix observed = log.to_matrix(points_.size());
-  const std::uint64_t total_fail = observed.popcount();
-  res.num_failures = static_cast<std::size_t>(total_fail);
-  {
-    std::vector<std::uint32_t> pats, ops;
-    for (const Failure& f : log.failures) {
-      pats.push_back(f.pattern);
-      ops.push_back(f.op);
-    }
-    std::sort(pats.begin(), pats.end());
-    std::sort(ops.begin(), ops.end());
-    res.num_failing_patterns = static_cast<std::size_t>(
-        std::unique(pats.begin(), pats.end()) - pats.begin());
-    res.num_failing_points = static_cast<std::size_t>(
-        std::unique(ops.begin(), ops.end()) - ops.begin());
-  }
-
-  std::vector<std::uint32_t> candidates;
-  if (opts_.cone_pruning) {
-    candidates = prune_candidates(faults, log);
-  } else {
-    candidates.resize(faults.size());
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      candidates[fi] = static_cast<std::uint32_t>(fi);
-    }
-  }
-  res.num_candidates = candidates.size();
-
-  std::vector<CandidateScore> scores(candidates.size());
-  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    scores[ci].fault = faults[candidates[ci]];
-    scores[ci].fault_index = candidates[ci];
-  }
+  // Validate + prune before ensure_goods: a malformed log must fail fast,
+  // not after a full good-machine rebuild (standalone mode).
+  Prepared p = prepare(patterns, faults, log);
+  ensure_goods(patterns);
 
   switch (opts_.block_words) {
-    case 1: score_candidates<1>(patterns, faults, candidates, observed, total_fail, scores); break;
-    case 2: score_candidates<2>(patterns, faults, candidates, observed, total_fail, scores); break;
-    case 4: score_candidates<4>(patterns, faults, candidates, observed, total_fail, scores); break;
-    case 8: score_candidates<8>(patterns, faults, candidates, observed, total_fail, scores); break;
+    case 1: score_candidates<1>(faults, p); break;
+    case 2: score_candidates<2>(faults, p); break;
+    case 4: score_candidates<4>(faults, p); break;
+    case 8: score_candidates<8>(faults, p); break;
     default: SP_ASSERT(false, "invalid block width");
   }
 
-  for (CandidateScore& sc : scores) {
-    if (sc.dropped) {
-      // Partial counters depend on where the sweep aborted; canonicalize
-      // so rankings stay bit-identical across configurations.
-      sc.tfsf = 0;
-      sc.tpsf = 0;
-      ++res.num_dropped;
-    }
-    sc.tfsp = total_fail - sc.tfsf;
+  finalize(p);
+  return std::move(p.res);
+}
+
+std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
+    std::span<const TestPattern> patterns, std::span<const Fault> faults,
+    std::span<const FailureLog* const> logs) {
+  // A single log gains nothing from the per-worker fan-out (it would pin
+  // the whole batch to one worker); the pool-parallel candidate scoring
+  // of diagnose() is bit-identical and uses every worker.
+  if (logs.size() == 1) {
+    std::vector<DiagnosisResult> one;
+    one.push_back(diagnose(patterns, faults, *logs[0]));
+    return one;
   }
-  std::sort(scores.begin(), scores.end());
-  res.ranked = std::move(scores);
-  return res;
+
+  // Serial phase: validation, observed matrices and cone pruning (the
+  // cone cache builds lazily, so it must not be touched concurrently).
+  std::vector<Prepared> prepared;
+  prepared.reserve(logs.size());
+  for (const FailureLog* log : logs) {
+    prepared.push_back(prepare(patterns, faults, *log));
+  }
+  ensure_goods(patterns);
+
+  // Parallel phase: logs round-robin across the pool, each scored wholly
+  // within one worker from that worker's private evaluator/scratch.
+  const int num_workers = pool_->size();
+  std::vector<std::unique_ptr<BlockSimulator>> streams(
+      static_cast<std::size_t>(num_workers));
+  if (!goods_->cached()) {
+    for (auto& s : streams) {
+      s = std::make_unique<BlockSimulator>(*nl_, opts_.block_words);
+    }
+  }
+  const auto run = [&]<int W>() {
+    pool_->run_on_all([&](int t) {
+      for (std::size_t li = static_cast<std::size_t>(t); li < prepared.size();
+           li += static_cast<std::size_t>(num_workers)) {
+        score_log_serial<W>(t, faults, prepared[li],
+                            streams[static_cast<std::size_t>(t)].get());
+      }
+    });
+  };
+  switch (opts_.block_words) {
+    case 1: run.operator()<1>(); break;
+    case 2: run.operator()<2>(); break;
+    case 4: run.operator()<4>(); break;
+    case 8: run.operator()<8>(); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+
+  std::vector<DiagnosisResult> results;
+  results.reserve(prepared.size());
+  for (Prepared& p : prepared) {
+    finalize(p);
+    results.push_back(std::move(p.res));
+  }
+  return results;
 }
 
 std::size_t DiagnosisResult::rank_of(const Fault& f) const {

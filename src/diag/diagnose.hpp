@@ -128,11 +128,22 @@ struct DiagnosisResult {
 
 class Diagnoser {
  public:
+  /// Standalone: builds a private worker pool, observation-point space,
+  /// cone cache and good-block cache (the cache is rebound on every
+  /// diagnose() call) -- the one-shot behaviour behind the deprecated
+  /// run_diagnosis() free function.
   explicit Diagnoser(const Netlist& nl, DiagnosisOptions opts = {});
+  /// Borrowing: shares a ScanSession's pool, point space, cone cache and
+  /// good-block cache across calls and engines. `goods` must already be
+  /// bound (by the owner) to the pattern storage later passed to
+  /// diagnose(); opts.num_threads is superseded by the pool's size.
+  Diagnoser(const Netlist& nl, DiagnosisOptions opts, ThreadPool& pool,
+            const ObservationPoints& points, ObservationConeCache& cones,
+            GoodBlockCache& goods);
   ~Diagnoser();
 
   const DiagnosisOptions& options() const { return opts_; }
-  const ObservationPoints& points() const { return points_; }
+  const ObservationPoints& points() const { return *points_; }
 
   /// Scores `faults` (typically collapse_faults(nl)) against the observed
   /// failure log under `patterns` (fully specified; the log's pattern
@@ -141,24 +152,62 @@ class Diagnoser {
                            std::span<const Fault> faults,
                            const FailureLog& log);
 
+  /// Batch entry point behind ScanSession::diagnose_batch: every log is
+  /// validated and cone-pruned serially (sharing the lazily built cones),
+  /// then the logs fan out round-robin across the worker pool -- each log
+  /// is scored wholly within one worker, in the same fixed 64-candidate
+  /// rounds and block order as diagnose(), so each result is bit-identical
+  /// to a sequential diagnose() call on the same log.
+  std::vector<DiagnosisResult> diagnose_batch(
+      std::span<const TestPattern> patterns, std::span<const Fault> faults,
+      std::span<const FailureLog* const> logs);
+
  private:
+  /// Validated, pruned, ready-to-score state of one log.
+  struct Prepared {
+    const FailureLog* log = nullptr;
+    ResponseMatrix observed;
+    std::uint64_t total_fail = 0;
+    std::vector<std::uint32_t> candidates;
+    std::vector<CandidateScore> scores;
+    DiagnosisResult res;  ///< stats prefilled; ranked filled by finalize()
+  };
+
+  void ensure_goods(std::span<const TestPattern> patterns);
+  Prepared prepare(std::span<const TestPattern> patterns,
+                   std::span<const Fault> faults, const FailureLog& log);
+  void finalize(Prepared& p);
+
   std::vector<std::uint32_t> prune_candidates(std::span<const Fault> faults,
                                               const FailureLog& log);
 
+  /// Accumulates one candidate's counters over one good-machine block and
+  /// applies the early-exit drop test at the block boundary.
   template <int W>
-  void score_candidates(std::span<const TestPattern> patterns,
-                        std::span<const Fault> faults,
-                        std::span<const std::uint32_t> candidates,
-                        const ResponseMatrix& observed,
-                        std::uint64_t total_fail,
-                        std::vector<CandidateScore>& scores);
+  void score_candidate_block(FaultConeEvaluator& ev, CandidateScore& sc,
+                             const Fault& f, const BlockSimulator& good,
+                             std::size_t block, const ResponseMatrix& observed,
+                             bool early_exit, std::uint64_t best);
+
+  template <int W>
+  void score_candidates(std::span<const Fault> faults, Prepared& p);
+  template <int W>
+  void score_log_serial(int worker, std::span<const Fault> faults, Prepared& p,
+                        BlockSimulator* stream);
 
   const Netlist* nl_;
   DiagnosisOptions opts_;
-  ObservationPoints points_;
-  ObservationConeCache cones_;           ///< per-op fanin cones, lazily built
+  // Owned engine state (standalone construction only; null when borrowed).
+  std::unique_ptr<ObservationPoints> owned_points_;
+  std::unique_ptr<ObservationConeCache> owned_cones_;
+  std::unique_ptr<GoodBlockCache> owned_goods_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  // Borrowed-or-owned views used by all engine code.
+  const ObservationPoints* points_ = nullptr;
+  ObservationConeCache* cones_ = nullptr;
+  GoodBlockCache* goods_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   std::vector<FaultConeEvaluator> workers_;
-  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace scanpower

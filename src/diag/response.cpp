@@ -264,6 +264,42 @@ FailureLog load_failure_log_file(const std::string& path, const Netlist* nl,
   return load_failure_log(f, nl, ops);
 }
 
+void GoodBlockCache::bind(const Netlist& nl,
+                          std::span<const TestPattern> patterns,
+                          int block_words, std::size_t max_cached_blocks) {
+  SP_CHECK(is_valid_block_words(block_words),
+           "GoodBlockCache: block_words must be 1, 2, 4 or 8");
+  nl_ = &nl;
+  patterns_ = patterns;
+  words_ = block_words;
+  const std::size_t lanes = this->lanes();
+  nblocks_ = (patterns.size() + lanes - 1) / lanes;
+  cached_ = nblocks_ <= max_cached_blocks;
+  blocks_.clear();
+  if (!cached_) return;
+  blocks_.reserve(nblocks_);
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    blocks_.emplace_back(nl, words_);
+    load_pattern_block(nl, patterns, base, blocks_.back());
+    blocks_.back().eval();
+  }
+}
+
+void GoodBlockCache::reset() {
+  nl_ = nullptr;
+  patterns_ = {};
+  words_ = 0;
+  nblocks_ = 0;
+  cached_ = false;
+  blocks_.clear();
+}
+
+void GoodBlockCache::stream(std::size_t b, BlockSimulator& scratch) const {
+  SP_ASSERT(bound() && b < nblocks_, "GoodBlockCache: block out of range");
+  load_pattern_block(*nl_, patterns_, b * lanes(), scratch);
+  scratch.eval();
+}
+
 ResponseCapture::ResponseCapture(const Netlist& nl, int block_words)
     : nl_(&nl), words_(block_words), points_(nl) {
   SP_CHECK(is_valid_block_words(block_words),

@@ -103,6 +103,58 @@ class ObservationConeCache {
   std::vector<std::uint8_t> mark_;  ///< DFS scratch, all-zero between calls
 };
 
+/// Simulated good-machine pattern blocks, shared across diagnose() calls.
+/// Binding simulates every 64*block_words-pattern block of the bound set
+/// and keeps the results while the block count stays under the cache cap
+/// (one BlockSimulator per block: num_gates * W * 8 bytes of values);
+/// past the cap only the geometry is kept and callers replay blocks
+/// through their own streaming simulator via stream(). Both diagnosers
+/// score candidates out of this cache, and a ScanSession keeps one
+/// instance bound across calls so repeated diagnoses of one (netlist,
+/// pattern set) pair never re-simulate the good machine.
+class GoodBlockCache {
+ public:
+  static constexpr std::size_t kDefaultMaxCachedBlocks = 256;
+
+  GoodBlockCache() = default;
+
+  /// (Re)binds to (nl, patterns, block_words). `patterns` must be fully
+  /// specified and must outlive the binding (the owner keeps the storage
+  /// alive; bound_to() identifies a binding by that storage).
+  void bind(const Netlist& nl, std::span<const TestPattern> patterns,
+            int block_words,
+            std::size_t max_cached_blocks = kDefaultMaxCachedBlocks);
+  void reset();
+
+  bool bound() const { return nl_ != nullptr; }
+  /// True iff bound to exactly this pattern storage and width.
+  bool bound_to(std::span<const TestPattern> patterns, int block_words) const {
+    return bound() && patterns_.data() == patterns.data() &&
+           patterns_.size() == patterns.size() && words_ == block_words;
+  }
+
+  int block_words() const { return words_; }
+  std::size_t lanes() const { return static_cast<std::size_t>(words_) * 64; }
+  std::size_t num_blocks() const { return nblocks_; }
+  std::span<const TestPattern> patterns() const { return patterns_; }
+
+  /// True when every block is materialized (block count under the cap).
+  bool cached() const { return cached_; }
+  /// Cached good machine of block `b` (cached() only).
+  const BlockSimulator& block(std::size_t b) const { return blocks_[b]; }
+  /// Replays block `b` into `scratch` (load + eval); the values equal the
+  /// cached ones, so cached and streaming scoring are bit-identical.
+  void stream(std::size_t b, BlockSimulator& scratch) const;
+
+ private:
+  const Netlist* nl_ = nullptr;
+  std::span<const TestPattern> patterns_;
+  int words_ = 0;
+  std::size_t nblocks_ = 0;
+  bool cached_ = false;
+  std::vector<BlockSimulator> blocks_;
+};
+
 /// Packed per-point response signatures: row `op` holds one bit per
 /// pattern (bit lane i of word w = pattern 64*w + i).
 struct ResponseMatrix {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <memory>
 
 #include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
@@ -78,10 +79,24 @@ void LeakageObservability::compute_monte_carlo_packed(
   const int W = opts.block_words;
   const std::size_t lanes = static_cast<std::size_t>(W) * 64;
   const std::size_t nblocks = (samples + lanes - 1) / lanes;
-  const int T = ThreadPool::resolve_threads(opts.num_threads);
-  ThreadPool pool(T);
+  // Borrow the caller's pool/tables when provided (ScanSession); the
+  // sweep is bit-identical for any pool size, so sharing is result-free.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool_ptr = opts.pool;
+  if (pool_ptr == nullptr) {
+    owned_pool =
+        std::make_unique<ThreadPool>(ThreadPool::resolve_threads(opts.num_threads));
+    pool_ptr = owned_pool.get();
+  }
+  ThreadPool& pool = *pool_ptr;
+  const int T = pool.size();
 
-  const GateLeakageTables tables(nl, model);
+  std::unique_ptr<const GateLeakageTables> owned_tables;
+  if (opts.tables == nullptr) {
+    owned_tables = std::make_unique<GateLeakageTables>(nl, model);
+  }
+  const GateLeakageTables& tables =
+      opts.tables ? *opts.tables : *owned_tables;
   const PackedLeakageEvaluator leval(nl, tables);
 
   // Per-worker simulation state; one block of samples per worker per

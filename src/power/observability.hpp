@@ -28,6 +28,8 @@
 
 namespace scanpower {
 
+class ThreadPool;
+
 enum class ObservabilityMethod { MonteCarlo, Probabilistic };
 
 struct ObservabilityOptions {
@@ -48,6 +50,14 @@ struct ObservabilityOptions {
   /// has a fixed seed derived from (seed, block index) and block partials
   /// are reduced in block order.
   int num_threads = 1;
+  /// Borrowed per-(netlist, model) leakage tables; null = build a private
+  /// copy (the one-shot cost a ScanSession amortizes across calls). Must
+  /// be built from the same netlist and model passed to the constructor.
+  const GateLeakageTables* tables = nullptr;
+  /// Borrowed worker pool; null = create a private one of num_threads
+  /// workers. Any pool size produces bit-identical values (see
+  /// num_threads), so sharing a session's pool is result-neutral.
+  ThreadPool* pool = nullptr;
 };
 
 class LeakageObservability {

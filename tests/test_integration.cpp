@@ -1,24 +1,28 @@
 // End-to-end properties of the full flow: the qualitative claims of the
-// paper must hold on our reproduction.
+// paper must hold on our reproduction. All flows run through the
+// stateful ScanSession API (the deprecated free-function wrappers are
+// banned from migrated targets by -Werror=deprecated-declarations).
 
 #include <gtest/gtest.h>
 
 #include "atpg/fault_sim.hpp"
 #include "benchgen/benchgen.hpp"
-#include "core/flow.hpp"
+#include "core/session.hpp"
 #include "core/verify.hpp"
 #include "techmap/techmap.hpp"
 
 namespace scanpower {
 namespace {
 
+FlowResult session_flow(const std::string& name, const FlowOptions& opts = {}) {
+  ScanSession session(map_to_nand_nor_inv(make_iscas89_like(name)), opts);
+  return session.run_flow();
+}
+
 class FlowTest : public ::testing::Test {
  protected:
   static const FlowResult& result() {
-    static const FlowResult r = [] {
-      const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s344"));
-      return run_flow(mapped, FlowOptions{});
-    }();
+    static const FlowResult r = session_flow("s344");
     return r;
   }
 };
@@ -66,12 +70,18 @@ TEST_F(FlowTest, TestsShared) {
 }
 
 TEST(FlowProperties, DeterministicEndToEnd) {
-  const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s382"));
-  const FlowResult a = run_flow(mapped, FlowOptions{});
-  const FlowResult b = run_flow(mapped, FlowOptions{});
+  // Two sessions -- and two runs of one session -- agree exactly.
+  ScanSession session(map_to_nand_nor_inv(make_iscas89_like("s382")),
+                      FlowOptions{});
+  const FlowResult a = session.run_flow();
+  const FlowResult a2 = session.run_flow();
+  const FlowResult b = session_flow("s382");
   EXPECT_DOUBLE_EQ(a.proposed.dynamic_per_hz_uw, b.proposed.dynamic_per_hz_uw);
   EXPECT_DOUBLE_EQ(a.proposed.static_uw, b.proposed.static_uw);
   EXPECT_DOUBLE_EQ(a.traditional.static_uw, b.traditional.static_uw);
+  EXPECT_DOUBLE_EQ(a.proposed.static_uw, a2.proposed.static_uw);
+  EXPECT_DOUBLE_EQ(a.proposed.dynamic_per_hz_uw,
+                   a2.proposed.dynamic_per_hz_uw);
 }
 
 TEST(FlowProperties, FaultCoverageUnaffectedByStructure) {
@@ -80,12 +90,12 @@ TEST(FlowProperties, FaultCoverageUnaffectedByStructure) {
   // test set detects the same original-circuit faults.
   const Netlist mapped = map_to_nand_nor_inv(make_iscas89_like("s382"));
   FlowOptions opts;
+  ScanSession session(mapped, opts);
   FlowResult details;
-  const TestSet tests = generate_tests(mapped, opts.tpg);
-  run_proposed(mapped, tests, opts, &details);
+  session.run_proposed(session.tests(), &details);
   std::vector<Logic> mux_values = details.pattern.mux_pattern;
   const StructureVerification v = verify_mux_structure(
-      mapped, details.mux_plan, mux_values, opts.delay, &tests);
+      mapped, details.mux_plan, mux_values, opts.delay, &session.tests());
   EXPECT_TRUE(v.all_ok());
   EXPECT_TRUE(v.normal_mode_equivalent);
 }
@@ -98,9 +108,11 @@ TEST(FlowProperties, AblationObservabilityHelpsStatic) {
   FlowOptions on;
   FlowOptions off;
   off.use_observability_directive = false;
-  const TestSet tests = generate_tests(mapped, on.tpg);
-  const ScanPowerResult with = run_proposed(mapped, tests, on, nullptr);
-  const ScanPowerResult without = run_proposed(mapped, tests, off, nullptr);
+  ScanSession s_on(mapped, on);
+  ScanSession s_off(mapped, off);
+  const TestSet& tests = s_on.tests();
+  const ScanPowerResult with = s_on.run_proposed(tests, nullptr);
+  const ScanPowerResult without = s_off.run_proposed(tests, nullptr);
   EXPECT_LT(with.static_uw, without.static_uw * 1.05);
 }
 
@@ -109,9 +121,11 @@ TEST(FlowProperties, AblationReorderNeverHurtsStatic) {
   FlowOptions on;
   FlowOptions off;
   off.do_pin_reorder = false;
-  const TestSet tests = generate_tests(mapped, on.tpg);
-  const ScanPowerResult with = run_proposed(mapped, tests, on, nullptr);
-  const ScanPowerResult without = run_proposed(mapped, tests, off, nullptr);
+  ScanSession s_on(mapped, on);
+  ScanSession s_off(mapped, off);
+  const TestSet& tests = s_on.tests();
+  const ScanPowerResult with = s_on.run_proposed(tests, nullptr);
+  const ScanPowerResult without = s_off.run_proposed(tests, nullptr);
   EXPECT_LE(with.static_uw, without.static_uw + 1e-9);
   // Dynamic power is untouched by reordering (same values everywhere).
   EXPECT_NEAR(with.dynamic_per_hz_uw, without.dynamic_per_hz_uw,
@@ -126,15 +140,17 @@ TEST(FlowProperties, NoMuxesDegradesToInputControlShape) {
   FlowOptions full;
   FlowOptions no_mux;
   no_mux.insert_muxes = false;
-  const TestSet tests = generate_tests(mapped, full.tpg);
-  const ScanPowerResult with = run_proposed(mapped, tests, full, nullptr);
-  const ScanPowerResult without = run_proposed(mapped, tests, no_mux, nullptr);
+  ScanSession s_full(mapped, full);
+  ScanSession s_no_mux(mapped, no_mux);
+  const TestSet& tests = s_full.tests();
+  const ScanPowerResult with = s_full.run_proposed(tests, nullptr);
+  const ScanPowerResult without = s_no_mux.run_proposed(tests, nullptr);
   EXPECT_LE(with.dynamic_per_hz_uw, without.dynamic_per_hz_uw * 1.02);
 }
 
 TEST(FlowProperties, S27SmokeTest) {
-  const Netlist mapped = map_to_nand_nor_inv(make_s27());
-  const FlowResult r = run_flow(mapped, FlowOptions{});
+  ScanSession session(map_to_nand_nor_inv(make_s27()), FlowOptions{});
+  const FlowResult r = session.run_flow();
   EXPECT_GT(r.traditional.static_uw, 0.0);
   EXPECT_GT(r.traditional.dynamic_per_hz_uw, 0.0);
   EXPECT_LE(r.proposed.dynamic_per_hz_uw, r.traditional.dynamic_per_hz_uw);
