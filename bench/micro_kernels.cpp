@@ -18,6 +18,7 @@
 #include "core/justify.hpp"
 #include "core/session.hpp"
 #include "diag/diagnose.hpp"
+#include "diag/noise.hpp"
 #include "diag/response.hpp"
 #include "power/leakage_model.hpp"
 #include "power/observability.hpp"
@@ -204,6 +205,57 @@ BENCHMARK(BM_DiagnosisS9234)
     ->Args({1, 1, 1})
     ->Args({4, 1, 0})   // scoring early-exit disabled (baseline)
     ->Args({4, 1, 1})
+    ->Args({4, 4, 1});  // acceptance configuration
+
+// Noisy-tester variant of BM_DiagnosisS9234: the same injected fault,
+// but the failure log is corrupted by the seeded NoiseModel (5% record
+// drops, 5% spurious flips) and diagnosed with a matching
+// noise_tolerance. Args are (block words W, worker threads, suspect-set
+// recovery on/off); the /4/4/0 vs /4/4/1 delta is the cost of the
+// multi-fault union-cover pass on a noisy single-fault log, recorded in
+// BENCH_noise.json.
+void BM_DiagnosisS9234Noisy(benchmark::State& state) {
+  const Netlist& nl = circuit("s9234");
+  const auto faults = collapse_faults(nl);
+  Rng rng(9);
+  std::vector<TestPattern> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_pattern(nl, rng));
+
+  // The same deterministic device-under-diagnosis as BM_DiagnosisS9234.
+  FaultSimulator fsim(nl, FaultSimOptions{.block_words = 4});
+  const FaultSimResult det = fsim.run(pats, faults);
+  std::size_t injected = faults.size();
+  for (std::size_t fi = faults.size() / 2; fi < faults.size(); ++fi) {
+    if (det.detected[fi]) {
+      injected = fi;
+      break;
+    }
+  }
+  SP_CHECK(injected < faults.size(),
+           "BM_DiagnosisS9234Noisy: no detected fault in the second half");
+  ResponseCapture capture(nl, 4);
+  FailureLog log = capture.inject(pats, faults[injected]);
+  const NoiseModel noise(NoiseOptions{.drop_rate = 0.05, .flip_rate = 0.05});
+  NoiseStats stats;
+  log = noise.corrupt(log, capture.points().size(), &stats);
+
+  DiagnosisOptions opts;
+  opts.block_words = static_cast<int>(state.range(0));
+  opts.num_threads = static_cast<int>(state.range(1));
+  opts.multiplets = state.range(2) != 0;
+  opts.noise_tolerance = stats.dropped + stats.flipped + 2;
+  Diagnoser diag(nl, opts);
+  for (auto _ : state) {
+    const DiagnosisResult res = diag.diagnose(pats, faults, log);
+    benchmark::DoNotOptimize(res.ranked.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_DiagnosisS9234Noisy)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1, 1})
+    ->Args({4, 4, 0})   // suspect-set recovery disabled (baseline)
     ->Args({4, 4, 1});  // acceptance configuration
 
 // MISR time-compaction of the s9234-like profile's full 256-pattern

@@ -43,6 +43,20 @@
 //                          with --log; its recorded MISR configuration
 //                          wins; implies --compact)
 //
+//   Tester noise (diag/noise.hpp harness; applies to every log, loaded or
+//   injected, before --save-log so the noisy log can be written out):
+//     --noise-drop <r>     drop each failing record/window with rate r in
+//                          [0,1] (intermittent defects, retest passes)
+//     --noise-flip <r>     spurious-failure rate: flip ~r * |records|
+//                          passing entries to failing (tester glitches)
+//     --noise-seed <n>     noise RNG seed (default 0x5eeded); same seed +
+//                          same log = byte-identical corruption
+//     --tolerance <n>      DiagnosisOptions::noise_tolerance -- candidates
+//                          within n mismatched (pattern, point) entries of
+//                          the leader survive early-exit and tie ranking
+//     --top-set <n>        report at most n multi-fault suspect sets
+//                          (0 disables the multiplet cover stage)
+//
 // Batches mix freely: two failure logs and a signature log in one run hit
 // the same session.diagnose_batch() entry point and come back in order.
 
@@ -55,6 +69,7 @@
 
 #include "cli_common.hpp"
 #include "core/session.hpp"
+#include "diag/noise.hpp"
 #include "netlist/stats.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -77,6 +92,8 @@ int usage(const char* argv0) {
       "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
       "          [--verbose]\n"
       "          [--compact] [--misr-width n] [--misr-poly hex] [--window k]\n"
+      "          [--noise-drop r] [--noise-flip r] [--noise-seed n]\n"
+      "          [--tolerance n] [--top-set n]\n"
       "\n"
       "  --log / --signature-log are repeatable and may be mixed: all logs\n"
       "  are diagnosed in one batch against one shared engine session, and\n"
@@ -91,7 +108,8 @@ int usage(const char* argv0) {
 void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts,
                  const std::string& source, const Evidence& ev,
                  const DiagnosisResult& res, std::size_t num_patterns,
-                 std::size_t top) {
+                 std::size_t top, const NoiseOptions* nopts,
+                 const NoiseStats* nstats) {
   const SignatureLog* slog = std::get_if<SignatureLog>(&ev);
   const FailureLog* flog = std::get_if<FailureLog>(&ev);
   j.begin_object();
@@ -103,7 +121,17 @@ void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts
   j.field("num_threads", dopts.num_threads);
   j.field("cone_pruning", dopts.cone_pruning);
   j.field("score_early_exit", dopts.score_early_exit);
+  j.field("noise_tolerance", dopts.noise_tolerance);
   j.end_object();
+  if (nopts != nullptr) {
+    j.begin_object("noise");
+    j.field("drop_rate", nopts->drop_rate);
+    j.field("flip_rate", nopts->flip_rate);
+    j.field("seed", nopts->seed);
+    j.field("dropped", static_cast<std::uint64_t>(nstats->dropped));
+    j.field("flipped", static_cast<std::uint64_t>(nstats->flipped));
+    j.end_object();
+  }
   if (slog != nullptr) {
     j.begin_object("compact");
     j.field("misr_width", slog->misr.width);
@@ -141,6 +169,25 @@ void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts
     j.end_object();
   }
   j.end_array();
+  j.field("union_fallback", res.union_fallback);
+  j.begin_array("suspect_sets");
+  for (const SuspectSet& set : res.multiplets) {
+    j.begin_object();
+    j.field("covered", static_cast<std::uint64_t>(set.covered));
+    j.field("uncovered", static_cast<std::uint64_t>(set.uncovered));
+    j.begin_array("faults");
+    for (const CandidateScore& sc : set.members) {
+      j.begin_object();
+      j.field("fault", sc.fault.to_string(nl));
+      j.field("tfsf", sc.tfsf);
+      j.field("tfsp", sc.tfsp);
+      j.field("tpsf", sc.tpsf);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
   j.end_object();
 }
 
@@ -162,6 +209,27 @@ void print_ranked(const Netlist& nl, const DiagnosisResult& res,
   }
 }
 
+void print_multiplets(const Netlist& nl, const DiagnosisResult& res) {
+  if (res.union_fallback) {
+    std::printf("  (single-fault cone intersection was empty or noisy: "
+                "union-pruning fallback engaged)\n");
+  }
+  if (res.multiplets.empty()) return;
+  const std::size_t total =
+      res.multiplets.front().covered + res.multiplets.front().uncovered;
+  std::printf("\nmulti-fault suspect sets:\n");
+  for (std::size_t s = 0; s < res.multiplets.size(); ++s) {
+    const SuspectSet& set = res.multiplets[s];
+    std::string joined;
+    for (const CandidateScore& sc : set.members) {
+      if (!joined.empty()) joined += " + ";
+      joined += sc.fault.to_string(nl);
+    }
+    std::printf("  set %zu: {%s} explains %zu/%zu failing patterns\n", s + 1,
+                joined.c_str(), set.covered, total);
+  }
+}
+
 void print_result(const Netlist& nl, const std::string& source,
                   const Evidence& ev, const DiagnosisResult& res,
                   std::size_t top) {
@@ -179,6 +247,7 @@ void print_result(const Netlist& nl, const std::string& source,
                 res.num_dropped);
   }
   print_ranked(nl, res, top);
+  print_multiplets(nl, res);
 }
 
 bool evidence_has_failures(const Evidence& ev) {
@@ -207,7 +276,9 @@ int main(int argc, char** argv) {
   bool do_map = true;
   bool named_log = false;
   bool compact = false;
+  bool noise = false;
   MisrConfig misr;
+  NoiseOptions nopts;
   DiagnosisOptions dopts;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -239,6 +310,18 @@ int main(int argc, char** argv) {
       dopts.score_early_exit = false;
     } else if (cli::flag(argv, i, "--named-log")) {
       named_log = true;
+    } else if (cli::value_flag(argc, argv, i, "--noise-drop",
+                               nopts.drop_rate)) {
+      noise = true;
+    } else if (cli::value_flag(argc, argv, i, "--noise-flip",
+                               nopts.flip_rate)) {
+      noise = true;
+    } else if (cli::value_flag(argc, argv, i, "--noise-seed", nopts.seed)) {
+    } else if (cli::value_flag(argc, argv, i, "--tolerance",
+                               dopts.noise_tolerance)) {
+    } else if (cli::value_flag(argc, argv, i, "--top-set", v)) {
+      dopts.max_multiplets = static_cast<std::size_t>(std::atol(v));
+      dopts.multiplets = dopts.max_multiplets > 0;
     } else if (cli::value_flag(argc, argv, i, "--top", v)) {
       dopts.max_report = static_cast<std::size_t>(std::atol(v));
     } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
@@ -311,6 +394,31 @@ int main(int argc, char** argv) {
     const std::size_t num_patterns = session.patterns().size();
 
     // ---- evidence -------------------------------------------------------
+    // Tester-noise harness: every log (synthetic or loaded) is corrupted
+    // before --save-log sees it, so the noisy log can be written out and
+    // re-diagnosed later. Stats are kept per log for the JSON dump.
+    const NoiseModel noise_model(nopts);  // validates the rates up front
+    std::vector<NoiseStats> noise_stats;
+    const auto corrupt_full = [&](FailureLog& log) {
+      NoiseStats st;
+      if (noise) {
+        log = noise_model.corrupt(log, session.points().size(), &st);
+        std::printf("noise: dropped %zu failing records, flipped %zu "
+                    "(seed 0x%llx)\n", st.dropped, st.flipped,
+                    static_cast<unsigned long long>(nopts.seed));
+      }
+      noise_stats.push_back(st);
+    };
+    const auto corrupt_sig = [&](SignatureLog& slog) {
+      NoiseStats st;
+      if (noise) {
+        slog = noise_model.corrupt(slog, &st);
+        std::printf("noise: dropped %zu failing windows, garbled %zu "
+                    "(seed 0x%llx)\n", st.dropped, st.flipped,
+                    static_cast<unsigned long long>(nopts.seed));
+      }
+      noise_stats.push_back(st);
+    };
     std::vector<Evidence> evidence;
     std::vector<std::string> sources;
     if (inject_mode) {
@@ -328,6 +436,7 @@ int main(int argc, char** argv) {
         std::printf("injected %s: %zu/%zu failing windows\n",
                     injected.to_string(design).c_str(),
                     slog.num_failing_windows(), slog.num_windows());
+        corrupt_sig(slog);
         std::printf("MISR width %d, poly %llx, window %d patterns\n",
                     slog.misr.width,
                     static_cast<unsigned long long>(slog.misr.resolved_poly()),
@@ -341,6 +450,7 @@ int main(int argc, char** argv) {
         FailureLog log = session.inject(injected);
         std::printf("injected %s: %zu failures\n",
                     injected.to_string(design).c_str(), log.failures.size());
+        corrupt_full(log);
         if (save_log_path) {
           save_failure_log_file(save_log_path, log, &design, &session.points(),
                                 named_log);
@@ -359,6 +469,7 @@ int main(int argc, char** argv) {
                    std::string(f.path) +
                        ": signature log pattern count does not match the "
                        "applied set");
+          corrupt_sig(slog);
           if (save_log_path) {
             save_signature_log_file(save_log_path, slog);
             std::printf("wrote signature log to %s\n", save_log_path);
@@ -371,6 +482,7 @@ int main(int argc, char** argv) {
                    std::string(f.path) +
                        ": failure log pattern count does not match the "
                        "applied set");
+          corrupt_full(log);
           if (save_log_path) {
             save_failure_log_file(save_log_path, log, &design,
                                   &session.points(), named_log);
@@ -426,7 +538,8 @@ int main(int argc, char** argv) {
       if (array) j.begin_array();
       for (std::size_t i = 0; i < results.size(); ++i) {
         json_result(j, design, dopts, sources[i], evidence[i], results[i],
-                    num_patterns, dopts.max_report);
+                    num_patterns, dopts.max_report, noise ? &nopts : nullptr,
+                    noise ? &noise_stats[i] : nullptr);
       }
       if (array) j.end_array();
       std::printf("\nwrote JSON result%s to %s\n", array ? " array" : "",

@@ -54,8 +54,7 @@ class SignatureDiagnoser {
  public:
   /// Standalone: builds a private worker pool, observation-point space,
   /// cone cache and good-block cache, and rebuilds the X-mask plan plus
-  /// expected signatures on every diagnose() call -- the one-shot
-  /// behaviour behind the deprecated run_compacted_diagnosis(). Takes the
+  /// expected signatures on every diagnose() call. Takes the
   /// engine knobs from DiagnosisOptions (block_words, num_threads,
   /// cone_pruning, max_report); the MISR configuration comes from the
   /// diagnosed log. score_early_exit does not apply -- window counters

@@ -81,6 +81,12 @@ class SignatureCapture {
   /// fault `f` under `patterns`.
   SignatureLog inject(std::span<const TestPattern> patterns, const Fault& f);
 
+  /// Multi-fault analogue: the signature log of a chip carrying every
+  /// fault in `faults` simultaneously (exact k-fault simulation via
+  /// ResponseCapture's multi-fault sweep, compacted through linearity).
+  SignatureLog inject(std::span<const TestPattern> patterns,
+                      std::span<const Fault> faults);
+
  private:
   std::span<const TestPattern> effective_patterns() const {
     return filled_.empty() ? std::span<const TestPattern>(bound_)

@@ -89,50 +89,4 @@ inline double improvement_pct(double base, double ours) {
   return base == 0.0 ? 0.0 : 100.0 * (base - ours) / base;
 }
 
-// ---- deprecated one-shot wrappers ------------------------------------------
-//
-// Every free function below constructs a throwaway ScanSession
-// (core/session.hpp) per call, rebuilding all shared engine state from
-// scratch -- the exact cost the session API exists to amortize. They are
-// kept only so out-of-tree callers keep compiling; all in-repo callers
-// are migrated, CI builds the migrated targets with
-// -Werror=deprecated-declarations, and the wrappers will be deleted in a
-// later release.
-
-/// Runs the full comparison on one (ideally mapped) netlist.
-[[deprecated("construct a ScanSession (core/session.hpp) and call "
-             "session.run_flow(); a session amortizes the test set, "
-             "observability and leakage tables across calls")]]
-FlowResult run_flow(const Netlist& nl, const FlowOptions& opts = {});
-
-/// Runs only the proposed method (reusing a pre-generated test set);
-/// building block for ablation sweeps.
-[[deprecated("construct a ScanSession (core/session.hpp) and call "
-             "session.run_proposed(tests, details)")]]
-ScanPowerResult run_proposed(const Netlist& nl, const TestSet& tests,
-                             const FlowOptions& opts, FlowResult* details = nullptr);
-
-/// Diagnoses a failure log against the collapsed fault list of `nl` under
-/// `patterns` (fully specified; the log's pattern indices refer to this
-/// set).
-[[deprecated("construct a ScanSession (core/session.hpp), bind_patterns(), "
-             "and call session.diagnose(Evidence) -- one entry point for "
-             "failure and signature logs, with shared state amortized")]]
-DiagnosisResult run_diagnosis(const Netlist& nl,
-                              std::span<const TestPattern> patterns,
-                              const FailureLog& log,
-                              const DiagnosisOptions& opts = {});
-
-/// Compacted-response analogue of run_diagnosis: diagnoses a per-window
-/// MISR signature log (the tester's view when responses are time-compacted
-/// instead of observed per point). The MISR configuration comes from the
-/// log; `opts` supplies the engine knobs.
-[[deprecated("construct a ScanSession (core/session.hpp), bind_patterns(), "
-             "and call session.diagnose(Evidence) -- one entry point for "
-             "failure and signature logs, with shared state amortized")]]
-DiagnosisResult run_compacted_diagnosis(const Netlist& nl,
-                                        std::span<const TestPattern> patterns,
-                                        const SignatureLog& log,
-                                        const DiagnosisOptions& opts = {});
-
 }  // namespace scanpower

@@ -223,13 +223,32 @@ SignatureCapture& ScanSession::compact_state(const MisrConfig& cfg) {
   return *it->second;
 }
 
+void ScanSession::validate_evidence(const FailureLog& log) {
+  SP_CHECK(log.num_patterns == bound_.size(),
+           strprintf("ScanSession::diagnose: failure log covers %zu patterns "
+                     "but the bound set has %zu",
+                     log.num_patterns, bound_.size()));
+  const std::size_t num_points = points().size();
+  for (const Failure& f : log.failures) {
+    SP_CHECK(f.pattern < log.num_patterns,
+             strprintf("ScanSession::diagnose: failure record (pattern %u, "
+                       "point %u) outside the %zu-pattern log",
+                       f.pattern, f.op, log.num_patterns));
+    SP_CHECK(f.op < num_points,
+             strprintf("ScanSession::diagnose: failure record (pattern %u, "
+                       "point %u) outside the %zu-point observation space",
+                       f.pattern, f.op, num_points));
+  }
+}
+
 DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
   require_bound();
   require_fully_specified("full-response diagnosis");
+  validate_evidence(log);
   DiagnosisResult res = diagnoser().diagnose(effective_patterns(), faults(), log);
   log_info(strprintf(
       "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
-      "best %s (tfsf %llu, tfsp %llu, tpsf %llu)",
+      "best %s (tfsf %llu, tfsp %llu, tpsf %llu)%s%s",
       nl_.name().c_str(), res.num_failures, res.num_failing_patterns,
       res.num_candidates, res.num_faults,
       res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl_).c_str(),
@@ -238,7 +257,15 @@ DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
       res.ranked.empty() ? 0ULL
                          : static_cast<unsigned long long>(res.ranked[0].tfsp),
       res.ranked.empty() ? 0ULL
-                         : static_cast<unsigned long long>(res.ranked[0].tpsf)));
+                         : static_cast<unsigned long long>(res.ranked[0].tpsf),
+      res.union_fallback ? ", union-pruning fallback" : "",
+      res.multiplets.empty()
+          ? ""
+          : strprintf(", %zu suspect sets (top covers %zu/%zu failing "
+                      "patterns)",
+                      res.multiplets.size(), res.multiplets[0].covered,
+                      res.num_failing_patterns)
+                .c_str()));
   return res;
 }
 
@@ -299,6 +326,7 @@ std::vector<DiagnosisResult> ScanSession::diagnose_batch(
   }
   if (!full.empty()) {
     require_fully_specified("full-response diagnosis");
+    for (const FailureLog* log : full) validate_evidence(*log);
     std::vector<DiagnosisResult> rs =
         diagnoser().diagnose_batch(effective_patterns(), faults(), full);
     for (std::size_t k = 0; k < rs.size(); ++k) {
@@ -318,6 +346,12 @@ FailureLog ScanSession::inject(const Fault& f) {
   return capture().inject(effective_patterns(), f);
 }
 
+FailureLog ScanSession::inject(std::span<const Fault> faults) {
+  require_bound();
+  require_fully_specified("full-response injection");
+  return capture().inject(effective_patterns(), faults);
+}
+
 SignatureLog ScanSession::inject_compacted(const Fault& f) {
   return inject_compacted(f, opts_.misr);
 }
@@ -326,6 +360,16 @@ SignatureLog ScanSession::inject_compacted(const Fault& f,
                                            const MisrConfig& cfg) {
   require_bound();
   return compact_state(cfg).inject(bound_, f);
+}
+
+SignatureLog ScanSession::inject_compacted(std::span<const Fault> faults) {
+  return inject_compacted(faults, opts_.misr);
+}
+
+SignatureLog ScanSession::inject_compacted(std::span<const Fault> faults,
+                                           const MisrConfig& cfg) {
+  require_bound();
+  return compact_state(cfg).inject(bound_, faults);
 }
 
 FillResult ScanSession::fill(std::vector<Logic>& pi_pattern,

@@ -1,16 +1,15 @@
 #pragma once
 // ScanSession: the stateful service API over one (netlist, options) pair.
 //
-// Every free-function entry point (run_flow, run_diagnosis,
-// run_compacted_diagnosis) rebuilds the same expensive engine state per
-// call: the collapsed fault list, the observation-point index space and
-// its fanin cones, the per-(netlist, model) leakage tables, the packed
-// good-machine blocks of the pattern set, X-mask plans and expected
-// signatures, and a fresh worker pool. The paper's flow is inherently
-// multi-query over a fixed design -- ablation columns, per-chip failure
-// logs, fill trials -- so a service answering K queries should pay that
-// setup once. ScanSession owns all of it, builds each piece lazily on
-// first use, and exposes the flows as methods:
+// A one-shot entry point would rebuild the same expensive engine state
+// per call: the collapsed fault list, the observation-point index space
+// and its fanin cones, the per-(netlist, model) leakage tables, the
+// packed good-machine blocks of the pattern set, X-mask plans and
+// expected signatures, and a fresh worker pool. The paper's flow is
+// inherently multi-query over a fixed design -- ablation columns,
+// per-chip failure logs, fill trials -- so a service answering K queries
+// should pay that setup once. ScanSession owns all of it, builds each
+// piece lazily on first use, and exposes the flows as methods:
 //
 //   ScanSession session(netlist, options);   // validates options up front
 //   session.bind_patterns(patterns);          // or bind_tests() for ATPG
@@ -116,9 +115,15 @@ class ScanSession {
   /// Synthetic device-under-diagnosis: the failure log a tester would
   /// record for a chip carrying exactly fault `f` under the bound set.
   FailureLog inject(const Fault& f);
-  /// Compacted analogue under options().misr (or an explicit config).
+  /// Multi-fault chip: every fault in `faults` at once, interactions
+  /// modelled exactly (ResponseCapture's merged-cone sweep).
+  FailureLog inject(std::span<const Fault> faults);
+  /// Compacted analogues under options().misr (or an explicit config).
   SignatureLog inject_compacted(const Fault& f);
   SignatureLog inject_compacted(const Fault& f, const MisrConfig& cfg);
+  SignatureLog inject_compacted(std::span<const Fault> faults);
+  SignatureLog inject_compacted(std::span<const Fault> faults,
+                                const MisrConfig& cfg);
 
   // ---- power ---------------------------------------------------------------
 
@@ -160,6 +165,10 @@ class ScanSession {
   }
   void require_bound() const;
   void require_fully_specified(const char* what) const;
+  /// Typed, named errors for out-of-range failure records: the hardened
+  /// text loaders catch these at parse time, but in-memory logs reach the
+  /// session unchecked.
+  void validate_evidence(const FailureLog& log);
 
   DiagnosisResult diagnose_full(const FailureLog& log);
   DiagnosisResult diagnose_compacted(const SignatureLog& log);

@@ -95,32 +95,43 @@ void Diagnoser::ensure_goods(std::span<const TestPattern> patterns) {
 }
 
 std::vector<std::uint32_t> Diagnoser::prune_candidates(
-    std::span<const Fault> faults, const FailureLog& log) {
+    std::span<const Fault> faults, const FailureLog& log, PruneMode mode) {
   const Netlist& nl = *nl_;
-  // Distinct failing-point sets, one per failing pattern (the log is
-  // sorted by (pattern, op)). Two patterns failing the same points
-  // contribute the same cone union, so dedupe before intersecting.
   std::vector<std::vector<std::uint32_t>> op_sets;
-  for (std::size_t i = 0; i < log.failures.size();) {
-    std::size_t j = i;
+  if (mode == PruneMode::kUnion) {
+    // Noise-recovery fallback: one set holding every failing point. A
+    // candidate survives iff it can reach *some* failing point -- sound
+    // for any fault multiplicity and for logs with spurious records.
     std::vector<std::uint32_t> ops;
-    while (j < log.failures.size() &&
-           log.failures[j].pattern == log.failures[i].pattern) {
-      ops.push_back(log.failures[j].op);
-      ++j;
+    for (const Failure& f : log.failures) ops.push_back(f.op);
+    std::sort(ops.begin(), ops.end());
+    ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+    if (!ops.empty()) op_sets.push_back(std::move(ops));
+  } else {
+    // Distinct failing-point sets, one per failing pattern (the log is
+    // sorted by (pattern, op)). Two patterns failing the same points
+    // contribute the same cone union, so dedupe before intersecting.
+    for (std::size_t i = 0; i < log.failures.size();) {
+      std::size_t j = i;
+      std::vector<std::uint32_t> ops;
+      while (j < log.failures.size() &&
+             log.failures[j].pattern == log.failures[i].pattern) {
+        ops.push_back(log.failures[j].op);
+        ++j;
+      }
+      op_sets.push_back(std::move(ops));
+      i = j;
     }
-    op_sets.push_back(std::move(ops));
-    i = j;
+    std::sort(op_sets.begin(), op_sets.end());
+    op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
   }
-  std::sort(op_sets.begin(), op_sets.end());
-  op_sets.erase(std::unique(op_sets.begin(), op_sets.end()), op_sets.end());
 
   return prune_by_cone_unions(nl, *cones_, faults, op_sets);
 }
 
 Diagnoser::Prepared Diagnoser::prepare(std::span<const TestPattern> patterns,
                                        std::span<const Fault> faults,
-                                       const FailureLog& log) {
+                                       const FailureLog& log, PruneMode mode) {
   SP_CHECK(log.num_patterns == patterns.size(),
            "diagnose: failure log covers a different pattern count");
   SP_CHECK(std::is_sorted(log.failures.begin(), log.failures.end()),
@@ -147,7 +158,7 @@ Diagnoser::Prepared Diagnoser::prepare(std::span<const TestPattern> patterns,
   }
 
   if (opts_.cone_pruning) {
-    p.candidates = prune_candidates(faults, log);
+    p.candidates = prune_candidates(faults, log, mode);
   } else {
     p.candidates.resize(faults.size());
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -195,6 +206,16 @@ void Diagnoser::score_candidate_block(FaultConeEvaluator& ev,
   const std::size_t word0 = base / 64;
   const std::size_t nwords = (batch + 63) / 64;
 
+  // The drop bound stretches by noise_tolerance: a candidate that would
+  // explain the log up to the tolerated number of noisy records must
+  // finish scoring, and the saturating add keeps the "no bound yet"
+  // sentinel infinite. The stretched test stays sound for the ranking --
+  // TPSF only grows, so a dropped candidate's final Hamming distance
+  // still provably exceeds the best by more than the tolerance.
+  const std::uint64_t tol = opts_.noise_tolerance;
+  const std::uint64_t bound =
+      best > std::numeric_limits<std::uint64_t>::max() - tol ? best
+                                                             : best + tol;
   // A D-branch fault sinks its DFF gate id as the capture branch; a
   // Q-stem fault sinks the same id meaning the Q net, which is read by
   // downstream capture points / its PO point.
@@ -218,9 +239,9 @@ void Diagnoser::score_candidate_block(FaultConeEvaluator& ev,
             tally(op);
           }
         }
-        return !(early_exit && sc.tpsf > best);
+        return !(early_exit && sc.tpsf > bound);
       });
-  if (early_exit && sc.tpsf > best) sc.dropped = true;
+  if (early_exit && sc.tpsf > bound) sc.dropped = true;
 }
 
 template <int W>
@@ -316,23 +337,262 @@ void Diagnoser::score_log_serial(int worker, std::span<const Fault> faults,
   }
 }
 
+template <int W>
+void Diagnoser::recover_noise(int worker,
+                              std::span<const TestPattern> patterns,
+                              std::span<const Fault> faults, Prepared& p,
+                              BlockSimulator* stream, bool serial) {
+  if (!opts_.multiplets || p.total_fail == 0) return;
+  if (!p.res.ranked.empty() && !p.res.ranked.front().dropped &&
+      p.res.ranked.front().tfsp <= opts_.noise_tolerance) {
+    return;  // a single candidate explains the log within tolerance
+  }
+  if (opts_.cone_pruning) {
+    // Union-pruning fallback. The kUnion back-trace only touches cones
+    // the kIntersect pass already cached, so in the batch fan-out this is
+    // a pure cache read and stays race-free across workers.
+    Prepared u = prepare(patterns, faults, *p.log, PruneMode::kUnion);
+    if (u.candidates.size() != p.candidates.size()) {
+      // The union candidate set is a strict superset -- rescore over it.
+      if (serial) {
+        score_log_serial<W>(worker, faults, u, stream);
+      } else {
+        score_candidates<W>(faults, u);
+      }
+      finalize(u);
+      u.res.union_fallback = true;
+      p = std::move(u);
+    }
+  }
+  build_multiplets<W>(worker, faults, p, stream);
+}
+
+template <int W>
+void Diagnoser::build_multiplets(int worker, std::span<const Fault> faults,
+                                 Prepared& p, BlockSimulator* stream) {
+  (void)faults;
+  DiagnosisResult& res = p.res;
+  res.multiplets.clear();
+  if (res.ranked.empty() || p.total_fail == 0) return;
+
+  const Netlist& nl = *nl_;
+  const GoodBlockCache& goods = *goods_;
+  const std::size_t wpp = p.observed.words_per_point();
+  constexpr std::uint32_t kNoFop = static_cast<std::uint32_t>(-1);
+
+  // Failing-pattern lane mask and a dense index over failing points.
+  std::vector<PatternWord> fail_mask(wpp, 0);
+  std::vector<std::uint32_t> fops;
+  std::vector<std::uint32_t> fop_dense(points_->size(), kNoFop);
+  for (const Failure& f : p.log->failures) {
+    fail_mask[f.pattern / 64] |= PatternWord{1} << (f.pattern % 64);
+    if (fop_dense[f.op] == kNoFop) {
+      fop_dense[f.op] = static_cast<std::uint32_t>(fops.size());
+      fops.push_back(f.op);
+    }
+  }
+
+  // Shortlist: the top non-dropped candidates.
+  std::size_t shortlist = 0;
+  while (shortlist < res.ranked.size() &&
+         shortlist < opts_.multiplet_shortlist &&
+         !res.ranked[shortlist].dropped) {
+    ++shortlist;
+  }
+  if (shortlist == 0) return;
+
+  std::unique_ptr<BlockSimulator> local_stream;
+  if (!goods.cached() && stream == nullptr) {
+    local_stream = std::make_unique<BlockSimulator>(nl, W);
+    stream = local_stream.get();
+  }
+  FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(worker)];
+  const std::size_t lanes = goods.lanes();
+
+  // Per-candidate predictions: `preds[k]` holds the candidate's predicted
+  // failure lanes at every observed failing point, `offm[k]` the pattern
+  // lanes where it predicts a failure at a never-failing point. A suspect
+  // set explains a failing pattern when the UNION of its members'
+  // predictions matches the observed behaviour at every observation
+  // point. Union beats per-candidate exact cover on interaction patterns
+  // -- ones where several faults fail together and no single candidate
+  // reproduces the combined print -- while staying pure lane arithmetic,
+  // so the emitted sets are as bit-identical across configurations as
+  // the ranking itself.
+  std::vector<std::vector<PatternWord>> preds(shortlist);
+  std::vector<std::vector<PatternWord>> offm(shortlist);
+  for (std::size_t k = 0; k < shortlist; ++k) {
+    const Fault& f = res.ranked[k].fault;
+    preds[k].assign(fops.size() * wpp, PatternWord{0});
+    offm[k].assign(wpp, PatternWord{0});
+    PatternWord* pred = preds[k].data();
+    PatternWord* mismatch = offm[k].data();
+    const bool d_branch = f.pin >= 0 && nl.type(f.gate) == GateType::Dff;
+    for (std::size_t b = 0; b < goods.num_blocks(); ++b) {
+      const BlockSimulator* good;
+      if (goods.cached()) {
+        good = &goods.block(b);
+      } else {
+        goods.stream(b, *stream);
+        good = stream;
+      }
+      const std::size_t base = b * lanes;
+      const std::size_t batch =
+          std::min(lanes, goods.patterns().size() - base);
+      const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+      const std::size_t word0 = base / 64;
+      const std::size_t nwords = (batch + 63) / 64;
+      ev.propagate<W>(
+          *good, f, mask, points_->observable(),
+          [&](GateId gate, const PatternWord* diff) {
+            const auto record = [&](std::uint32_t op) {
+              const std::uint32_t di = fop_dense[op];
+              if (di != kNoFop) {
+                PatternWord* row = pred + di * wpp + word0;
+                for (std::size_t w = 0; w < nwords; ++w) row[w] |= diff[w];
+              } else {
+                for (std::size_t w = 0; w < nwords; ++w) {
+                  mismatch[word0 + w] |= diff[w];
+                }
+              }
+            };
+            if (d_branch && gate == f.gate) {
+              record(static_cast<std::uint32_t>(points_->point_of_dff(gate)));
+            } else {
+              for (std::uint32_t op : points_->points_of_gate(gate)) {
+                record(op);
+              }
+            }
+          });
+    }
+  }
+
+  // Coverage of a suspect set: failing patterns where the union of the
+  // members' predictions equals the observed print at every point.
+  std::vector<PatternWord> mism(wpp);
+  const auto coverage = [&](const std::vector<std::size_t>& ks,
+                            std::vector<PatternWord>& out) {
+    std::fill(mism.begin(), mism.end(), PatternWord{0});
+    for (std::size_t k : ks) {
+      for (std::size_t w = 0; w < wpp; ++w) mism[w] |= offm[k][w];
+    }
+    for (std::size_t i = 0; i < fops.size(); ++i) {
+      const PatternWord* obs = p.observed.row(fops[i]);
+      for (std::size_t w = 0; w < wpp; ++w) {
+        PatternWord un = 0;
+        for (std::size_t k : ks) un |= preds[k][i * wpp + w];
+        mism[w] |= un ^ obs[w];
+      }
+    }
+    out.resize(wpp);
+    for (std::size_t w = 0; w < wpp; ++w) out[w] = fail_mask[w] & ~mism[w];
+  };
+  const auto popcnt = [](const std::vector<PatternWord>& v) {
+    std::size_t n = 0;
+    for (PatternWord w : v) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  };
+
+  // Greedy cover, one candidate multiplet per seed: start from each of
+  // the top-ranked candidates and repeatedly add the shortlist member
+  // whose union-coverage with the set explains the most failing patterns
+  // (strict improvement only; first-ranked wins ties). Purely arithmetic
+  // over lane masks, so the emitted sets are as bit-identical across
+  // configurations as the ranking itself.
+  const std::size_t seeds = std::min(opts_.max_multiplets, shortlist);
+  std::vector<SuspectSet> sets;
+  std::vector<std::vector<std::uint32_t>> set_keys;
+  std::vector<PatternWord> covered(wpp);
+  std::vector<PatternWord> trial_cov(wpp);
+  std::vector<std::size_t> trial;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    std::vector<std::size_t> ks{s};
+    coverage(ks, covered);
+    std::size_t cur = popcnt(covered);
+    while (ks.size() < opts_.max_multiplet_size) {
+      std::size_t best_k = shortlist;
+      std::size_t best_cov = cur;
+      for (std::size_t k = 0; k < shortlist; ++k) {
+        if (std::find(ks.begin(), ks.end(), k) != ks.end()) continue;
+        trial = ks;
+        trial.push_back(k);
+        coverage(trial, trial_cov);
+        const std::size_t c = popcnt(trial_cov);
+        if (c > best_cov) {
+          best_cov = c;
+          best_k = k;
+        }
+      }
+      if (best_k == shortlist) break;  // nothing improves coverage
+      ks.push_back(best_k);
+      cur = best_cov;
+      coverage(ks, covered);
+    }
+    std::vector<std::uint32_t> key;
+    for (std::size_t k : ks) key.push_back(res.ranked[k].fault_index);
+    std::sort(key.begin(), key.end());
+    if (std::find(set_keys.begin(), set_keys.end(), key) != set_keys.end()) {
+      continue;  // same set reached from another seed
+    }
+    SuspectSet ss;
+    for (std::size_t k : ks) ss.members.push_back(res.ranked[k]);
+    ss.covered = popcnt(covered);
+    ss.uncovered = res.num_failing_patterns - ss.covered;
+    sets.push_back(std::move(ss));
+    set_keys.push_back(std::move(key));
+  }
+
+  // Rank: most failing patterns explained, then smallest set, then best
+  // members (lowest summed Hamming distance), then lexicographic fault
+  // indices as the deterministic tie-break.
+  const auto sum_hamming = [](const SuspectSet& ss) {
+    std::uint64_t h = 0;
+    for (const CandidateScore& m : ss.members) h += m.hamming();
+    return h;
+  };
+  std::vector<std::size_t> order(sets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sets[a].covered != sets[b].covered) {
+      return sets[a].covered > sets[b].covered;
+    }
+    if (sets[a].members.size() != sets[b].members.size()) {
+      return sets[a].members.size() < sets[b].members.size();
+    }
+    const std::uint64_t ha = sum_hamming(sets[a]);
+    const std::uint64_t hb = sum_hamming(sets[b]);
+    if (ha != hb) return ha < hb;
+    return set_keys[a] < set_keys[b];
+  });
+  res.multiplets.reserve(order.size());
+  for (std::size_t i : order) res.multiplets.push_back(std::move(sets[i]));
+}
+
 DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
                                     std::span<const Fault> faults,
                                     const FailureLog& log) {
   // Validate + prune before ensure_goods: a malformed log must fail fast,
   // not after a full good-machine rebuild (standalone mode).
-  Prepared p = prepare(patterns, faults, log);
+  Prepared p = prepare(patterns, faults, log, PruneMode::kIntersect);
   ensure_goods(patterns);
 
+  const auto run = [&]<int W>() {
+    score_candidates<W>(faults, p);
+    finalize(p);
+    // Worker 0's evaluator is free again (run_on_all has joined), so the
+    // recovery stages replay on the caller thread.
+    std::unique_ptr<BlockSimulator> stream;
+    if (!goods_->cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
+    recover_noise<W>(0, patterns, faults, p, stream.get(), /*serial=*/false);
+  };
   switch (opts_.block_words) {
-    case 1: score_candidates<1>(faults, p); break;
-    case 2: score_candidates<2>(faults, p); break;
-    case 4: score_candidates<4>(faults, p); break;
-    case 8: score_candidates<8>(faults, p); break;
+    case 1: run.operator()<1>(); break;
+    case 2: run.operator()<2>(); break;
+    case 4: run.operator()<4>(); break;
+    case 8: run.operator()<8>(); break;
     default: SP_ASSERT(false, "invalid block width");
   }
 
-  finalize(p);
   return std::move(p.res);
 }
 
@@ -350,15 +610,19 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
 
   // Serial phase: validation, observed matrices and cone pruning (the
   // cone cache builds lazily, so it must not be touched concurrently).
+  // This pass also caches every failing point's cone, which makes the
+  // workers' noise-recovery fallback (a kUnion re-prune over the same
+  // points) a pure read of the cache.
   std::vector<Prepared> prepared;
   prepared.reserve(logs.size());
   for (const FailureLog* log : logs) {
-    prepared.push_back(prepare(patterns, faults, *log));
+    prepared.push_back(prepare(patterns, faults, *log, PruneMode::kIntersect));
   }
   ensure_goods(patterns);
 
-  // Parallel phase: logs round-robin across the pool, each scored wholly
-  // within one worker from that worker's private evaluator/scratch.
+  // Parallel phase: logs round-robin across the pool, each scored,
+  // finalized and noise-recovered wholly within one worker from that
+  // worker's private evaluator/scratch.
   const int num_workers = pool_->size();
   std::vector<std::unique_ptr<BlockSimulator>> streams(
       static_cast<std::size_t>(num_workers));
@@ -371,8 +635,11 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
     pool_->run_on_all([&](int t) {
       for (std::size_t li = static_cast<std::size_t>(t); li < prepared.size();
            li += static_cast<std::size_t>(num_workers)) {
-        score_log_serial<W>(t, faults, prepared[li],
-                            streams[static_cast<std::size_t>(t)].get());
+        BlockSimulator* stream = streams[static_cast<std::size_t>(t)].get();
+        score_log_serial<W>(t, faults, prepared[li], stream);
+        finalize(prepared[li]);
+        recover_noise<W>(t, patterns, faults, prepared[li], stream,
+                         /*serial=*/true);
       }
     });
   };
@@ -387,10 +654,16 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
   std::vector<DiagnosisResult> results;
   results.reserve(prepared.size());
   for (Prepared& p : prepared) {
-    finalize(p);
     results.push_back(std::move(p.res));
   }
   return results;
+}
+
+bool SuspectSet::contains(const Fault& f) const {
+  for (const CandidateScore& m : members) {
+    if (m.fault == f) return true;
+  }
+  return false;
 }
 
 std::size_t DiagnosisResult::rank_of(const Fault& f) const {

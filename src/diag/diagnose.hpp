@@ -25,6 +25,30 @@
 //     worker pool; every counter is a popcount sum over disjoint words,
 //     so results are bit-identical for every (block width, thread count)
 //     configuration.
+//
+// When the best single candidate leaves failures unexplained (a noisy
+// log, or more than one real defect), a noise-recovery stage runs after
+// ranking:
+//
+//  3. Union-pruning fallback -- the intersection back-trace of stage 1 is
+//     only sound for a single fault (with two defects, no single cone
+//     union need contain either site for *every* failing pattern). When
+//     the top-ranked candidate's TFSP exceeds noise_tolerance, pruning
+//     falls back to the union of all failing points' cones and rescoring
+//     runs over the enlarged candidate set -- the graceful, automatic
+//     form of the manual all-or-nothing cone_pruning = false escape
+//     hatch.
+//
+//  4. Multiplet cover -- SLAT-style per-pattern partitioning. Each
+//     shortlisted candidate's predicted response is replayed; a failing
+//     pattern is "explained exactly" by a candidate iff the candidate's
+//     predicted failures match the observed failures on that pattern at
+//     every observation point. A greedy set cover over that partition
+//     emits ranked suspect *sets* (DiagnosisResult::multiplets) -- pairs
+//     (or small sets) of candidates that jointly explain the log when no
+//     single candidate does. Clean single-fault logs skip both stages
+//     (the top candidate explains everything), so the single-fault path
+//     pays nothing.
 
 #include <cstdint>
 #include <memory>
@@ -74,6 +98,21 @@ struct DiagnosisOptions {
   /// Report size used by the CLI/JSON front ends; the ranked list itself
   /// always keeps every scored candidate.
   std::size_t max_report = 10;
+  /// Tester-noise tolerance, in records: a candidate is not dropped by
+  /// the scoring early-exit for mispredicting up to this many records
+  /// beyond the best completed Hamming distance, and the noise-recovery
+  /// stages only trigger when the top candidate leaves more than this
+  /// many failures unexplained. 0 = trust the log exactly.
+  std::uint64_t noise_tolerance = 0;
+  /// Noise recovery (union-pruning fallback + multiplet cover) when no
+  /// single candidate explains the log within noise_tolerance.
+  bool multiplets = true;
+  /// Top-ranked candidates replayed for the multiplet cover.
+  std::size_t multiplet_shortlist = 64;
+  /// Maximum candidates per suspect set.
+  std::size_t max_multiplet_size = 4;
+  /// Maximum suspect sets reported (also the number of greedy seeds).
+  std::size_t max_multiplets = 8;
 };
 
 /// One scored candidate fault.
@@ -102,9 +141,32 @@ struct CandidateScore {
   }
 };
 
+/// One multi-fault suspect set: candidates that jointly explain the log.
+/// `covered` counts failing patterns some member explains exactly (its
+/// predicted failures equal the observed failures on that pattern at
+/// every observation point); `uncovered` counts the rest -- residual
+/// noise, or a defect outside the shortlist.
+struct SuspectSet {
+  std::vector<CandidateScore> members;  ///< greedy insertion order
+  std::size_t covered = 0;
+  std::size_t uncovered = 0;
+
+  bool contains(const Fault& f) const;
+};
+
 struct DiagnosisResult {
   /// Every scored candidate, best explanation first.
   std::vector<CandidateScore> ranked;
+
+  /// Ranked multi-fault suspect sets (best cover first). Empty when the
+  /// top single candidate explains the log within noise_tolerance, when
+  /// options disable multiplets, or for batch/compacted paths that do
+  /// not run the cover. Bit-identical across every (block width, thread
+  /// count) configuration, like `ranked`.
+  std::vector<SuspectSet> multiplets;
+  /// Cone pruning fell back from the per-pattern intersection to the
+  /// union of all failing points' cones (multi-fault / noisy log).
+  bool union_fallback = false;
 
   std::size_t num_faults = 0;            ///< fault universe diagnosed against
   std::size_t num_candidates = 0;        ///< survived cone pruning (= ranked.size())
@@ -130,8 +192,7 @@ class Diagnoser {
  public:
   /// Standalone: builds a private worker pool, observation-point space,
   /// cone cache and good-block cache (the cache is rebound on every
-  /// diagnose() call) -- the one-shot behaviour behind the deprecated
-  /// run_diagnosis() free function.
+  /// diagnose() call) -- one-shot use without a ScanSession.
   explicit Diagnoser(const Netlist& nl, DiagnosisOptions opts = {});
   /// Borrowing: shares a ScanSession's pool, point space, cone cache and
   /// good-block cache across calls and engines. `goods` must already be
@@ -173,13 +234,20 @@ class Diagnoser {
     DiagnosisResult res;  ///< stats prefilled; ranked filled by finalize()
   };
 
+  /// Back-trace flavour: intersection of per-pattern cone unions (sound
+  /// for one fault) or the single union over every failing point (sound
+  /// for any fault multiplicity; the noise-recovery fallback).
+  enum class PruneMode { kIntersect, kUnion };
+
   void ensure_goods(std::span<const TestPattern> patterns);
   Prepared prepare(std::span<const TestPattern> patterns,
-                   std::span<const Fault> faults, const FailureLog& log);
+                   std::span<const Fault> faults, const FailureLog& log,
+                   PruneMode mode);
   void finalize(Prepared& p);
 
   std::vector<std::uint32_t> prune_candidates(std::span<const Fault> faults,
-                                              const FailureLog& log);
+                                              const FailureLog& log,
+                                              PruneMode mode);
 
   /// Accumulates one candidate's counters over one good-machine block and
   /// applies the early-exit drop test at the block boundary.
@@ -193,6 +261,20 @@ class Diagnoser {
   void score_candidates(std::span<const Fault> faults, Prepared& p);
   template <int W>
   void score_log_serial(int worker, std::span<const Fault> faults, Prepared& p,
+                        BlockSimulator* stream);
+
+  /// Post-ranking noise recovery: union-pruning fallback + multiplet
+  /// cover (header stages 3/4). `serial` selects the one-worker scoring
+  /// path for the rescore (batch fan-out; only already-cached cones are
+  /// read, so concurrent workers stay race-free).
+  template <int W>
+  void recover_noise(int worker, std::span<const TestPattern> patterns,
+                     std::span<const Fault> faults, Prepared& p,
+                     BlockSimulator* stream, bool serial);
+  /// Replays the top shortlist candidates, partitions failing patterns by
+  /// exact explanation and greedily covers them into res.multiplets.
+  template <int W>
+  void build_multiplets(int worker, std::span<const Fault> faults, Prepared& p,
                         BlockSimulator* stream);
 
   const Netlist* nl_;

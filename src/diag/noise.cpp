@@ -1,0 +1,137 @@
+#include "diag/noise.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+namespace {
+
+void check_rates(const NoiseOptions& opts) {
+  SP_CHECK(opts.drop_rate >= 0.0 && opts.drop_rate <= 1.0,
+           "NoiseModel: drop_rate must be in [0, 1]");
+  SP_CHECK(opts.flip_rate >= 0.0 && opts.flip_rate <= 1.0,
+           "NoiseModel: flip_rate must be in [0, 1]");
+}
+
+std::size_t flip_budget(double rate, std::size_t records) {
+  return static_cast<std::size_t>(
+      std::llround(rate * static_cast<double>(records)));
+}
+
+}  // namespace
+
+NoiseModel::NoiseModel(NoiseOptions opts) : opts_(opts) { check_rates(opts_); }
+
+FailureLog NoiseModel::corrupt(const FailureLog& log, std::size_t num_points,
+                               NoiseStats* stats) const {
+  SP_CHECK(num_points > 0, "NoiseModel: num_points must be positive");
+  SP_CHECK(log.num_patterns > 0, "NoiseModel: log has no patterns");
+  Rng rng(opts_.seed);
+  NoiseStats st;
+
+  FailureLog out;
+  out.circuit = log.circuit;
+  out.num_patterns = log.num_patterns;
+  std::unordered_set<std::uint64_t> taken;
+  const auto key = [](std::uint32_t pattern, std::uint32_t op) {
+    return (static_cast<std::uint64_t>(pattern) << 32) | op;
+  };
+  taken.reserve(log.failures.size() * 2);
+  for (const Failure& f : log.failures) {
+    // Every original record occupies its position whether or not it is
+    // dropped: a flip must land on a position the tester reported as
+    // passing, and a dropped record is a lost failure, not a pass.
+    taken.insert(key(f.pattern, f.op));
+    if (rng.next_double() < opts_.drop_rate) {
+      ++st.dropped;
+    } else {
+      out.failures.push_back(f);
+    }
+  }
+
+  // Spurious failures at passing positions. Rejection-sampled with a
+  // deterministic retry cap so a pathological log (almost every position
+  // failing) terminates with fewer flips rather than spinning.
+  const std::size_t budget = flip_budget(opts_.flip_rate, log.failures.size());
+  std::size_t attempts = 64 * budget + 64;
+  while (st.flipped < budget && attempts-- > 0) {
+    const auto pattern =
+        static_cast<std::uint32_t>(rng.next_below(log.num_patterns));
+    const auto op = static_cast<std::uint32_t>(rng.next_below(num_points));
+    if (!taken.insert(key(pattern, op)).second) continue;
+    out.failures.push_back({pattern, op});
+    ++st.flipped;
+  }
+
+  out.normalize();
+  if (stats) *stats = st;
+  return out;
+}
+
+SignatureLog NoiseModel::corrupt(const SignatureLog& log,
+                                 NoiseStats* stats) const {
+  Rng rng(opts_.seed);
+  NoiseStats st;
+  SignatureLog out = log;
+  const std::uint64_t width_mask =
+      log.misr.width >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << log.misr.width) - 1);
+
+  std::size_t original_failing = 0;
+  for (std::size_t w = 0; w < out.num_windows(); ++w) {
+    if (!log.window_fails(w)) continue;
+    ++original_failing;
+    if (rng.next_double() < opts_.drop_rate) {
+      out.observed[w] = out.expected[w];  // lost failure reads as passing
+      ++st.dropped;
+    }
+  }
+
+  const std::size_t budget = flip_budget(opts_.flip_rate, original_failing);
+  for (std::size_t i = 0; i < budget && out.num_windows() > 0; ++i) {
+    const std::size_t w = rng.next_below(out.num_windows());
+    std::uint64_t garble = rng.next_u64() & width_mask;
+    if (garble == 0) garble = 1;  // a zero XOR would be a no-op, not noise
+    out.observed[w] ^= garble;
+    ++st.flipped;
+  }
+
+  if (stats) *stats = st;
+  return out;
+}
+
+std::string NoiseModel::corrupt_text(const std::string& text) const {
+  Rng rng(opts_.seed);
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  std::size_t records = 0;
+  for (const std::string& l : lines) {
+    const std::string t(trim(l));
+    if (!t.empty() && t[0] != '#') ++records;
+  }
+  std::size_t budget = flip_budget(opts_.flip_rate, records);
+
+  std::ostringstream out;
+  for (const std::string& l : lines) {
+    out << l << "\n";
+    const std::string t(trim(l));
+    if (t.empty() || t[0] == '#') continue;
+    if (budget > 0 && rng.next_double() < opts_.flip_rate) {
+      out << l << "\n";  // duplicated record line
+      --budget;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace scanpower

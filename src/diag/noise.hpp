@@ -1,0 +1,77 @@
+#pragma once
+// Seeded tester-noise model for diagnosis robustness work.
+//
+// Real tester logs are not the clean output of ResponseCapture::inject:
+// records get dropped (truncated uploads, tester memory limits), spurious
+// failures appear (marginal strobes, contact noise), and hand-carried
+// files accumulate duplicated lines. NoiseModel perturbs a FailureLog or
+// SignatureLog with calibrated, reproducible corruption so tests and
+// benches can inject noise the same way they inject faults: construct
+// with rates and a seed, call corrupt(), get the same corrupted log every
+// time on every platform.
+//
+// Corruption kinds:
+//  - drops: each failing record (failure entry / failing window) is
+//    independently deleted with probability drop_rate. A dropped window
+//    reads back as passing (observed = expected).
+//  - flips: round(flip_rate * original_failures) spurious failures are
+//    added at uniformly chosen passing (pattern, point) positions; for a
+//    signature log the observed signature of a uniformly chosen window is
+//    XORed with a random nonzero value, corrupting passing and failing
+//    windows alike.
+//  - corrupt_text(): duplicates already-emitted record lines of a saved
+//    text log. Duplicate records cannot exist in a normalized in-memory
+//    log, so this is the ingestion-hardening companion: the strict
+//    loaders must reject the result with a line-numbered error.
+
+#include <cstdint>
+#include <string>
+
+#include "compact/signature_log.hpp"
+#include "diag/response.hpp"
+
+namespace scanpower {
+
+struct NoiseOptions {
+  double drop_rate = 0.0;  ///< per-record deletion probability, [0, 1]
+  double flip_rate = 0.0;  ///< spurious records per original record, [0, 1]
+  std::uint64_t seed = 0x5eeded;
+};
+
+/// What one corrupt() call actually did (the realized noise, for logging
+/// and for asserting calibration in tests).
+struct NoiseStats {
+  std::size_t dropped = 0;  ///< failing records deleted
+  std::size_t flipped = 0;  ///< spurious records added / signatures XORed
+};
+
+class NoiseModel {
+ public:
+  explicit NoiseModel(NoiseOptions opts);
+
+  const NoiseOptions& options() const { return opts_; }
+
+  /// Corrupted copy of a failure log. `num_points` bounds the observation
+  /// point space spurious failures are drawn from (typically
+  /// ObservationPoints::size()). The result is normalized.
+  FailureLog corrupt(const FailureLog& log, std::size_t num_points,
+                     NoiseStats* stats = nullptr) const;
+
+  /// Corrupted copy of a signature log: failing windows drop back to
+  /// their expected signature, flipped windows get their observed
+  /// signature XORed with a random nonzero width-masked value.
+  SignatureLog corrupt(const SignatureLog& log,
+                       NoiseStats* stats = nullptr) const;
+
+  /// Ingestion-noise companion: duplicates round(flip_rate * lines)
+  /// non-comment record lines of a saved text log (failure or signature
+  /// format), re-emitting each immediately after the original. The strict
+  /// loaders reject duplicated records, so the result must fail to load
+  /// with a line-numbered error.
+  std::string corrupt_text(const std::string& text) const;
+
+ private:
+  NoiseOptions opts_;
+};
+
+}  // namespace scanpower

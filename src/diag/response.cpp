@@ -6,6 +6,8 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/assert.hpp"
 #include "util/strings.hpp"
@@ -193,13 +195,38 @@ void save_failure_log(std::ostream& out, const FailureLog& log,
     }
     out << "\n";
   }
+  out << "end " << log.failures.size() << "\n";
 }
+
+namespace {
+
+/// Strict non-negative index token: digits only, no sign, no trailing
+/// characters ("12abc" and "-3" are parse errors, not 12 and a surprise).
+bool parse_index_token(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
 
 FailureLog load_failure_log(std::istream& in, const Netlist* nl,
                             const ObservationPoints* ops) {
   FailureLog log;
   std::string line;
   std::size_t lineno = 0;
+  bool have_circuit = false;
+  bool have_patterns = false;
+  bool have_end = false;
+  std::unordered_set<std::uint64_t> seen;
+  const auto fail_at = [&lineno](const std::string& what) {
+    throw Error(strprintf("failure log line %zu: %s", lineno, what.c_str()));
+  };
   while (std::getline(in, line)) {
     ++lineno;
     const std::string trimmed(trim(line));
@@ -207,44 +234,97 @@ FailureLog load_failure_log(std::istream& in, const Netlist* nl,
     std::istringstream ls(trimmed);
     std::string kw;
     ls >> kw;
+    if (have_end) fail_at("record \"" + kw + "\" after the end marker");
     if (kw == "circuit") {
+      if (have_circuit) fail_at("duplicate circuit record");
       ls >> log.circuit;
+      if (log.circuit.empty()) fail_at("expected \"circuit <name>\"");
+      have_circuit = true;
     } else if (kw == "patterns") {
-      ls >> log.num_patterns;
-      SP_CHECK(!ls.fail(), strprintf("failure log line %zu: bad pattern count",
-                                     lineno));
+      if (have_patterns) fail_at("duplicate patterns record");
+      std::string tok;
+      ls >> tok;
+      std::uint64_t v = 0;
+      if (!parse_index_token(tok, v)) {
+        fail_at("bad pattern count \"" + tok + "\"");
+      }
+      log.num_patterns = static_cast<std::size_t>(v);
+      have_patterns = true;
     } else if (kw == "fail") {
+      if (!have_patterns) fail_at("fail record before the patterns header");
       Failure f;
+      std::string pat_tok;
       std::string op_tok;
-      ls >> f.pattern >> op_tok;
-      SP_CHECK(!ls.fail() && !op_tok.empty(),
-               strprintf("failure log line %zu: expected \"fail <pattern> "
-                         "<op>\"", lineno));
+      ls >> pat_tok >> op_tok;
+      if (op_tok.empty()) fail_at("expected \"fail <pattern> <op>\"");
+      std::uint64_t pat = 0;
+      if (!parse_index_token(pat_tok, pat)) {
+        fail_at("bad pattern index \"" + pat_tok + "\"");
+      }
+      if (pat >= log.num_patterns) {
+        fail_at(strprintf("pattern %llu out of range (log has %zu patterns)",
+                          static_cast<unsigned long long>(pat),
+                          log.num_patterns));
+      }
+      f.pattern = static_cast<std::uint32_t>(pat);
       if (op_tok.find(':') == std::string::npos) {
-        std::size_t pos = 0;
-        unsigned long v = 0;
-        try {
-          v = std::stoul(op_tok, &pos);
-        } catch (const std::exception&) {
-          pos = 0;
+        std::uint64_t v = 0;
+        if (!parse_index_token(op_tok, v) || v > 0xffffffffULL) {
+          fail_at("bad point index \"" + op_tok + "\"");
         }
-        SP_CHECK(pos != 0 && pos == op_tok.size() && v <= 0xffffffffUL,
-                 strprintf("failure log line %zu: bad point index \"%s\"",
-                           lineno, op_tok.c_str()));
+        if (ops != nullptr && v >= ops->size()) {
+          fail_at(strprintf("point %llu out of range (%zu observation points)",
+                            static_cast<unsigned long long>(v), ops->size()));
+        }
         f.op = static_cast<std::uint32_t>(v);
+        // Index records may carry one informational op-name token (save
+        // emits "po:..."/"dff:...", always containing ':').
+        std::string name_tok;
+        ls >> name_tok;
+        if (!name_tok.empty() &&
+            name_tok.find(':') == std::string::npos) {
+          fail_at("unexpected trailing token \"" + name_tok + "\"");
+        }
       } else {
-        SP_CHECK(nl != nullptr && ops != nullptr,
-                 strprintf("failure log line %zu: name-based record \"%s\" "
-                           "needs the netlist to resolve",
-                           lineno, op_tok.c_str()));
-        f.op = static_cast<std::uint32_t>(ops->resolve_record_name(*nl, op_tok));
+        if (nl == nullptr || ops == nullptr) {
+          fail_at("name-based record \"" + op_tok +
+                  "\" needs the netlist to resolve");
+        }
+        try {
+          f.op =
+              static_cast<std::uint32_t>(ops->resolve_record_name(*nl, op_tok));
+        } catch (const Error& e) {
+          fail_at(e.what());
+        }
+      }
+      if (!seen.insert((static_cast<std::uint64_t>(f.pattern) << 32) | f.op)
+               .second) {
+        fail_at(strprintf("duplicate failure record (pattern %u, point %u)",
+                          f.pattern, f.op));
       }
       log.failures.push_back(f);
+    } else if (kw == "end") {
+      std::string tok;
+      ls >> tok;
+      std::uint64_t v = 0;
+      if (!parse_index_token(tok, v)) {
+        fail_at("bad end-marker count \"" + tok + "\"");
+      }
+      if (v != log.failures.size()) {
+        fail_at(strprintf("end marker claims %llu records but %zu were read",
+                          static_cast<unsigned long long>(v),
+                          log.failures.size()));
+      }
+      have_end = true;
     } else {
-      SP_CHECK(false, strprintf("failure log line %zu: unknown keyword \"%s\"",
-                                lineno, kw.c_str()));
+      fail_at("unknown keyword \"" + kw + "\"");
     }
+    std::string rest;
+    ls >> rest;
+    if (!rest.empty()) fail_at("unexpected trailing token \"" + rest + "\"");
   }
+  SP_CHECK(have_end,
+           "failure log: truncated (missing \"end <count>\" marker)");
   log.normalize();
   return log;
 }
@@ -398,6 +478,202 @@ FailureLog ResponseCapture::inject(std::span<const TestPattern> patterns,
     case 2: inject_impl<2>(patterns, f, log); break;
     case 4: inject_impl<4>(patterns, f, log); break;
     case 8: inject_impl<8>(patterns, f, log); break;
+    default: SP_ASSERT(false, "invalid block width");
+  }
+  log.normalize();
+  return log;
+}
+
+template <int W>
+void ResponseCapture::inject_multi_impl(std::span<const TestPattern> patterns,
+                                        std::span<const Fault> faults,
+                                        FailureLog& log) {
+  const Netlist& nl = *nl_;
+  const std::span<const GateType> types = nl.types_flat();
+  const std::span<const std::uint32_t> levels = nl.levels_flat();
+  const std::span<const std::uint8_t> observable = points_.observable();
+
+  // Split capture-branch faults from net faults: a stuck D branch
+  // supersedes whatever the cell's driver computes, so it is compared
+  // per cell after the shared cone sweep, against the *good* driver
+  // value (the stuck branch hides any upstream corruption of the D net).
+  std::vector<Fault> sites;
+  std::vector<Fault> branches;
+  std::vector<std::uint8_t> branch_stuck(nl.num_gates(), 0);
+  for (const Fault& f : faults) {
+    if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
+      SP_CHECK(!branch_stuck[f.gate],
+               "inject: contradictory faults on one capture branch");
+      branch_stuck[f.gate] = 1;
+      branches.push_back(f);
+    } else {
+      sites.push_back(f);
+    }
+  }
+  // Per-gate forcing plan. A gate may carry several faults at once: a
+  // stuck output (stem) plus stuck inputs (pins), or several stuck pins.
+  // The stem forcing supersedes every pin forcing on the same gate; only
+  // opposite stuck-at values on the *same* site are contradictory (an
+  // impossible chip) and rejected.
+  std::vector<std::uint8_t> is_site(nl.num_gates(), 0);
+  std::vector<std::int8_t> stem_force(nl.num_gates(), -1);
+  std::unordered_map<GateId, std::vector<std::pair<int, bool>>> pin_forces;
+  for (const Fault& f : sites) {
+    is_site[f.gate] = 1;
+    if (f.pin < 0) {
+      // Duplicates were collapsed, so a second stem fault here must have
+      // the opposite polarity.
+      SP_CHECK(stem_force[f.gate] < 0,
+               "inject: contradictory stem faults on one gate");
+      stem_force[f.gate] = f.stuck_at ? 1 : 0;
+    } else {
+      auto& forces = pin_forces[f.gate];
+      for (const auto& [pin, stuck] : forces) {
+        SP_CHECK(pin != f.pin,
+                 "inject: contradictory faults on one gate input");
+      }
+      forces.emplace_back(f.pin, f.stuck_at);
+    }
+  }
+
+  // Merged, level-sorted union of the sites' fanout cones: one in-order
+  // sweep evaluates the machine carrying every fault at once, so effects
+  // interact exactly (an upstream fault's corrupted value feeds the
+  // downstream site's pin-forced re-evaluation).
+  std::vector<std::uint8_t> in_union(nl.num_gates(), 0);
+  std::vector<GateId> union_cone;
+  for (const Fault& f : sites) {
+    for (GateId g : eval_.cone(f.gate)) {
+      if (!in_union[g]) {
+        in_union[g] = 1;
+        union_cone.push_back(g);
+      }
+    }
+  }
+  std::sort(union_cone.begin(), union_cone.end(), [&](GateId a, GateId b) {
+    return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
+  });
+
+  BlockSimulator good(nl, W);
+  const std::size_t lanes = good.lanes();
+  std::vector<PatternWord> faulty(nl.num_gates() * static_cast<std::size_t>(W));
+  std::vector<std::uint8_t> touched(nl.num_gates(), 0);
+  std::vector<GateId> active;
+  std::vector<PatternWord> ins;
+  const auto fanin_block = [&](GateId fin) {
+    return touched[fin] ? faulty.data() + static_cast<std::size_t>(fin) * W
+                        : good.block(fin);
+  };
+
+  for (std::size_t base = 0; base < patterns.size(); base += lanes) {
+    const std::size_t batch = std::min(lanes, patterns.size() - base);
+    load_pattern_block(nl, patterns, base, good);
+    good.eval();
+    const PackedBlock<W> mask = lane_validity_mask<W>(batch);
+
+    const auto emit = [&](std::uint32_t op, const PatternWord* diff) {
+      for (int w = 0; w < W; ++w) {
+        PatternWord d = diff[w];
+        while (d != 0) {
+          const int lane = std::countr_zero(d);
+          d &= d - 1;
+          log.failures.push_back(
+              {static_cast<std::uint32_t>(base +
+                                          static_cast<std::size_t>(w) * 64 +
+                                          static_cast<std::size_t>(lane)),
+               op});
+        }
+      }
+    };
+
+    active.clear();
+    for (GateId id : union_cone) {
+      const std::span<const GateId> fans = nl.fanin_span(id);
+      PatternWord out[W];
+      if (is_site[id]) {
+        if (stem_force[id] >= 0) {
+          const PatternWord forced = stem_force[id] ? ~PatternWord{0} : 0;
+          for (int w = 0; w < W; ++w) out[w] = forced;
+        } else {
+          const auto& forces = pin_forces.find(id)->second;
+          ins.resize(fans.size());
+          for (int w = 0; w < W; ++w) {
+            for (std::size_t p = 0; p < fans.size(); ++p) {
+              ins[p] = fanin_block(fans[p])[w];
+            }
+            for (const auto& [pin, stuck] : forces) {
+              ins[static_cast<std::size_t>(pin)] =
+                  stuck ? ~PatternWord{0} : 0;
+            }
+            out[w] = eval_type_packed(types[id], ins);
+          }
+        }
+      } else {
+        std::uint8_t any_touched = 0;
+        for (GateId fin : fans) any_touched |= touched[fin];
+        if (!any_touched) continue;
+        eval_gate_block<W>(types[id], fans, fanin_block, out);
+      }
+      const PatternWord* g = good.block(id);
+      PatternWord raw = 0;
+      for (int w = 0; w < W; ++w) raw |= out[w] ^ g[w];
+      if (raw == 0) continue;
+      PatternWord* const fb = faulty.data() + static_cast<std::size_t>(id) * W;
+      for (int w = 0; w < W; ++w) fb[w] = out[w];
+      touched[id] = 1;
+      active.push_back(id);
+      if (!observable[id]) continue;
+      PatternWord diff[W];
+      PatternWord any = 0;
+      for (int w = 0; w < W; ++w) {
+        diff[w] = (out[w] ^ g[w]) & mask.w[w];
+        any |= diff[w];
+      }
+      if (any == 0) continue;
+      for (std::uint32_t op : points_.points_of_gate(id)) {
+        if (points_.is_dff_capture(op) &&
+            branch_stuck[points_.dff_gate(op)]) {
+          continue;
+        }
+        emit(op, diff);
+      }
+    }
+    for (const Fault& f : branches) {
+      const PatternWord* good_d = good.block(nl.fanin_span(f.gate)[0]);
+      const PatternWord forced = f.stuck_at ? ~PatternWord{0} : 0;
+      PatternWord diff[W];
+      PatternWord any = 0;
+      for (int w = 0; w < W; ++w) {
+        diff[w] = (good_d[w] ^ forced) & mask.w[w];
+        any |= diff[w];
+      }
+      if (any != 0) {
+        emit(static_cast<std::uint32_t>(points_.point_of_dff(f.gate)), diff);
+      }
+    }
+    for (GateId id : active) touched[id] = 0;
+  }
+}
+
+FailureLog ResponseCapture::inject(std::span<const TestPattern> patterns,
+                                   std::span<const Fault> faults) {
+  FailureLog log;
+  log.circuit = nl_->name();
+  log.num_patterns = patterns.size();
+  std::vector<Fault> unique_faults(faults.begin(), faults.end());
+  std::sort(unique_faults.begin(), unique_faults.end(),
+            [](const Fault& a, const Fault& b) {
+              if (a.gate != b.gate) return a.gate < b.gate;
+              if (a.pin != b.pin) return a.pin < b.pin;
+              return a.stuck_at < b.stuck_at;
+            });
+  unique_faults.erase(std::unique(unique_faults.begin(), unique_faults.end()),
+                      unique_faults.end());
+  switch (words_) {
+    case 1: inject_multi_impl<1>(patterns, unique_faults, log); break;
+    case 2: inject_multi_impl<2>(patterns, unique_faults, log); break;
+    case 4: inject_multi_impl<4>(patterns, unique_faults, log); break;
+    case 8: inject_multi_impl<8>(patterns, unique_faults, log); break;
     default: SP_ASSERT(false, "invalid block width");
   }
   log.normalize();

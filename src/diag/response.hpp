@@ -203,11 +203,20 @@ struct FailureLog {
 ///   fail <pattern> <op_index> [op_name]     (index-based record)
 ///   fail <pattern> po:<net>                 (name-based record)
 ///   fail <pattern> ff:<cell>                (name-based record)
+///   end <record_count>
 /// Index records carry an informational op name that load ignores.
 /// Name-based records survive netlist re-finalization; loading them
 /// requires the netlist/observation-point context (records are resolved
 /// through ObservationPoints::resolve_record_name). Loading a log that
 /// contains name-based records without that context throws Error.
+///
+/// load validates strictly and throws with the offending line number:
+/// duplicate or missing headers, fail records before the patterns header,
+/// out-of-range pattern indices, out-of-range point indices (when the
+/// observation-point context is given), duplicate failure records,
+/// non-numeric or trailing garbage tokens, records after the end marker,
+/// an end-marker count that disagrees with the records seen, and a
+/// missing end marker (a truncated file).
 void save_failure_log(std::ostream& out, const FailureLog& log,
                       const Netlist* nl = nullptr,
                       const ObservationPoints* ops = nullptr,
@@ -237,6 +246,16 @@ class ResponseCapture {
   /// record for a chip carrying exactly fault `f` under `patterns`.
   FailureLog inject(std::span<const TestPattern> patterns, const Fault& f);
 
+  /// Multi-fault device-under-diagnosis: the failure log of a chip
+  /// carrying every fault in `faults` simultaneously. This is an exact
+  /// k-fault simulation over the merged fanout cones -- one fault masking
+  /// or reinforcing another is modelled, unlike a superposition of
+  /// single-fault logs. Duplicate faults are ignored; two distinct
+  /// forcings of one site (or one capture branch) throw, since the
+  /// defective machine they describe is contradictory.
+  FailureLog inject(std::span<const TestPattern> patterns,
+                    std::span<const Fault> faults);
+
  private:
   template <int W>
   void capture_good_impl(std::span<const TestPattern> patterns,
@@ -244,6 +263,9 @@ class ResponseCapture {
   template <int W>
   void inject_impl(std::span<const TestPattern> patterns, const Fault& f,
                    FailureLog& log);
+  template <int W>
+  void inject_multi_impl(std::span<const TestPattern> patterns,
+                         std::span<const Fault> faults, FailureLog& log);
 
   const Netlist* nl_;
   int words_;

@@ -324,6 +324,43 @@ TEST(SignatureLogTest, LoadRejectsGarbage) {
          "sug 0 0 0\nsig 1 0 0\n");                             // bad keyword
 }
 
+// Hardened ingestion: malformed signature logs are rejected with a typed
+// Error naming the offending line and defect, never silently coerced.
+TEST(SignatureLogTest, MalformedLogsNameTheOffendingLine) {
+  const auto reject = [](const std::string& text, const std::string& expect) {
+    std::stringstream ss(text);
+    try {
+      load_signature_log(ss);
+      FAIL() << "accepted: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(expect), std::string::npos)
+          << "error \"" << e.what() << "\" lacks \"" << expect << "\" for:\n"
+          << text;
+    }
+  };
+  reject("patterns 64\npatterns 64\n", "line 2");       // duplicate header
+  reject("patterns 64\npatterns 64\n", "duplicate");
+  reject("misr 16 a001 32\nmisr 16 a001 32\n", "line 2");
+  reject("patterns -9\n", "bad pattern count");
+  reject("patterns 64\nwindows 2\nsig 0 0 0\n", "line 3");  // sig before misr
+  reject("patterns 64\nwindows 2\nsig 0 0 0\n", "before \"misr\"");
+  reject("patterns 64\nmisr 16 a001 32\nsig 0 0 0\n", "before \"windows\"");
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 1ffff 0\nsig 1 0 0\n", "line 4");         // sig wider than MISR
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 1ffff 0\nsig 1 0 0\n", "exceeds the 16-bit MISR width");
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 0 0 junk\nsig 1 0 0\n", "line 4");        // trailing garbage
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 0 0 junk\nsig 1 0 0\n", "trailing");
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 1 0 0\n", "window 0 of 2 missing");         // truncation
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 0 0\nsig 5 0 0\n", "out of range");
+  reject("patterns 64\nmisr 16 a001 32\nwindows 2\n"
+         "sig 0 0 0\nsig 5 0 0\n", "line 5");
+}
+
 // Fuzz: random logs survive save -> load -> save with a byte-identical
 // second save and structural equality.
 TEST(SignatureLogTest, FuzzRoundTripIsByteIdentical) {

@@ -19,6 +19,7 @@
 #include "netlist/builder.hpp"
 #include "techmap/techmap.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace scanpower {
 namespace {
@@ -225,6 +226,60 @@ TEST(FailureLogTest, LoadRejectsGarbage) {
   EXPECT_THROW(load_failure_log(ss), Error);
 }
 
+// Hardened ingestion: every malformed log is rejected with a typed Error
+// naming the offending line, so a tester-transfer glitch points at the
+// exact byte range instead of silently skewing the diagnosis.
+TEST(FailureLogTest, MalformedLogsNameTheOffendingLine) {
+  const auto reject = [](const std::string& text, const std::string& expect) {
+    std::stringstream ss(text);
+    try {
+      load_failure_log(ss);
+      FAIL() << "accepted: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(expect), std::string::npos)
+          << "error \"" << e.what() << "\" lacks \"" << expect << "\" for:\n"
+          << text;
+    }
+  };
+  // Each expectation pins both the line number and the diagnostic text.
+  reject("fail 0 1\n", "line 1");                      // fail before patterns
+  reject("fail 0 1\n", "before the patterns header");
+  reject("patterns 4\npatterns 4\nend 0\n", "line 2");  // duplicate header
+  reject("patterns 4\npatterns 4\nend 0\n", "duplicate");
+  reject("patterns -3\n", "bad pattern count");         // signed count
+  reject("patterns 4\nfail 9 0\nend 1\n", "line 2");    // pattern out of range
+  reject("patterns 4\nfail 9 0\nend 1\n", "out of range");
+  reject("patterns 4\nfail 1x 0\nend 1\n", "bad pattern index \"1x\"");
+  reject("patterns 4\nfail 1 2abc\nend 1\n", "line 2");  // non-numeric point
+  reject("patterns 4\nfail 1 2 3 4\nend 1\n", "trailing");  // extra token
+  reject("patterns 4\nfail 1 2\nfail 1 2\nend 2\n", "line 3");  // duplicate rec
+  reject("patterns 4\nfail 1 2\nfail 1 2\nend 2\n", "duplicate failure record");
+  reject("patterns 4\nfail 1 2\n", "truncated");        // missing end marker
+  reject("patterns 4\nfail 1 2\nend 7\n", "end marker claims");
+  reject("patterns 4\nend 0\nfail 1 2\n", "after the end marker");
+  reject("circuit a\ncircuit b\npatterns 4\nend 0\n", "line 2");
+}
+
+// The loader rejects out-of-range indices itself when given the
+// observation-point space; without it the session validates in-memory
+// logs at diagnose() time (see test_session.cpp).
+TEST(FailureLogTest, LoadChecksPointRangeWhenOpsGiven) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  ResponseCapture cap(nl, 4);
+  const std::size_t num_ops = cap.points().size();
+  std::stringstream ok(strprintf("patterns 4\nfail 1 %zu\nend 1\n",
+                                 num_ops - 1));
+  EXPECT_EQ(load_failure_log(ok, &nl, &cap.points()).failures.size(), 1u);
+  std::stringstream bad(strprintf("patterns 4\nfail 1 %zu\nend 1\n", num_ops));
+  try {
+    load_failure_log(bad, &nl, &cap.points());
+    FAIL() << "accepted out-of-range observation point";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 // Name-based records ("fail <pattern> po:<net>" / "ff:<cell>") round-trip
 // through save/load and resolve to the same failures -- they reference
 // nets, not indices, so they survive netlist re-finalization.
@@ -255,7 +310,7 @@ TEST(FailureLogTest, NamedRecordsRoundTrip) {
   // The informational "dff:<cell>.D" alias resolves too.
   const std::size_t cap_op = cap.points().num_pos();  // first capture point
   std::stringstream alias("patterns 40\nfail 3 " +
-                          cap.points().name(nl, cap_op) + "\n");
+                          cap.points().name(nl, cap_op) + "\nend 1\n");
   const FailureLog al = load_failure_log(alias, &nl, &cap.points());
   ASSERT_EQ(al.failures.size(), 1u);
   EXPECT_EQ(al.failures[0].op, static_cast<std::uint32_t>(cap_op));
