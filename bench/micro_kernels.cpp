@@ -27,6 +27,7 @@
 #include "techmap/techmap.hpp"
 #include "timing/sta.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -161,10 +162,14 @@ BENCHMARK(BM_FaultSimS9234)
 // back-trace pruning plus packed scoring of every surviving candidate --
 // against a synthetic single-fault failure log on the s9234-like profile
 // (256 patterns, full collapsed fault list). Args are (block words W,
-// worker threads, scoring early-exit); rankings are bit-identical across
-// every configuration at fixed early-exit setting, so throughput
-// comparisons are apples-to-apples. The /4/1/0 vs /4/1/1 delta is the
-// early-exit win recorded in BENCH_diag.json.
+// worker threads, scoring early-exit, telemetry); rankings are
+// bit-identical across every configuration at fixed early-exit setting,
+// so throughput comparisons are apples-to-apples. The /4/1/0/0 vs
+// /4/1/1/0 delta is the early-exit win recorded in BENCH_diag.json; the
+// /4/1/1/0 vs /4/1/1/1 and /4/4/1/0 vs /4/4/1/1 deltas are the telemetry
+// overhead bound (< 2%) recorded in BENCH_telemetry.json. The telemetry
+// runs attach a live registry AND an enabled trace recorder (cleared each
+// iteration so the span buffer cannot grow without bound).
 void BM_DiagnosisS9234(benchmark::State& state) {
   const Netlist& nl = circuit("s9234");
   const auto faults = collapse_faults(nl);
@@ -192,20 +197,29 @@ void BM_DiagnosisS9234(benchmark::State& state) {
   opts.block_words = static_cast<int>(state.range(0));
   opts.num_threads = static_cast<int>(state.range(1));
   opts.score_early_exit = state.range(2) != 0;
+  const bool with_telemetry = state.range(3) != 0;
+  Telemetry telem;
+  if (with_telemetry) {
+    telem.trace.set_enabled(true);
+    opts.telemetry = &telem;
+  }
   Diagnoser diag(nl, opts);
   for (auto _ : state) {
     const DiagnosisResult res = diag.diagnose(pats, faults, log);
     benchmark::DoNotOptimize(res.ranked.data());
+    if (with_telemetry) telem.trace.clear();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(faults.size()));
 }
 BENCHMARK(BM_DiagnosisS9234)
     ->Unit(benchmark::kMillisecond)
-    ->Args({1, 1, 1})
-    ->Args({4, 1, 0})   // scoring early-exit disabled (baseline)
-    ->Args({4, 1, 1})
-    ->Args({4, 4, 1});  // acceptance configuration
+    ->Args({1, 1, 1, 0})
+    ->Args({4, 1, 0, 0})   // scoring early-exit disabled (baseline)
+    ->Args({4, 1, 1, 0})
+    ->Args({4, 1, 1, 1})   // telemetry-on counterpart of /4/1/1/0
+    ->Args({4, 4, 1, 0})   // acceptance configuration
+    ->Args({4, 4, 1, 1});  // telemetry-on counterpart of /4/4/1/0
 
 // Noisy-tester variant of BM_DiagnosisS9234: the same injected fault,
 // but the failure log is corrupted by the seeded NoiseModel (5% record

@@ -14,8 +14,23 @@
 #include "netlist/netlist.hpp"
 #include "netlist/verilog_io.hpp"
 #include "techmap/techmap.hpp"
+#include "util/log.hpp"
 
 namespace scanpower::cli {
+
+/// Parses a --log-level value; a bad name is a fatal usage error.
+inline LogLevel parse_log_level(const char* v) {
+  if (std::strcmp(v, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(v, "off") == 0) return LogLevel::Off;
+  std::fprintf(stderr,
+               "error: --log-level must be debug, info, warn, error or off "
+               "(got \"%s\")\n",
+               v);
+  std::exit(2);
+}
 
 /// True iff argv[i] is exactly `name` (a value-less flag).
 inline bool flag(char** argv, int i, const char* name) {

@@ -24,9 +24,21 @@
 //     --no-prune           score the whole fault list (skip cone back-trace)
 //     --top <n>            report size (default 10)
 //     --json <file>        machine-readable result dump (an object for a
-//                          single log, an array of objects for a batch)
+//                          single log, an array of objects for a batch;
+//                          each object carries a "metrics" section with
+//                          the query's phase timings and work tallies)
 //     --no-map             skip NAND/NOR/INV technology mapping
-//     --verbose            narrate progress
+//     --verbose            narrate progress (same as --log-level info)
+//     --log-level <l>      stderr log threshold: debug|info|warn|error|off
+//
+//   Telemetry (compiled out under SCANPOWER_TELEMETRY=OFF; the flags then
+//   print zero counters / an empty trace):
+//     --metrics            print the session's metrics snapshot (text)
+//     --metrics=json       ... as a JSON object on stdout
+//     --trace <file>       record nested phase spans (session -> diagnose
+//                          -> prune/score/cover) and write a Chrome
+//                          trace_event JSON file (load via chrome://tracing
+//                          or https://ui.perfetto.dev)
 //
 //   Response compaction (diagnosis over MISR signatures):
 //     --compact            compact responses into per-window MISR signatures
@@ -63,6 +75,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <variant>
 #include <vector>
@@ -90,7 +103,8 @@ int usage(const char* argv0) {
       "          [--save-log file] [--named-log] [--random n] [--seed n]\n"
       "          [--threads n] [--block-words w] [--no-prune]\n"
       "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
-      "          [--verbose]\n"
+      "          [--verbose] [--log-level debug|info|warn|error|off]\n"
+      "          [--metrics | --metrics=json] [--trace file]\n"
       "          [--compact] [--misr-width n] [--misr-poly hex] [--window k]\n"
       "          [--noise-drop r] [--noise-flip r] [--noise-seed n]\n"
       "          [--tolerance n] [--top-set n]\n"
@@ -156,6 +170,15 @@ void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts
   j.field("num_faults", static_cast<std::uint64_t>(res.num_faults));
   j.field("num_candidates", static_cast<std::uint64_t>(res.num_candidates));
   j.field("num_dropped", static_cast<std::uint64_t>(res.num_dropped));
+  j.begin_object("metrics");
+  j.field("prune_us", res.stats.prune_us);
+  j.field("score_us", res.stats.score_us);
+  j.field("cover_us", res.stats.cover_us);
+  j.field("sweep_calls", res.stats.sweep_calls);
+  j.field("sweep_aborts", res.stats.sweep_aborts);
+  j.field("cone_cache_hits", res.stats.cone_cache_hits);
+  j.field("cone_cache_misses", res.stats.cone_cache_misses);
+  j.end_object();
   j.begin_array("ranked");
   for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
     const CandidateScore& sc = res.ranked[i];
@@ -248,6 +271,16 @@ void print_result(const Netlist& nl, const std::string& source,
   }
   print_ranked(nl, res, top);
   print_multiplets(nl, res);
+  if constexpr (kTelemetryEnabled) {
+    const DiagnosisStats& st = res.stats;
+    std::printf("timing: prune %llu us, score %llu us, cover %llu us "
+                "(%llu sweeps, %llu aborted)\n",
+                static_cast<unsigned long long>(st.prune_us),
+                static_cast<unsigned long long>(st.score_us),
+                static_cast<unsigned long long>(st.cover_us),
+                static_cast<unsigned long long>(st.sweep_calls),
+                static_cast<unsigned long long>(st.sweep_aborts));
+  }
 }
 
 bool evidence_has_failures(const Evidence& ev) {
@@ -271,6 +304,9 @@ int main(int argc, char** argv) {
   long inject_index = -1;
   const char* save_log_path = nullptr;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  bool metrics_text = false;
+  bool metrics_json = false;
   long num_random = 0;
   std::uint64_t seed = 0xd1a6ULL;
   bool do_map = true;
@@ -325,10 +361,17 @@ int main(int argc, char** argv) {
     } else if (cli::value_flag(argc, argv, i, "--top", v)) {
       dopts.max_report = static_cast<std::size_t>(std::atol(v));
     } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
+    } else if (cli::value_flag(argc, argv, i, "--trace", trace_path)) {
+    } else if (cli::flag(argv, i, "--metrics")) {
+      metrics_text = true;
+    } else if (cli::flag(argv, i, "--metrics=json")) {
+      metrics_json = true;
     } else if (cli::flag(argv, i, "--no-map")) {
       do_map = false;
     } else if (cli::flag(argv, i, "--verbose")) {
       set_log_level(LogLevel::Info);
+    } else if (cli::value_flag(argc, argv, i, "--log-level", v)) {
+      set_log_level(cli::parse_log_level(v));
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -374,6 +417,7 @@ int main(int argc, char** argv) {
     fopts.tpg.fault_sim.num_threads = dopts.num_threads;
     ScanSession session(std::move(nl), fopts);
     const Netlist& design = session.netlist();
+    if (trace_path) session.telemetry().trace.set_enabled(true);
 
     // ---- pattern set ----------------------------------------------------
     if (num_random > 0) {
@@ -544,6 +588,29 @@ int main(int argc, char** argv) {
       if (array) j.end_array();
       std::printf("\nwrote JSON result%s to %s\n", array ? " array" : "",
                   json_path);
+    }
+
+    if (metrics_text || metrics_json) {
+      const MetricsSnapshot snap = session.metrics();
+      if (metrics_json) {
+        std::ostringstream os;
+        JsonWriter j(os);
+        j.begin_object();
+        snap.write_json(j);
+        j.end_object();
+        std::printf("%s\n", os.str().c_str());
+      } else {
+        std::ostringstream os;
+        snap.write_text(os);
+        std::printf("\nmetrics:\n%s", os.str().c_str());
+      }
+    }
+    if (trace_path) {
+      std::ofstream f(trace_path);
+      SP_CHECK(f.good(), std::string("cannot write ") + trace_path);
+      session.telemetry().trace.write_chrome_trace(f);
+      std::printf("wrote Chrome trace (%zu spans) to %s\n",
+                  session.telemetry().trace.events().size(), trace_path);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

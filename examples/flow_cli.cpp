@@ -11,12 +11,20 @@
 //     --seed <n>          ATPG/fill/observability seed
 //     --threads <n>       fault-simulation worker threads (0 = all cores)
 //     --block-words <w>   packed simulation block width (1, 2, 4 or 8)
-//     --json <file>       machine-readable result dump
+//     --json <file>       machine-readable result dump (includes a
+//                         "metrics" section with the session's counters)
 //     --write <out.bench> write the mux-inserted netlist
-//     --verbose           narrate flow progress
+//     --verbose           narrate flow progress (same as --log-level info)
+//     --log-level <l>     stderr log threshold: debug|info|warn|error|off
+//     --metrics           print the session's metrics snapshot (text)
+//     --metrics=json      ... as a JSON object on stdout
+//     --trace <file>      record phase spans and write a Chrome trace_event
+//                         JSON file (compiled out under
+//                         SCANPOWER_TELEMETRY=OFF)
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "cli_common.hpp"
 #include "core/session.hpp"
@@ -35,12 +43,15 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <design.bench> [--no-map] [--no-reorder] [--no-obs]"
                " [--margin ps] [--seed n] [--threads n] [--block-words w]"
-               " [--json file] [--write out.bench] [--verbose]\n",
+               " [--json file] [--write out.bench] [--verbose]"
+               " [--log-level debug|info|warn|error|off]"
+               " [--metrics | --metrics=json] [--trace file]\n",
                argv0);
   return 2;
 }
 
-void dump_json(const char* path, const FlowResult& r, const FlowOptions& opts) {
+void dump_json(const char* path, const FlowResult& r, const FlowOptions& opts,
+               const MetricsSnapshot& snap) {
   std::ofstream f(path);
   SP_CHECK(f.good(), std::string("cannot write ") + path);
   JsonWriter j(f);
@@ -75,6 +86,9 @@ void dump_json(const char* path, const FlowResult& r, const FlowOptions& opts) {
   j.field("dyn_vs_input_control", r.dyn_vs_input_control_pct);
   j.field("stat_vs_input_control", r.stat_vs_input_control_pct);
   j.end_object();
+  j.begin_object("metrics");
+  snap.write_json(j);
+  j.end_object();
   j.end_object();
 }
 
@@ -85,11 +99,15 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* write_path = nullptr;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  bool metrics_text = false;
+  bool metrics_json = false;
   bool do_map = true;
   std::uint64_t seed = 0;
   bool have_seed = false;
   FlowOptions opts;
   for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
     if (cli::flag(argv, i, "--no-map")) {
       do_map = false;
     } else if (cli::flag(argv, i, "--no-reorder")) {
@@ -108,8 +126,15 @@ int main(int argc, char** argv) {
       opts.diag.block_words = opts.tpg.fault_sim.block_words;
     } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
     } else if (cli::value_flag(argc, argv, i, "--write", write_path)) {
+    } else if (cli::value_flag(argc, argv, i, "--trace", trace_path)) {
+    } else if (cli::flag(argv, i, "--metrics")) {
+      metrics_text = true;
+    } else if (cli::flag(argv, i, "--metrics=json")) {
+      metrics_json = true;
     } else if (cli::flag(argv, i, "--verbose")) {
       set_log_level(LogLevel::Info);
+    } else if (cli::value_flag(argc, argv, i, "--log-level", v)) {
+      set_log_level(cli::parse_log_level(v));
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -129,6 +154,7 @@ int main(int argc, char** argv) {
                 compute_stats(nl).to_string().c_str());
 
     ScanSession session(std::move(nl), opts);
+    if (trace_path) session.telemetry().trace.set_enabled(true);
     const FlowResult r = session.run_flow();
     std::printf("%zu test patterns, %.1f%% fault coverage, %zu/%zu cells "
                 "multiplexed\n\n",
@@ -149,8 +175,30 @@ int main(int argc, char** argv) {
                 r.dyn_vs_input_control_pct, r.stat_vs_input_control_pct);
 
     if (json_path) {
-      dump_json(json_path, r, opts);
+      dump_json(json_path, r, opts, session.metrics());
       std::printf("\nwrote JSON result to %s\n", json_path);
+    }
+
+    if (metrics_text || metrics_json) {
+      const MetricsSnapshot snap = session.metrics();
+      std::ostringstream os;
+      if (metrics_json) {
+        JsonWriter j(os);
+        j.begin_object();
+        snap.write_json(j);
+        j.end_object();
+        std::printf("%s\n", os.str().c_str());
+      } else {
+        snap.write_text(os);
+        std::printf("\nmetrics:\n%s", os.str().c_str());
+      }
+    }
+    if (trace_path) {
+      std::ofstream f(trace_path);
+      SP_CHECK(f.good(), std::string("cannot write ") + trace_path);
+      session.telemetry().trace.write_chrome_trace(f);
+      std::printf("wrote Chrome trace (%zu spans) to %s\n",
+                  session.telemetry().trace.events().size(), trace_path);
     }
 
     if (write_path) {

@@ -71,5 +71,31 @@ int main() {
               "(%zu/%zu failing windows)\n",
               compacted.rank_of(defect), compacted.num_candidates,
               compacted.num_failing_windows, compacted.num_windows);
+
+  // 4. What did all of that cost? Every engine the session built reported
+  //    into its telemetry scope; metrics() snapshots the counters (all
+  //    zero when built with SCANPOWER_TELEMETRY=OFF). Individual results
+  //    also carry per-query timings in DiagnosisResult::stats.
+  const MetricsSnapshot m = session.metrics();
+  std::printf("\ntelemetry: %llu diagnoses over %llu candidates, "
+              "%llu cone sweeps (%llu skipped unexcited), "
+              "good-block cache %llu built / %llu reads\n",
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kDiagQueries) +
+                  m.counter(CounterId::kCompactQueries)),
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kDiagCandidates) +
+                  m.counter(CounterId::kCompactCandidates)),
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kSweepCalls)),
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kSweepUnexcited)),
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kGoodCacheBuiltBlocks)),
+              static_cast<unsigned long long>(
+                  m.counter(CounterId::kGoodCacheCachedReads)));
+  std::printf("diagnosis timing: prune %llu us, score %llu us\n",
+              static_cast<unsigned long long>(full.stats.prune_us),
+              static_cast<unsigned long long>(full.stats.score_us));
   return 0;
 }

@@ -158,12 +158,14 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
     w.num_detected = 0;
   }
   std::size_t num_detected = 0;
+  std::uint64_t num_blocks = 0;
 
   for (std::size_t base = 0; base < patterns.size(); base += lanes) {
     // Fault dropping may empty the live list mid-run: then the remaining
     // blocks have nothing to compare against, so skip their good-machine
     // evaluation and stop early.
     if (num_detected == live.size()) break;
+    ++num_blocks;
     const std::size_t batch = std::min(lanes, patterns.size() - base);
 
     load_pattern_block(nl, patterns, base, good);
@@ -189,6 +191,15 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
   for (const Worker& w : workers_) {
     for (std::size_t p = 0; p < patterns.size(); ++p) {
       res.new_detects_per_pattern[p] += w.new_detects[p];
+    }
+  }
+
+  if (Telemetry* telem = opts_.telemetry) {
+    telem->metrics.add(0, CounterId::kFaultSimRuns, 1);
+    telem->metrics.add(0, CounterId::kFaultSimBlocks, num_blocks);
+    telem->metrics.add(0, CounterId::kFaultSimDetected, res.num_detected);
+    for (std::size_t t = 0; t < workers_.size(); ++t) {
+      flush_sweep_stats(telem, static_cast<int>(t), workers_[t].eval);
     }
   }
   return res;

@@ -57,6 +57,24 @@ class FaultConeEvaluator {
   /// included (cached per evaluator).
   const std::vector<GateId>& cone(GateId site);
 
+  /// Cheap always-on sweep tallies, accumulated by propagate() as plain
+  /// adds (never a registry write on the per-gate path). Consumers flush
+  /// them into a MetricsRegistry with take_stats() -- serially, in
+  /// ascending worker order -- after a run.
+  struct SweepStats {
+    std::uint64_t calls = 0;        ///< propagate() invocations
+    std::uint64_t unexcited = 0;    ///< died before sweeping a cone
+    std::uint64_t cone_gates = 0;   ///< summed cone sizes of swept cones
+    std::uint64_t active_gates = 0; ///< gates actually re-evaluated dirty
+    std::uint64_t aborts = 0;       ///< sweeps cut short by a bool sink
+  };
+  /// Returns the tallies since the last call and resets them.
+  SweepStats take_stats() {
+    SweepStats s = stats_;
+    stats_ = SweepStats{};
+    return s;
+  }
+
   /// Evaluates fault `f` against the good-machine block: seeds the faulty
   /// machine at the site, sweeps the site's cone sparsely, and calls
   /// sink(gate, diff) for every gate with observable[gate] != 0 whose
@@ -90,6 +108,8 @@ class FaultConeEvaluator {
   std::vector<std::vector<GateId>> cone_cache_;
   std::vector<std::uint8_t> cone_cached_;
   std::vector<std::uint8_t> seen_;  ///< reusable DFS scratch (all-zero between calls)
+
+  SweepStats stats_;
 };
 
 struct FaultSimResult {
@@ -107,6 +127,8 @@ struct FaultSimOptions {
   /// Worker count for the per-fault sweep. 1 = serial (no threads
   /// spawned); 0 = hardware concurrency.
   int num_threads = 1;
+  /// Optional metrics/trace scope (not owned; nullptr = no telemetry).
+  Telemetry* telemetry = nullptr;
 };
 
 class FaultSimulator {
@@ -148,6 +170,27 @@ class FaultSimulator {
 double fault_coverage(const Netlist& nl, std::span<const TestPattern> patterns,
                       FaultSimOptions opts = {});
 
+/// Adds already-drained sweep tallies into a telemetry scope.
+inline void add_sweep_stats(Telemetry* t, int shard,
+                            const FaultConeEvaluator::SweepStats& s) {
+  if constexpr (!kTelemetryEnabled) return;
+  if (t == nullptr) return;
+  t->metrics.add(shard, CounterId::kSweepCalls, s.calls);
+  t->metrics.add(shard, CounterId::kSweepUnexcited, s.unexcited);
+  t->metrics.add(shard, CounterId::kSweepConeGates, s.cone_gates);
+  t->metrics.add(shard, CounterId::kSweepActiveGates, s.active_gates);
+  t->metrics.add(shard, CounterId::kSweepAborts, s.aborts);
+}
+
+/// Flushes one evaluator's sweep tallies into a telemetry scope (and resets
+/// them). Callers flush their workers serially in ascending worker order.
+inline void flush_sweep_stats(Telemetry* t, int shard,
+                              FaultConeEvaluator& eval) {
+  if constexpr (!kTelemetryEnabled) return;
+  if (t == nullptr) return;
+  add_sweep_stats(t, shard, eval.take_stats());
+}
+
 // ---- FaultConeEvaluator::propagate (template body) -------------------------
 
 template <int W, typename Sink>
@@ -176,6 +219,7 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
     }
   };
 
+  ++stats_.calls;
   if (f.pin >= 0 && types[f.gate] == GateType::Dff) {
     // Fault on the D branch of a scan cell: directly observed at that
     // cell's capture point only.
@@ -187,7 +231,11 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
       diff[w] = (good_d[w] ^ forced) & mask.w[w];
       any |= diff[w];
     }
-    if (any != 0) (void)call_sink(f.gate, static_cast<const PatternWord*>(diff));
+    if (any != 0) {
+      (void)call_sink(f.gate, static_cast<const PatternWord*>(diff));
+    } else {
+      ++stats_.unexcited;
+    }
     return;
   }
 
@@ -217,7 +265,10 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
   for (int w = 0; w < W; ++w) {
     excited |= (site_val[w] ^ good_site[w]) & mask.w[w];
   }
-  if (excited == 0) return;  // fault not excited by any valid lane
+  if (excited == 0) {  // fault not excited by any valid lane
+    ++stats_.unexcited;
+    return;
+  }
 
   PatternWord* const site_block = faulty + static_cast<std::size_t>(site) * W;
   for (int w = 0; w < W; ++w) site_block[w] = site_val[w];
@@ -231,6 +282,8 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
     }
     if (any != 0 && !call_sink(site, static_cast<const PatternWord*>(diff))) {
       touched[site] = 0;
+      ++stats_.aborts;
+      ++stats_.active_gates;
       return;
     }
   }
@@ -241,6 +294,7 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
   // turns the O(cone) sweep into an O(active frontier) sweep with cheap
   // byte-load skip checks.
   const std::vector<GateId>& cone_gates = cone(site);
+  stats_.cone_gates += cone_gates.size();
   active_.clear();
   active_.push_back(site);
   const auto fanin_block = [&](GateId fin) {
@@ -268,10 +322,12 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
         any |= diff[w];
       }
       if (any != 0 && !call_sink(id, static_cast<const PatternWord*>(diff))) {
-        break;  // aborted by the sink; scratch is cleaned up below
+        ++stats_.aborts;  // aborted by the sink; scratch is cleaned up below
+        break;
       }
     }
   }
+  stats_.active_gates += active_.size();
   for (GateId id : active_) touched[id] = 0;
 }
 

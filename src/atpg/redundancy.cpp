@@ -80,7 +80,7 @@ RedundancyResult remove_redundancies(const Netlist& nl,
       for (const bool sa : {false, true}) {
         const PodemResult pr = podem.generate({id, -1, sa});
         if (pr.status != PodemStatus::Untestable) continue;
-        log_debug(strprintf("redundancy: tying %s to %d",
+        SP_LOG_DEBUG(strprintf("redundancy: tying %s to %d",
                             res.netlist.gate_name(id).c_str(), sa ? 1 : 0));
         res.netlist = simplify(tie_stem(res.netlist, id, sa));
         ++res.lines_tied;

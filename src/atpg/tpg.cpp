@@ -52,7 +52,7 @@ TestSet generate_tests(const Netlist& nl, const TpgOptions& opts) {
       }
     }
   }
-  log_info(strprintf("tpg[%s]: random phase %zu/%zu faults, %zu patterns",
+  SP_LOG_INFO(strprintf("tpg[%s]: random phase %zu/%zu faults, %zu patterns",
                      nl.name().c_str(), num_detected, faults.size(),
                      ts.patterns.size()));
 
@@ -92,7 +92,7 @@ TestSet generate_tests(const Netlist& nl, const TpgOptions& opts) {
     if (batch.size() == block_patterns) flush_batch();
   }
   flush_batch();
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "tpg[%s]: after PODEM %zu/%zu faults (%zu untestable, %zu aborted), "
       "%zu patterns",
       nl.name().c_str(), num_detected, faults.size(), ts.untestable_faults,
@@ -115,7 +115,7 @@ TestSet generate_tests(const Netlist& nl, const TpgOptions& opts) {
   // Final coverage accounting on the compacted set.
   const FaultSimResult final_res = fsim.run(ts.patterns, faults);
   ts.detected_faults = final_res.num_detected;
-  log_info(strprintf("tpg[%s]: final %zu patterns, coverage %.2f%%",
+  SP_LOG_INFO(strprintf("tpg[%s]: final %zu patterns, coverage %.2f%%",
                      nl.name().c_str(), ts.patterns.size(),
                      100.0 * ts.fault_coverage()));
   return ts;

@@ -258,42 +258,85 @@ DiagnosisResult SignatureDiagnoser::diagnose_with(
            "good machine (wrong pattern set or MISR configuration?)");
   ensure_goods(patterns);
 
+  Telemetry* const telem = opts_.telemetry;
   DiagnosisResult res;
-  res.num_faults = faults.size();
-  res.num_windows = log.num_windows();
-  res.num_failing_windows = log.num_failing_windows();
-  res.num_failures = res.num_failing_windows;
-  res.num_masked = plan.num_masked();
+  std::uint64_t total_us = 0;
+  std::uint64_t cone_h0 = 0, cone_m0 = 0;
+  if constexpr (kTelemetryEnabled) {
+    cone_h0 = cones_->hits();
+    cone_m0 = cones_->misses();
+  }
+  {
+    TraceSpan span_all(telem, "compact_diagnose", 0, CounterId::kCount,
+                       &total_us);
+    res.num_faults = faults.size();
+    res.num_windows = log.num_windows();
+    res.num_failing_windows = log.num_failing_windows();
+    res.num_failures = res.num_failing_windows;
+    res.num_masked = plan.num_masked();
 
-  const MisrCompactor compactor(log.misr, opts_.block_words);
+    const MisrCompactor compactor(log.misr, opts_.block_words);
 
-  std::vector<std::uint32_t> candidates;
-  if (opts_.cone_pruning) {
-    candidates = prune_candidates(faults, log, plan);
-  } else {
-    candidates.resize(faults.size());
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      candidates[fi] = static_cast<std::uint32_t>(fi);
+    std::vector<std::uint32_t> candidates;
+    {
+      TraceSpan span(telem, "prune", 0, CounterId::kDiagPruneUs,
+                     &res.stats.prune_us);
+      if (opts_.cone_pruning) {
+        candidates = prune_candidates(faults, log, plan);
+      } else {
+        candidates.resize(faults.size());
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+          candidates[fi] = static_cast<std::uint32_t>(fi);
+        }
+      }
+    }
+    res.num_candidates = candidates.size();
+
+    std::vector<CandidateScore> scores(candidates.size());
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      scores[ci].fault = faults[candidates[ci]];
+      scores[ci].fault_index = candidates[ci];
+    }
+
+    {
+      TraceSpan span(telem, "score", 0, CounterId::kDiagScoreUs,
+                     &res.stats.score_us);
+      switch (opts_.block_words) {
+        case 1: score_candidates<1>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        case 2: score_candidates<2>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        case 4: score_candidates<4>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        case 8: score_candidates<8>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        default: SP_ASSERT(false, "invalid block width");
+      }
+    }
+
+    std::sort(scores.begin(), scores.end());
+    res.ranked = std::move(scores);
+
+    if constexpr (kTelemetryEnabled) {
+      FaultConeEvaluator::SweepStats tot;
+      for (std::size_t t = 0; t < workers_.size(); ++t) {
+        const FaultConeEvaluator::SweepStats s = workers_[t]->eval.take_stats();
+        tot.calls += s.calls;
+        tot.unexcited += s.unexcited;
+        tot.cone_gates += s.cone_gates;
+        tot.active_gates += s.active_gates;
+        tot.aborts += s.aborts;
+        add_sweep_stats(telem, static_cast<int>(t), s);
+      }
+      res.stats.sweep_calls = tot.calls;
+      res.stats.sweep_aborts = tot.aborts;
+      res.stats.cone_cache_hits = cones_->hits() - cone_h0;
+      res.stats.cone_cache_misses = cones_->misses() - cone_m0;
     }
   }
-  res.num_candidates = candidates.size();
-
-  std::vector<CandidateScore> scores(candidates.size());
-  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    scores[ci].fault = faults[candidates[ci]];
-    scores[ci].fault_index = candidates[ci];
+  if constexpr (kTelemetryEnabled) {
+    if (telem != nullptr) {
+      telem->metrics.add(0, CounterId::kCompactQueries, 1);
+      telem->metrics.add(0, CounterId::kCompactCandidates, res.num_candidates);
+      telem->metrics.record_hist(HistId::kCompactDiagnoseUs, total_us);
+    }
   }
-
-  switch (opts_.block_words) {
-    case 1: score_candidates<1>(patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 2: score_candidates<2>(patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 4: score_candidates<4>(patterns, faults, candidates, log, plan, compactor, scores); break;
-    case 8: score_candidates<8>(patterns, faults, candidates, log, plan, compactor, scores); break;
-    default: SP_ASSERT(false, "invalid block width");
-  }
-
-  std::sort(scores.begin(), scores.end());
-  res.ranked = std::move(scores);
   return res;
 }
 

@@ -278,7 +278,7 @@ FindPatternResult find_controlled_input_pattern(const Netlist& nl,
   }
   res.transition_lines = static_cast<std::size_t>(
       std::count(res.transition_nodes.begin(), res.transition_nodes.end(), true));
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "find_pattern[%s]: %zu blocked, %zu propagated, %zu transition lines",
       nl.name().c_str(), res.gates_blocked, res.gates_propagated,
       res.transition_lines));
@@ -420,7 +420,7 @@ MinLeakageSearchResult min_leakage_vector_search(
       res.ppi.push_back(v);
     }
   }
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "min_leakage_search[%s]: random best %.1f nA -> refined %.1f nA "
       "(%d flips, %zu vectors)",
       nl.name().c_str(), res.random_best_na, res.best_leakage_na,

@@ -91,9 +91,47 @@ ScanSession::ScanSession(Netlist nl, FlowOptions opts)
   SP_CHECK(opts_.fill.trials >= 1,
            strprintf("ScanSession: fill.trials must be >= 1 (got %d)",
                      opts_.fill.trials));
+
+  // Every engine built from these option copies reports into the session
+  // scope. Safe: a session is neither copyable nor movable, so the
+  // pointer never dangles while an engine lives.
+  opts_.diag.telemetry = &telemetry_;
+  opts_.tpg.fault_sim.telemetry = &telemetry_;
 }
 
 ScanSession::~ScanSession() = default;
+
+MetricsSnapshot ScanSession::metrics() {
+  MetricsSnapshot snap = telemetry_.metrics.snapshot();
+  if constexpr (kTelemetryEnabled) {
+    const auto set = [&snap](CounterId id, std::uint64_t v) {
+      snap.counters[static_cast<std::size_t>(id)] = v;
+    };
+    // Cache and pool tallies live on the owning objects as absolute
+    // lifetime values; overwrite (never add) the registry slots so
+    // repeated snapshots stay correct.
+    if (cones_) {
+      set(CounterId::kConeCacheHits, cones_->hits());
+      set(CounterId::kConeCacheMisses, cones_->misses());
+    }
+    set(CounterId::kGoodCacheBinds, goods_.binds());
+    set(CounterId::kGoodCacheBuiltBlocks, goods_.built_blocks());
+    set(CounterId::kGoodCacheBuildUs, goods_.build_us());
+    set(CounterId::kGoodCacheCachedReads, goods_.cached_reads());
+    set(CounterId::kGoodCacheStreamedReads, goods_.streamed_reads());
+    snap.gauges[static_cast<std::size_t>(GaugeId::kGoodBlocksCached)] =
+        static_cast<std::int64_t>(goods_.blocks_cached());
+    if (pool_) {
+      const ThreadPool::Stats ps = pool_->stats();
+      set(CounterId::kPoolRuns, ps.runs);
+      set(CounterId::kPoolJobs, ps.jobs);
+      set(CounterId::kPoolBusyUs, ps.busy_us);
+      snap.gauges[static_cast<std::size_t>(GaugeId::kPoolWorkers)] =
+          pool_->size();
+    }
+  }
+  return snap;
+}
 
 ThreadPool& ScanSession::pool() {
   if (!pool_) {
@@ -154,8 +192,10 @@ void ScanSession::bind_patterns(std::span<const TestPattern> patterns) {
            "must contain at least one pattern)");
   if (has_patterns_ && bound_.size() == patterns.size() &&
       std::equal(patterns.begin(), patterns.end(), bound_.begin())) {
+    telemetry_.metrics.add(0, CounterId::kSessionPatternBindHits);
     return;  // identical content: every pattern-keyed cache stays valid
   }
+  telemetry_.metrics.add(0, CounterId::kSessionPatternBinds);
   bound_.assign(patterns.begin(), patterns.end());
   filled_ = zero_filled_patterns(bound_);
   has_patterns_ = true;
@@ -214,12 +254,22 @@ SignatureCapture& ScanSession::compact_state(const MisrConfig& cfg) {
   const auto key = std::make_tuple(cfg.width, cfg.resolved_poly(), cfg.window);
   auto it = compact_.find(key);
   if (it == compact_.end()) {
+    telemetry_.metrics.add(0, CounterId::kSessionCompactStateMisses);
+    telemetry_.metrics.add(0, CounterId::kXMaskBuilds);
     it = compact_
              .emplace(key, std::make_unique<SignatureCapture>(
                                nl_, cfg, opts_.diag.block_words))
              .first;
+  } else {
+    telemetry_.metrics.add(0, CounterId::kSessionCompactStateHits);
   }
-  it->second->bind(bound_);  // no-op while the bound content is unchanged
+  {
+    // Covers the lazy (X-mask plan, expected signatures) build; a no-op
+    // rebind costs one pattern comparison, so the counter stays honest.
+    TraceSpan span(&telemetry_, "compact_state.bind", 0,
+                   CounterId::kXMaskBuildUs);
+    it->second->bind(bound_);  // no-op while the bound content is unchanged
+  }
   return *it->second;
 }
 
@@ -245,8 +295,10 @@ DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
   require_bound();
   require_fully_specified("full-response diagnosis");
   validate_evidence(log);
+  telemetry_.metrics.add(0, CounterId::kSessionDiagnoseFull);
+  TraceSpan span(&telemetry_, "session.diagnose_full", 0);
   DiagnosisResult res = diagnoser().diagnose(effective_patterns(), faults(), log);
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
       "best %s (tfsf %llu, tfsp %llu, tpsf %llu)%s%s",
       nl_.name().c_str(), res.num_failures, res.num_failing_patterns,
@@ -271,10 +323,12 @@ DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
 
 DiagnosisResult ScanSession::diagnose_compacted(const SignatureLog& log) {
   require_bound();
+  telemetry_.metrics.add(0, CounterId::kSessionDiagnoseCompact);
+  TraceSpan span(&telemetry_, "session.diagnose_compacted", 0);
   SignatureCapture& cs = compact_state(log.misr);
   DiagnosisResult res = sig_diagnoser().diagnose_with(
       effective_patterns(), faults(), log, cs.mask(), cs.expected());
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "compacted diagnosis[%s]: %zu/%zu failing windows (MISR width %d, "
       "window %d, %zu masked point-windows) -> %zu/%zu candidates, best %s "
       "(tfsf %llu, tfsp %llu, tpsf %llu)",
@@ -307,6 +361,8 @@ DiagnosisResult ScanSession::diagnose(const Evidence& evidence) {
 std::vector<DiagnosisResult> ScanSession::diagnose_batch(
     std::span<const Evidence> evidence) {
   require_bound();
+  telemetry_.metrics.add(0, CounterId::kSessionBatches);
+  TraceSpan span(&telemetry_, "session.diagnose_batch", 0);
   std::vector<DiagnosisResult> results(evidence.size());
 
   // Full-response logs are batched: prune serially, then fan the logs
@@ -332,7 +388,7 @@ std::vector<DiagnosisResult> ScanSession::diagnose_batch(
     for (std::size_t k = 0; k < rs.size(); ++k) {
       results[full_at[k]] = std::move(rs[k]);
     }
-    log_info(strprintf("diagnosis batch[%s]: %zu failure logs over %zu "
+    SP_LOG_INFO(strprintf("diagnosis batch[%s]: %zu failure logs over %zu "
                        "patterns on %d workers",
                        nl_.name().c_str(), full.size(), bound_.size(),
                        pool().size()));
@@ -445,6 +501,8 @@ ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
 }
 
 FlowResult ScanSession::run_flow() {
+  telemetry_.metrics.add(0, CounterId::kSessionFlowRuns);
+  TraceSpan flow_span(&telemetry_, "session.run_flow", 0);
   FlowResult res;
   res.circuit = nl_.name();
   res.stats = compute_stats(nl_);
@@ -497,7 +555,7 @@ FlowResult ScanSession::run_flow() {
   res.stat_vs_input_control_pct =
       improvement_pct(res.input_control.static_uw, res.proposed.static_uw);
 
-  log_info(strprintf(
+  SP_LOG_INFO(strprintf(
       "flow[%s]: dyn %.3e -> %.3e uW/Hz (%.1f%%), stat %.2f -> %.2f uW (%.1f%%)",
       nl_.name().c_str(), res.traditional.dynamic_per_hz_uw,
       res.proposed.dynamic_per_hz_uw, res.dyn_vs_traditional_pct,

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanpower {
 
@@ -64,6 +65,20 @@ class ScanSession {
   const Netlist& netlist() const { return nl_; }
   const FlowOptions& options() const { return opts_; }
   const LeakageModel& leakage_model() const { return model_; }
+
+  // ---- telemetry -----------------------------------------------------------
+
+  /// Session-scoped metrics registry and phase-trace recorder: every
+  /// engine this session builds writes its counters and spans here (the
+  /// options' telemetry pointer is wired up in the constructor). Enable
+  /// span recording with telemetry().trace.set_enabled(true). All of it
+  /// compiles to nothing under SCANPOWER_TELEMETRY=OFF.
+  Telemetry& telemetry() { return telemetry_; }
+  /// Point-in-time snapshot of the session's counters. Registry slots are
+  /// summed over shards; cache and pool tallies are copied from the owning
+  /// objects (absolute lifetime values, so repeated snapshots never
+  /// double-count). Call between queries, not concurrently with one.
+  MetricsSnapshot metrics();
 
   // ---- shared lazily built engine state ------------------------------------
 
@@ -176,6 +191,9 @@ class ScanSession {
   Netlist nl_;
   FlowOptions opts_;
   LeakageModel model_;
+  /// Declared before every engine: engines hold a pointer to it via their
+  /// options, so it must outlive them (members destroy in reverse order).
+  Telemetry telemetry_;
 
   // Lazily built, design-keyed state. Declaration order doubles as the
   // destruction contract: the pool outlives every engine borrowing it.

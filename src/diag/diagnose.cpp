@@ -361,6 +361,10 @@ void Diagnoser::recover_noise(int worker,
       }
       finalize(u);
       u.res.union_fallback = true;
+      // The rescored result replaces the original; carry the query's
+      // accumulated stats across (the rescore time itself lands in
+      // cover_us via the caller's span).
+      u.res.stats = p.res.stats;
       p = std::move(u);
     }
   }
@@ -571,29 +575,88 @@ void Diagnoser::build_multiplets(int worker, std::span<const Fault> faults,
 DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
                                     std::span<const Fault> faults,
                                     const FailureLog& log) {
-  // Validate + prune before ensure_goods: a malformed log must fail fast,
-  // not after a full good-machine rebuild (standalone mode).
-  Prepared p = prepare(patterns, faults, log, PruneMode::kIntersect);
-  ensure_goods(patterns);
-
-  const auto run = [&]<int W>() {
-    score_candidates<W>(faults, p);
-    finalize(p);
-    // Worker 0's evaluator is free again (run_on_all has joined), so the
-    // recovery stages replay on the caller thread.
-    std::unique_ptr<BlockSimulator> stream;
-    if (!goods_->cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
-    recover_noise<W>(0, patterns, faults, p, stream.get(), /*serial=*/false);
-  };
-  switch (opts_.block_words) {
-    case 1: run.operator()<1>(); break;
-    case 2: run.operator()<2>(); break;
-    case 4: run.operator()<4>(); break;
-    case 8: run.operator()<8>(); break;
-    default: SP_ASSERT(false, "invalid block width");
+  Telemetry* const telem = opts_.telemetry;
+  DiagnosisResult out;
+  std::uint64_t total_us = 0;
+  std::uint64_t cone_h0 = 0, cone_m0 = 0;
+  if constexpr (kTelemetryEnabled) {
+    cone_h0 = cones_->hits();
+    cone_m0 = cones_->misses();
   }
+  {
+    TraceSpan span_all(telem, "diagnose", 0, CounterId::kCount, &total_us);
+    // Validate + prune before ensure_goods: a malformed log must fail fast,
+    // not after a full good-machine rebuild (standalone mode).
+    Prepared p;
+    {
+      TraceSpan span(telem, "prune", 0, CounterId::kDiagPruneUs,
+                     &p.res.stats.prune_us);
+      p = prepare(patterns, faults, log, PruneMode::kIntersect);
+    }
+    ensure_goods(patterns);
 
-  return std::move(p.res);
+    const auto run = [&]<int W>() {
+      {
+        TraceSpan span(telem, "score", 0, CounterId::kDiagScoreUs,
+                       &p.res.stats.score_us);
+        score_candidates<W>(faults, p);
+      }
+      finalize(p);
+      // Worker 0's evaluator is free again (run_on_all has joined), so the
+      // recovery stages replay on the caller thread.
+      std::unique_ptr<BlockSimulator> stream;
+      if (!goods_->cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
+      {
+        TraceSpan span(telem, "cover", 0, CounterId::kDiagCoverUs,
+                       &p.res.stats.cover_us);
+        recover_noise<W>(0, patterns, faults, p, stream.get(),
+                         /*serial=*/false);
+      }
+    };
+    switch (opts_.block_words) {
+      case 1: run.operator()<1>(); break;
+      case 2: run.operator()<2>(); break;
+      case 4: run.operator()<4>(); break;
+      case 8: run.operator()<8>(); break;
+      default: SP_ASSERT(false, "invalid block width");
+    }
+
+    if constexpr (kTelemetryEnabled) {
+      // Drain the workers' sweep tallies in ascending order: the per-query
+      // totals go on the result, the per-shard values into the registry.
+      // Every query drains every worker, so tallies always start at zero.
+      FaultConeEvaluator::SweepStats tot;
+      for (std::size_t t = 0; t < workers_.size(); ++t) {
+        const FaultConeEvaluator::SweepStats s = workers_[t].take_stats();
+        tot.calls += s.calls;
+        tot.unexcited += s.unexcited;
+        tot.cone_gates += s.cone_gates;
+        tot.active_gates += s.active_gates;
+        tot.aborts += s.aborts;
+        add_sweep_stats(telem, static_cast<int>(t), s);
+      }
+      p.res.stats.sweep_calls = tot.calls;
+      p.res.stats.sweep_aborts = tot.aborts;
+      // Serial wrt the cone cache (scoring never touches it), so the
+      // deltas are exactly this query's lookups.
+      p.res.stats.cone_cache_hits = cones_->hits() - cone_h0;
+      p.res.stats.cone_cache_misses = cones_->misses() - cone_m0;
+    }
+    out = std::move(p.res);
+  }
+  if constexpr (kTelemetryEnabled) {
+    if (telem != nullptr) {
+      telem->metrics.add(0, CounterId::kDiagQueries, 1);
+      telem->metrics.add(0, CounterId::kDiagCandidates, out.num_candidates);
+      telem->metrics.add(0, CounterId::kDiagDropped, out.num_dropped);
+      if (out.union_fallback) {
+        telem->metrics.add(0, CounterId::kDiagUnionFallbacks, 1);
+      }
+      telem->metrics.add(0, CounterId::kDiagMultiplets, out.multiplets.size());
+      telem->metrics.record_hist(HistId::kDiagnoseUs, total_us);
+    }
+  }
+  return out;
 }
 
 std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
@@ -608,6 +671,9 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
     return one;
   }
 
+  Telemetry* const telem = opts_.telemetry;
+  TraceSpan span_batch(telem, "diagnose_batch", 0);
+
   // Serial phase: validation, observed matrices and cone pruning (the
   // cone cache builds lazily, so it must not be touched concurrently).
   // This pass also caches every failing point's cone, which makes the
@@ -616,7 +682,23 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
   std::vector<Prepared> prepared;
   prepared.reserve(logs.size());
   for (const FailureLog* log : logs) {
-    prepared.push_back(prepare(patterns, faults, *log, PruneMode::kIntersect));
+    std::uint64_t cone_h0 = 0, cone_m0 = 0;
+    if constexpr (kTelemetryEnabled) {
+      cone_h0 = cones_->hits();
+      cone_m0 = cones_->misses();
+    }
+    std::uint64_t prune_us = 0;
+    {
+      TraceSpan span(telem, "prune", 0, CounterId::kDiagPruneUs, &prune_us);
+      prepared.push_back(
+          prepare(patterns, faults, *log, PruneMode::kIntersect));
+    }
+    if constexpr (kTelemetryEnabled) {
+      DiagnosisStats& st = prepared.back().res.stats;
+      st.prune_us = prune_us;
+      st.cone_cache_hits = cones_->hits() - cone_h0;
+      st.cone_cache_misses = cones_->misses() - cone_m0;
+    }
   }
   ensure_goods(patterns);
 
@@ -636,10 +718,27 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
       for (std::size_t li = static_cast<std::size_t>(t); li < prepared.size();
            li += static_cast<std::size_t>(num_workers)) {
         BlockSimulator* stream = streams[static_cast<std::size_t>(t)].get();
-        score_log_serial<W>(t, faults, prepared[li], stream);
-        finalize(prepared[li]);
-        recover_noise<W>(t, patterns, faults, prepared[li], stream,
-                         /*serial=*/true);
+        Prepared& p = prepared[li];
+        {
+          TraceSpan span(telem, "score", t, CounterId::kDiagScoreUs,
+                         &p.res.stats.score_us);
+          score_log_serial<W>(t, faults, p, stream);
+        }
+        finalize(p);
+        {
+          TraceSpan span(telem, "cover", t, CounterId::kDiagCoverUs,
+                         &p.res.stats.cover_us);
+          recover_noise<W>(t, patterns, faults, p, stream, /*serial=*/true);
+        }
+        if constexpr (kTelemetryEnabled) {
+          // This log ran wholly in worker t, so its evaluator's tallies
+          // are exactly this log's sweeps.
+          const FaultConeEvaluator::SweepStats s =
+              workers_[static_cast<std::size_t>(t)].take_stats();
+          p.res.stats.sweep_calls = s.calls;
+          p.res.stats.sweep_aborts = s.aborts;
+          add_sweep_stats(telem, t, s);
+        }
       }
     });
   };
@@ -654,6 +753,19 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
   std::vector<DiagnosisResult> results;
   results.reserve(prepared.size());
   for (Prepared& p : prepared) {
+    if constexpr (kTelemetryEnabled) {
+      if (telem != nullptr) {
+        telem->metrics.add(0, CounterId::kDiagQueries, 1);
+        telem->metrics.add(0, CounterId::kDiagCandidates,
+                           p.res.num_candidates);
+        telem->metrics.add(0, CounterId::kDiagDropped, p.res.num_dropped);
+        if (p.res.union_fallback) {
+          telem->metrics.add(0, CounterId::kDiagUnionFallbacks, 1);
+        }
+        telem->metrics.add(0, CounterId::kDiagMultiplets,
+                           p.res.multiplets.size());
+      }
+    }
     results.push_back(std::move(p.res));
   }
   return results;

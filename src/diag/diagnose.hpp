@@ -113,6 +113,26 @@ struct DiagnosisOptions {
   std::size_t max_multiplet_size = 4;
   /// Maximum suspect sets reported (also the number of greedy seeds).
   std::size_t max_multiplets = 8;
+  /// Optional metrics/trace scope (not owned; nullptr = no registry or
+  /// trace output, but DiagnosisResult::stats is still populated).
+  Telemetry* telemetry = nullptr;
+};
+
+/// Per-query telemetry carried on a DiagnosisResult. All-zero when the
+/// library is built with SCANPOWER_TELEMETRY=OFF. Wall-clock fields are
+/// non-deterministic by nature; the count fields equal what the query
+/// added to the corresponding registry counters. Cone-cache deltas are
+/// only attributed on serial prepare paths (single-log diagnose, and the
+/// serial prepare phase of a batch); concurrent cache hits from batch
+/// noise recovery are counted globally but not per query.
+struct DiagnosisStats {
+  std::uint64_t prune_us = 0;         ///< validate + back-trace pruning
+  std::uint64_t score_us = 0;         ///< candidate ranking (first pass)
+  std::uint64_t cover_us = 0;         ///< noise recovery: union rescore + cover
+  std::uint64_t sweep_calls = 0;      ///< cone sweeps run for this query
+  std::uint64_t sweep_aborts = 0;     ///< sweeps cut short by early-exit
+  std::uint64_t cone_cache_hits = 0;
+  std::uint64_t cone_cache_misses = 0;
 };
 
 /// One scored candidate fault.
@@ -181,6 +201,10 @@ struct DiagnosisResult {
   std::size_t num_windows = 0;
   std::size_t num_failing_windows = 0;
   std::size_t num_masked = 0;            ///< masked (point, window) pairs
+
+  /// Per-query timing and work tallies (never part of ranking or of any
+  /// determinism contract; see DiagnosisStats).
+  DiagnosisStats stats;
 
   /// 1-based competition rank of fault `f` among the scored candidates:
   /// candidates with equal scores share a rank (they are indistinguishable

@@ -115,7 +115,15 @@ ObservationConeCache::ObservationConeCache(const Netlist& nl,
 }
 
 const std::vector<GateId>& ObservationConeCache::cone(std::size_t op) {
-  if (cached_[op]) return cache_[op];
+  if (cached_[op]) {
+    if constexpr (kTelemetryEnabled) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return cache_[op];
+  }
+  if constexpr (kTelemetryEnabled) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   const Netlist& nl = *nl_;
   const std::span<const GateType> types = nl.types_flat();
   std::vector<GateId> out;
@@ -356,12 +364,21 @@ void GoodBlockCache::bind(const Netlist& nl,
   nblocks_ = (patterns.size() + lanes - 1) / lanes;
   cached_ = nblocks_ <= max_cached_blocks;
   blocks_.clear();
+  if constexpr (kTelemetryEnabled) ++binds_;
   if (!cached_) return;
+  const auto t0 = std::chrono::steady_clock::now();
   blocks_.reserve(nblocks_);
   for (std::size_t base = 0; base < patterns.size(); base += lanes) {
     blocks_.emplace_back(nl, words_);
     load_pattern_block(nl, patterns, base, blocks_.back());
     blocks_.back().eval();
+  }
+  if constexpr (kTelemetryEnabled) {
+    built_blocks_ += nblocks_;
+    build_us_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   }
 }
 
@@ -376,6 +393,9 @@ void GoodBlockCache::reset() {
 
 void GoodBlockCache::stream(std::size_t b, BlockSimulator& scratch) const {
   SP_ASSERT(bound() && b < nblocks_, "GoodBlockCache: block out of range");
+  if constexpr (kTelemetryEnabled) {
+    streamed_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
   load_pattern_block(*nl_, patterns_, b * lanes(), scratch);
   scratch.eval();
 }

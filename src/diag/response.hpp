@@ -14,6 +14,7 @@
 // injecting a stuck-at fault into the packed faulty machine, which is how
 // the diagnosis tests and the CLI's --inject mode model a defective chip.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -25,6 +26,7 @@
 #include "atpg/packed_sim.hpp"
 #include "atpg/pattern.hpp"
 #include "netlist/netlist.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanpower {
 
@@ -95,12 +97,22 @@ class ObservationConeCache {
 
   const std::vector<GateId>& cone(std::size_t op);
 
+  /// Lifetime hit/miss tallies. Relaxed atomics: the batch fan-out reads
+  /// already-cached cones from several workers at once (misses only ever
+  /// happen on the serial path).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   const Netlist* nl_;
   const ObservationPoints* points_;
   std::vector<std::vector<GateId>> cache_;
   std::vector<std::uint8_t> cached_;
   std::vector<std::uint8_t> mark_;  ///< DFS scratch, all-zero between calls
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Simulated good-machine pattern blocks, shared across diagnose() calls.
@@ -141,10 +153,28 @@ class GoodBlockCache {
   /// True when every block is materialized (block count under the cap).
   bool cached() const { return cached_; }
   /// Cached good machine of block `b` (cached() only).
-  const BlockSimulator& block(std::size_t b) const { return blocks_[b]; }
+  const BlockSimulator& block(std::size_t b) const {
+    if constexpr (kTelemetryEnabled) {
+      cached_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return blocks_[b];
+  }
   /// Replays block `b` into `scratch` (load + eval); the values equal the
   /// cached ones, so cached and streaming scoring are bit-identical.
   void stream(std::size_t b, BlockSimulator& scratch) const;
+
+  /// Lifetime telemetry tallies (relaxed atomics where batch workers read
+  /// concurrently; all-zero when telemetry is compiled out).
+  std::uint64_t binds() const { return binds_; }
+  std::uint64_t built_blocks() const { return built_blocks_; }
+  std::uint64_t build_us() const { return build_us_; }
+  std::uint64_t cached_reads() const {
+    return cached_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t streamed_reads() const {
+    return streamed_reads_.load(std::memory_order_relaxed);
+  }
+  std::size_t blocks_cached() const { return blocks_.size(); }
 
  private:
   const Netlist* nl_ = nullptr;
@@ -153,6 +183,11 @@ class GoodBlockCache {
   std::size_t nblocks_ = 0;
   bool cached_ = false;
   std::vector<BlockSimulator> blocks_;
+  std::uint64_t binds_ = 0;         ///< serial (bind callers)
+  std::uint64_t built_blocks_ = 0;  ///< serial (bind callers)
+  std::uint64_t build_us_ = 0;      ///< serial (bind callers)
+  mutable std::atomic<std::uint64_t> cached_reads_{0};
+  mutable std::atomic<std::uint64_t> streamed_reads_{0};
 };
 
 /// Packed per-point response signatures: row `op` holds one bit per

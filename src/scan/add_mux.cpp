@@ -34,7 +34,7 @@ MuxPlan plan_muxes(const Netlist& nl, const DelayModel& model,
       ++plan.num_multiplexed;
     }
   }
-  log_info(strprintf("AddMUX[%s]: %zu/%zu scan cells multiplexed (Tcrit=%.1f ps)",
+  SP_LOG_INFO(strprintf("AddMUX[%s]: %zu/%zu scan cells multiplexed (Tcrit=%.1f ps)",
                      nl.name().c_str(), plan.num_multiplexed,
                      plan.multiplexed.size(), plan.base_critical_delay_ps));
   return plan;

@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace scanpower {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// The sink is rarely swapped and log calls are not hot (every call site is
+// level-guarded), so a mutex around emission is fine -- and makes captured
+// output from concurrent workers well-formed.
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,9 +31,19 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[scanpower %s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail

@@ -1,10 +1,19 @@
 #pragma once
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with a pluggable sink (default: stderr).
 //
 // The library is quiet by default (Level::Warn); experiment drivers raise
-// the level with set_log_level(Level::Info) to narrate flow progress.
+// the level with set_log_level(Level::Info) to narrate flow progress, and
+// the CLIs expose it as --log-level. Tests capture output by installing a
+// sink with set_log_sink.
+//
+// Call sites use the SP_LOG_* macros: the level check happens before the
+// message expression is evaluated, so a disabled `SP_LOG_DEBUG(strprintf(
+// ...))` never builds its string (the bare log_* functions evaluate their
+// argument eagerly and survive only for trivially cheap messages).
 
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace scanpower {
 
@@ -12,6 +21,16 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// True when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Receives every emitted (level-passing) message. Installing an empty
+/// function restores the default stderr sink.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
@@ -29,5 +48,16 @@ inline void log_warn(const std::string& msg) {
 inline void log_error(const std::string& msg) {
   detail::log_emit(LogLevel::Error, msg);
 }
+
+/// Level-guarded emission: `expr` is evaluated only when the level passes.
+#define SP_LOG_AT(level, expr)                                      \
+  do {                                                              \
+    if (::scanpower::log_enabled(level))                            \
+      ::scanpower::detail::log_emit((level), (expr));               \
+  } while (0)
+#define SP_LOG_DEBUG(expr) SP_LOG_AT(::scanpower::LogLevel::Debug, expr)
+#define SP_LOG_INFO(expr) SP_LOG_AT(::scanpower::LogLevel::Info, expr)
+#define SP_LOG_WARN(expr) SP_LOG_AT(::scanpower::LogLevel::Warn, expr)
+#define SP_LOG_ERROR(expr) SP_LOG_AT(::scanpower::LogLevel::Error, expr)
 
 }  // namespace scanpower

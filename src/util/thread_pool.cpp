@@ -1,8 +1,18 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace scanpower {
+
+namespace {
+inline std::uint64_t busy_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -12,6 +22,7 @@ int ThreadPool::resolve_threads(int requested) {
 
 ThreadPool::ThreadPool(int num_threads) {
   size_ = std::max(1, resolve_threads(num_threads));
+  slots_.resize(static_cast<std::size_t>(size_));
   threads_.reserve(static_cast<std::size_t>(size_ - 1));
   for (int i = 1; i < size_; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -40,7 +51,15 @@ void ThreadPool::worker_loop(int index) {
       seen_generation = generation_;
       job = job_;
     }
-    (*job)(index);
+    if constexpr (kTelemetryEnabled) {
+      WorkerSlot& slot = slots_[static_cast<std::size_t>(index)];
+      const std::uint64_t t0 = busy_clock_ns();
+      (*job)(index);
+      slot.busy_ns += busy_clock_ns() - t0;
+      ++slot.jobs;
+    } else {
+      (*job)(index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--outstanding_ == 0) done_cv_.notify_one();
@@ -49,8 +68,20 @@ void ThreadPool::worker_loop(int index) {
 }
 
 void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  const auto run_local = [&] {
+    if constexpr (kTelemetryEnabled) {
+      WorkerSlot& slot = slots_[0];
+      const std::uint64_t t0 = busy_clock_ns();
+      fn(0);
+      slot.busy_ns += busy_clock_ns() - t0;
+      ++slot.jobs;
+      ++runs_;
+    } else {
+      fn(0);
+    }
+  };
   if (size_ == 1) {
-    fn(0);
+    run_local();
     return;
   }
   {
@@ -60,12 +91,23 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
     ++generation_;
   }
   work_cv_.notify_all();
-  fn(0);
+  run_local();
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return outstanding_ == 0; });
     job_ = nullptr;
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  if constexpr (!kTelemetryEnabled) return s;
+  s.runs = runs_;
+  for (const WorkerSlot& slot : slots_) {  // ascending worker order
+    s.jobs += slot.jobs;
+    s.busy_us += slot.busy_ns / 1000;
+  }
+  return s;
 }
 
 }  // namespace scanpower

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/telemetry.hpp"
+
 namespace scanpower {
 
 class ThreadPool {
@@ -43,11 +45,29 @@ class ThreadPool {
   /// otherwise the value itself (minimum 1).
   static int resolve_threads(int requested);
 
+  /// Lifetime telemetry totals. Each worker slot is written only by the
+  /// thread running that worker index; call while the pool is idle (the
+  /// run_on_all completion hand-off makes every slot visible to the
+  /// caller). All-zero when telemetry is compiled out.
+  struct Stats {
+    std::uint64_t runs = 0;     ///< run_on_all invocations
+    std::uint64_t jobs = 0;     ///< per-worker fn invocations
+    std::uint64_t busy_us = 0;  ///< summed wall time inside worker fns
+  };
+  Stats stats() const;
+
  private:
   void worker_loop(int index);
 
+  struct alignas(64) WorkerSlot {
+    std::uint64_t jobs = 0;
+    std::uint64_t busy_ns = 0;
+  };
+
   int size_ = 1;
   std::vector<std::thread> threads_;  ///< size_ - 1 helper threads
+  std::vector<WorkerSlot> slots_;     ///< one per worker, owner-written
+  std::uint64_t runs_ = 0;            ///< caller-thread only
 
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace scanpower {
@@ -113,6 +117,70 @@ TEST(ErrorHandling, ParseErrorCarriesLocation) {
     EXPECT_EQ(e.line(), 12);
     EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
   }
+}
+
+// ---------- logging ----------------------------------------------------------
+
+/// Installs a capturing sink and restores level + default sink on exit.
+struct LogCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogLevel saved = log_level();
+  LogCapture() {
+    set_log_sink([this](LogLevel lv, std::string_view msg) {
+      lines.emplace_back(lv, std::string(msg));
+    });
+  }
+  ~LogCapture() {
+    set_log_sink({});  // empty function restores the stderr default
+    set_log_level(saved);
+  }
+};
+
+TEST(Logging, SinkReceivesOnlyLevelPassingMessages) {
+  LogCapture cap;
+  set_log_level(LogLevel::Warn);
+  SP_LOG_DEBUG("nope");
+  SP_LOG_INFO("nope");
+  SP_LOG_WARN("w1");
+  SP_LOG_ERROR("e1");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(cap.lines[0], (std::pair{LogLevel::Warn, std::string("w1")}));
+  EXPECT_EQ(cap.lines[1], (std::pair{LogLevel::Error, std::string("e1")}));
+
+  set_log_level(LogLevel::Debug);
+  SP_LOG_DEBUG("d1");
+  ASSERT_EQ(cap.lines.size(), 3u);
+  EXPECT_EQ(cap.lines[2].second, "d1");
+
+  set_log_level(LogLevel::Off);
+  SP_LOG_ERROR("nope");
+  EXPECT_EQ(cap.lines.size(), 3u);
+}
+
+TEST(Logging, MacroArgumentsAreLazy) {
+  LogCapture cap;
+  set_log_level(LogLevel::Warn);
+  int evaluated = 0;
+  auto expensive = [&] {
+    ++evaluated;
+    return std::string("built");
+  };
+  SP_LOG_DEBUG(expensive());  // below threshold: must not build the string
+  EXPECT_EQ(evaluated, 0);
+  SP_LOG_WARN(expensive());
+  EXPECT_EQ(evaluated, 1);
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.lines[0].second, "built");
+}
+
+TEST(Logging, LogEnabledTracksThreshold) {
+  LogCapture cap;
+  set_log_level(LogLevel::Info);
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  EXPECT_TRUE(log_enabled(LogLevel::Info));
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+  set_log_level(LogLevel::Off);
+  EXPECT_FALSE(log_enabled(LogLevel::Error));
 }
 
 }  // namespace
