@@ -33,6 +33,25 @@ namespace {
 
 using namespace scanpower;
 
+// Kernel-backend axis for the backend-dispatch benchmarks: argument
+// values index this table (0=scalar, 1=avx2, 2=avx512, 3=wide). Only
+// backends available on the running host are registered, so a JSON run
+// never fails on a machine without the ISA -- its rows are just absent.
+constexpr SimBackend kBenchBackends[] = {SimBackend::Scalar, SimBackend::Avx2,
+                                         SimBackend::Avx512, SimBackend::Wide};
+
+SimBackend bench_backend(std::int64_t idx) {
+  return kBenchBackends[static_cast<std::size_t>(idx)];
+}
+
+std::vector<std::int64_t> available_backend_indices() {
+  std::vector<std::int64_t> v;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    if (backend_available(kBenchBackends[i])) v.push_back(i);
+  }
+  return v;
+}
+
 const Netlist& circuit(const std::string& name) {
   static std::map<std::string, Netlist> cache;
   auto it = cache.find(name);
@@ -88,11 +107,12 @@ void BM_PackedSim64Patterns(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedSim64Patterns);
 
-// Good-machine throughput vs block width: W*64 patterns per sweep.
+// Good-machine throughput vs block width: W*64 patterns per sweep. Args
+// are (block words W, kernel backend index).
 void BM_BlockSimEval(benchmark::State& state) {
   const Netlist& nl = circuit("s1423");
   const int words = static_cast<int>(state.range(0));
-  BlockSimulator sim(nl, words);
+  BlockSimulator sim(nl, words, bench_backend(state.range(1)));
   Rng rng(3);
   for (auto _ : state) {
     for (GateId pi : nl.inputs()) {
@@ -107,7 +127,16 @@ void BM_BlockSimEval(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 * words *
                           static_cast<int64_t>(nl.num_gates()));
 }
-BENCHMARK(BM_BlockSimEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_BlockSimEval)->Apply([](benchmark::internal::Benchmark* b) {
+  for (std::int64_t be : available_backend_indices()) {
+    const SimBackend backend = bench_backend(be);
+    for (std::int64_t w : {1, 2, 4, 8, 16, 32}) {
+      if (backend_supports_words(backend, static_cast<int>(w))) {
+        b->Args({w, be});
+      }
+    }
+  }
+});
 
 void BM_FaultSim64Patterns(benchmark::State& state) {
   const Netlist& nl = circuit("s344");
@@ -127,16 +156,17 @@ BENCHMARK(BM_FaultSim64Patterns);
 
 // The acceptance kernel for the packed/parallel engine: PPSFP fault
 // simulation of 256 random patterns over the full collapsed fault list of
-// the s9234-like profile. Args are (block words W, worker threads); (1, 1)
-// is the seed engine's single-word single-thread configuration. Throughput
-// is reported in fault-pattern pairs per second so configurations compare
-// directly.
+// the s9234-like profile. Args are (block words W, worker threads, kernel
+// backend index); (1, 1, scalar) is the seed engine's single-word
+// single-thread configuration. Throughput is reported in fault-pattern
+// pairs per second so configurations compare directly.
 void BM_FaultSimS9234(benchmark::State& state) {
   const Netlist& nl = circuit("s9234");
   const auto faults = collapse_faults(nl);
   FaultSimOptions opts;
   opts.block_words = static_cast<int>(state.range(0));
   opts.num_threads = static_cast<int>(state.range(1));
+  opts.backend = bench_backend(state.range(2));
   FaultSimulator fsim(nl, opts);
   Rng rng(9);
   std::vector<TestPattern> pats;
@@ -151,12 +181,25 @@ void BM_FaultSimS9234(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimS9234)
     ->Unit(benchmark::kMillisecond)
-    ->Args({1, 1})   // seed configuration
-    ->Args({2, 1})
-    ->Args({4, 1})
-    ->Args({8, 1})
-    ->Args({4, 2})
-    ->Args({4, 4});  // acceptance configuration
+    ->Args({1, 1, 0})   // seed configuration
+    ->Args({2, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({8, 1, 0})
+    ->Args({4, 2, 0})
+    ->Args({4, 4, 0})   // acceptance configuration
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      // Backend comparison rows at the W=4 single-thread shape (the wide
+      // backend at its native widths).
+      for (std::int64_t be : available_backend_indices()) {
+        if (be == 0) continue;  // scalar rows registered above
+        const SimBackend backend = bench_backend(be);
+        if (backend == SimBackend::Wide) {
+          b->Args({16, 1, be})->Args({32, 1, be});
+        } else {
+          b->Args({4, 1, be})->Args({8, 1, be});
+        }
+      }
+    });
 
 // The diagnosis acceptance kernel: one full diagnose() call -- fanin-cone
 // back-trace pruning plus packed scoring of every surviving candidate --
@@ -449,25 +492,36 @@ BENCHMARK(BM_CircuitLeakage);
 // Leakage evaluation of 256 random fully specified vectors on the
 // s9234-like profile: simulate + per-vector circuit leakage. Arg 0 is the
 // scalar stack (one Simulator pass + circuit_leakage_na walk per vector),
-// arg 1 the packed stack (one W=4 BlockSimulator sweep + per-lane table
-// aggregation). Throughput in gate-vector pairs per second.
+// arg 1 the packed stack (one BlockSimulator sweep + per-lane table
+// aggregation) with arg 2 the kernel backend index and W at the backend's
+// native width (4, or 16 for the wide backend). Throughput in gate-vector
+// pairs per second; one iteration evaluates one lane block, so items
+// processed scale with the width.
 void BM_LeakageEval(benchmark::State& state) {
   const Netlist& nl = circuit("s9234");
   const LeakageModel model;
   const bool packed = state.range(0) != 0;
   constexpr int kVectors = 256;
   Rng rng(7);
+  std::int64_t vectors = kVectors;
   if (packed) {
+    const SimBackend backend = bench_backend(state.range(1));
+    const int words = backend == SimBackend::Wide ? 16 : 4;
     const GateLeakageTables tables(nl, model);
-    const PackedLeakageEvaluator leval(nl, tables);
-    BlockSimulator sim(nl, 4);
+    const PackedLeakageEvaluator leval(nl, tables, backend);
+    BlockSimulator sim(nl, words, backend);
     std::vector<double> leak(sim.lanes());
+    vectors = static_cast<std::int64_t>(sim.lanes());
     for (auto _ : state) {
       for (GateId pi : nl.inputs()) {
-        for (int w = 0; w < 4; ++w) sim.set_source_word(pi, w, rng.next_u64());
+        for (int w = 0; w < words; ++w) {
+          sim.set_source_word(pi, w, rng.next_u64());
+        }
       }
       for (GateId ff : nl.dffs()) {
-        for (int w = 0; w < 4; ++w) sim.set_source_word(ff, w, rng.next_u64());
+        for (int w = 0; w < words; ++w) {
+          sim.set_source_word(ff, w, rng.next_u64());
+        }
       }
       sim.eval();
       leval.eval(sim, leak);
@@ -490,16 +544,22 @@ void BM_LeakageEval(benchmark::State& state) {
       benchmark::DoNotOptimize(total);
     }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kVectors *
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * vectors *
                           static_cast<int64_t>(nl.num_gates()));
 }
-BENCHMARK(BM_LeakageEval)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
+BENCHMARK(BM_LeakageEval)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 0})
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (std::int64_t be : available_backend_indices()) b->Args({1, be});
+    });
 
 // The power-stack acceptance kernel: Monte-Carlo leakage observability of
 // the s9234-like profile, 256 samples. Args are (packed engine, block
-// words W, worker threads); (0, _, _) is the scalar per-sample baseline,
-// (1, 4, 1) the single-thread acceptance configuration (>= 4x required).
-// Packed results are bit-identical across thread counts at fixed W.
+// words W, worker threads, kernel backend index); (0, _, _, _) is the
+// scalar per-sample baseline, (1, 4, 1, scalar) the single-thread
+// acceptance configuration (>= 4x required). Packed results are
+// bit-identical across thread counts and backends at fixed W.
 void BM_ObservabilityMC(benchmark::State& state) {
   const Netlist& nl = circuit("s9234");
   const LeakageModel model;
@@ -508,6 +568,7 @@ void BM_ObservabilityMC(benchmark::State& state) {
   opts.packed = state.range(0) != 0;
   opts.block_words = static_cast<int>(state.range(1));
   opts.num_threads = static_cast<int>(state.range(2));
+  opts.backend = bench_backend(state.range(3));
   for (auto _ : state) {
     LeakageObservability obs(nl, model, opts);
     benchmark::DoNotOptimize(obs.values().data());
@@ -517,10 +578,17 @@ void BM_ObservabilityMC(benchmark::State& state) {
 }
 BENCHMARK(BM_ObservabilityMC)
     ->Unit(benchmark::kMillisecond)
-    ->Args({0, 1, 1})   // scalar baseline
-    ->Args({1, 1, 1})
-    ->Args({1, 4, 1})   // acceptance configuration
-    ->Args({1, 4, 4});
+    ->Args({0, 1, 1, 0})   // scalar per-sample baseline
+    ->Args({1, 1, 1, 0})
+    ->Args({1, 4, 1, 0})   // acceptance configuration
+    ->Args({1, 4, 4, 0})
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (std::int64_t be : available_backend_indices()) {
+        if (be == 0) continue;  // scalar rows registered above
+        const SimBackend backend = bench_backend(be);
+        b->Args({1, backend == SimBackend::Wide ? 16 : 4, 1, be});
+      }
+    });
 
 // Don't-care fill of an all-X pattern on the s9234-like profile (64
 // candidate fills, every second scan cell multiplexed). Arg 0 scores

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "atpg/sim_backend.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/verilog_io.hpp"
@@ -81,6 +82,22 @@ inline bool value_flag(int argc, char** argv, int& i, const char* name,
   const char* v = nullptr;
   if (!value_flag(argc, argv, i, name, v)) return false;
   out = std::strtoull(v, nullptr, 10);
+  return true;
+}
+
+/// Matches "--name <backend>" (auto/scalar/avx2/avx512/wide); a bad name
+/// is a fatal usage error listing the valid ones.
+inline bool backend_flag(int argc, char** argv, int& i, const char* name,
+                         SimBackend& out) {
+  const char* v = nullptr;
+  if (!value_flag(argc, argv, i, name, v)) return false;
+  if (!parse_backend(v, &out)) {
+    std::fprintf(stderr,
+                 "error: %s must be auto, scalar, avx2, avx512 or wide "
+                 "(got \"%s\")\n",
+                 name, v);
+    std::exit(2);
+  }
   return true;
 }
 

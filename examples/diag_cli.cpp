@@ -20,7 +20,9 @@
 //     --random <n>         use n random patterns instead of the ATPG set
 //     --seed <n>           pattern seed
 //     --threads <n>        candidate-scoring worker threads (0 = all cores)
-//     --block-words <w>    packed block width (1, 2, 4 or 8)
+//     --block-words <w>    packed block width (1, 2, 4, 8, 16 or 32; 16/32
+//                          require the wide backend)
+//     --backend <b>        kernel backend (auto, scalar, avx2, avx512, wide)
 //     --no-prune           score the whole fault list (skip cone back-trace)
 //     --top <n>            report size (default 10)
 //     --json <file>        machine-readable result dump (an object for a
@@ -102,6 +104,7 @@ int usage(const char* argv0) {
       "          [--inject fault | --inject-index n]\n"
       "          [--save-log file] [--named-log] [--random n] [--seed n]\n"
       "          [--threads n] [--block-words w] [--no-prune]\n"
+      "          [--backend auto|scalar|avx2|avx512|wide]\n"
       "          [--no-early-exit] [--top n] [--json file] [--no-map]\n"
       "          [--verbose] [--log-level debug|info|warn|error|off]\n"
       "          [--metrics | --metrics=json] [--trace file]\n"
@@ -132,6 +135,7 @@ void json_result(JsonWriter& j, const Netlist& nl, const DiagnosisOptions& dopts
   j.field("num_patterns", static_cast<std::uint64_t>(num_patterns));
   j.begin_object("options");
   j.field("block_words", dopts.block_words);
+  j.field("backend", backend_name(dopts.backend));
   j.field("num_threads", dopts.num_threads);
   j.field("cone_pruning", dopts.cone_pruning);
   j.field("score_early_exit", dopts.score_early_exit);
@@ -340,6 +344,7 @@ int main(int argc, char** argv) {
     } else if (cli::value_flag(argc, argv, i, "--threads", dopts.num_threads)) {
     } else if (cli::value_flag(argc, argv, i, "--block-words",
                                dopts.block_words)) {
+    } else if (cli::backend_flag(argc, argv, i, "--backend", dopts.backend)) {
     } else if (cli::flag(argv, i, "--no-prune")) {
       dopts.cone_pruning = false;
     } else if (cli::flag(argv, i, "--no-early-exit")) {
@@ -415,6 +420,11 @@ int main(int argc, char** argv) {
     fopts.tpg.seed = seed;
     fopts.tpg.fault_sim.block_words = dopts.block_words;
     fopts.tpg.fault_sim.num_threads = dopts.num_threads;
+    fopts.tpg.fault_sim.backend = dopts.backend;
+    fopts.observability.block_words = dopts.block_words;
+    fopts.observability.backend = dopts.backend;
+    fopts.fill.block_words = dopts.block_words;
+    fopts.fill.backend = dopts.backend;
     ScanSession session(std::move(nl), fopts);
     const Netlist& design = session.netlist();
     if (trace_path) session.telemetry().trace.set_enabled(true);

@@ -10,7 +10,9 @@
 //     --margin <ps>       extra slack demanded by AddMUX
 //     --seed <n>          ATPG/fill/observability seed
 //     --threads <n>       fault-simulation worker threads (0 = all cores)
-//     --block-words <w>   packed simulation block width (1, 2, 4 or 8)
+//     --block-words <w>   packed simulation block width (1, 2, 4, 8, 16 or
+//                         32; 16/32 require the wide backend)
+//     --backend <b>       kernel backend (auto, scalar, avx2, avx512, wide)
 //     --json <file>       machine-readable result dump (includes a
 //                         "metrics" section with the session's counters)
 //     --write <out.bench> write the mux-inserted netlist
@@ -43,6 +45,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <design.bench> [--no-map] [--no-reorder] [--no-obs]"
                " [--margin ps] [--seed n] [--threads n] [--block-words w]"
+               " [--backend auto|scalar|avx2|avx512|wide]"
                " [--json file] [--write out.bench] [--verbose]"
                " [--log-level debug|info|warn|error|off]"
                " [--metrics | --metrics=json] [--trace file]\n",
@@ -63,6 +66,7 @@ void dump_json(const char* path, const FlowResult& r, const FlowOptions& opts,
   j.field("fault_coverage", r.fault_coverage);
   j.begin_object("options");
   j.field("block_words", opts.tpg.fault_sim.block_words);
+  j.field("backend", backend_name(opts.tpg.fault_sim.backend));
   j.field("num_threads", opts.tpg.fault_sim.num_threads);
   j.field("seed", opts.tpg.seed);
   j.end_object();
@@ -124,6 +128,13 @@ int main(int argc, char** argv) {
     } else if (cli::value_flag(argc, argv, i, "--block-words",
                                opts.tpg.fault_sim.block_words)) {
       opts.diag.block_words = opts.tpg.fault_sim.block_words;
+      opts.observability.block_words = opts.tpg.fault_sim.block_words;
+      opts.fill.block_words = opts.tpg.fault_sim.block_words;
+    } else if (cli::backend_flag(argc, argv, i, "--backend",
+                                 opts.tpg.fault_sim.backend)) {
+      opts.diag.backend = opts.tpg.fault_sim.backend;
+      opts.observability.backend = opts.tpg.fault_sim.backend;
+      opts.fill.backend = opts.tpg.fault_sim.backend;
     } else if (cli::value_flag(argc, argv, i, "--json", json_path)) {
     } else if (cli::value_flag(argc, argv, i, "--write", write_path)) {
     } else if (cli::value_flag(argc, argv, i, "--trace", trace_path)) {

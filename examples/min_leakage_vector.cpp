@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     } else if (cli::value_flag(argc, argv, i, "--threads", sopts.num_threads)) {
     } else if (cli::value_flag(argc, argv, i, "--block-words",
                                sopts.block_words)) {
+    } else if (cli::backend_flag(argc, argv, i, "--backend", sopts.backend)) {
     } else {
       name = argv[i];
     }
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   oopts.samples = 2048;
   oopts.block_words = sopts.block_words;
   oopts.num_threads = sopts.num_threads;
+  oopts.backend = sopts.backend;
   const LeakageObservability obs(nl, model, oopts);
   std::printf("leakage observability (PIs), mean leakage %.1f nA:\n",
               obs.mean_leakage_na());

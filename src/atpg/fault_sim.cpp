@@ -8,6 +8,20 @@
 
 namespace scanpower {
 
+namespace {
+
+/// Work-counter slot attributing swept blocks to the resolved backend.
+CounterId backend_blocks_counter(SimBackend b) {
+  switch (b) {
+    case SimBackend::Avx2: return CounterId::kBackendBlocksAvx2;
+    case SimBackend::Avx512: return CounterId::kBackendBlocksAvx512;
+    case SimBackend::Wide: return CounterId::kBackendBlocksWide;
+    default: return CounterId::kBackendBlocksScalar;
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> observable_net_mask(const Netlist& nl) {
   std::vector<std::uint8_t> observable(nl.num_gates(), 0);
   for (GateId id = 0; id < nl.num_gates(); ++id) {
@@ -17,12 +31,15 @@ std::vector<std::uint8_t> observable_net_mask(const Netlist& nl) {
   return observable;
 }
 
-void FaultConeEvaluator::init(const Netlist& nl, int block_words) {
+void FaultConeEvaluator::init(const Netlist& nl, int block_words,
+                              SimBackend backend) {
   SP_CHECK(nl.finalized(), "FaultConeEvaluator requires a finalized netlist");
   SP_CHECK(is_valid_block_words(block_words),
-           "FaultConeEvaluator: block_words must be 1, 2, 4 or 8");
+           "FaultConeEvaluator: block_words must be 1, 2, 4, 8, 16 or 32");
   nl_ = &nl;
   words_ = block_words;
+  backend_ = resolve_backend(backend, block_words);
+  kern_ = &sim_kernels(backend_);
   const std::size_t n = nl.num_gates();
   faulty_.assign(n * static_cast<std::size_t>(block_words), 0);
   touched_.assign(n, 0);
@@ -69,14 +86,14 @@ FaultSimulator::FaultSimulator(const Netlist& nl, FaultSimOptions opts)
     : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "FaultSimulator requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
-           "fault_sim: block_words must be 1, 2, 4 or 8");
+           "fault_sim: block_words must be 1, 2, 4, 8, 16 or 32");
   opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
   observable_ = observable_net_mask(nl);
 
   pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (Worker& w : workers_) {
-    w.eval.init(nl, opts_.block_words);
+    w.eval.init(nl, opts_.block_words, opts_.backend);
   }
 }
 
@@ -151,7 +168,7 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
 
   const int W = opts_.block_words;
   const std::size_t lanes = static_cast<std::size_t>(W) * 64;
-  BlockSimulator good(nl, W);
+  BlockSimulator good(nl, W, opts_.backend);
   std::vector<std::uint8_t> detected_u8(faults.size(), 0);
   for (Worker& w : workers_) {
     w.new_detects.assign(patterns.size(), 0);
@@ -176,6 +193,8 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
       case 2: sweep_faults<2>(good, base, batch, faults, live, res, detected_u8); break;
       case 4: sweep_faults<4>(good, base, batch, faults, live, res, detected_u8); break;
       case 8: sweep_faults<8>(good, base, batch, faults, live, res, detected_u8); break;
+      case 16: sweep_faults<16>(good, base, batch, faults, live, res, detected_u8); break;
+      case 32: sweep_faults<32>(good, base, batch, faults, live, res, detected_u8); break;
       default: SP_ASSERT(false, "invalid block width");
     }
     num_detected = 0;
@@ -198,6 +217,9 @@ FaultSimResult FaultSimulator::run(std::span<const TestPattern> patterns,
     telem->metrics.add(0, CounterId::kFaultSimRuns, 1);
     telem->metrics.add(0, CounterId::kFaultSimBlocks, num_blocks);
     telem->metrics.add(0, CounterId::kFaultSimDetected, res.num_detected);
+    telem->metrics.set_gauge(GaugeId::kSimBackend,
+                             static_cast<std::int64_t>(good.backend()));
+    telem->metrics.add(0, backend_blocks_counter(good.backend()), num_blocks);
     for (std::size_t t = 0; t < workers_.size(); ++t) {
       flush_sweep_stats(telem, static_cast<int>(t), workers_[t].eval);
     }

@@ -29,6 +29,7 @@
 #include "atpg/fault.hpp"
 #include "atpg/packed_sim.hpp"
 #include "atpg/pattern.hpp"
+#include "atpg/sim_kernels.hpp"
 #include "netlist/netlist.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,11 +48,14 @@ class FaultConeEvaluator {
  public:
   FaultConeEvaluator() = default;
 
-  /// Binds the evaluator to a finalized netlist and block width. May be
-  /// called again to rebind; all scratch is reset.
-  void init(const Netlist& nl, int block_words);
+  /// Binds the evaluator to a finalized netlist, block width and kernel
+  /// backend. May be called again to rebind; all scratch is reset.
+  void init(const Netlist& nl, int block_words,
+            SimBackend backend = SimBackend::Auto);
 
   int block_words() const { return words_; }
+  /// The resolved kernel backend (never Auto; valid after init()).
+  SimBackend backend() const { return backend_; }
 
   /// Level-sorted combinational fanout cone of a fault site, site
   /// included (cached per evaluator).
@@ -99,6 +103,8 @@ class FaultConeEvaluator {
  private:
   const Netlist* nl_ = nullptr;
   int words_ = 0;
+  SimBackend backend_ = SimBackend::Auto;  ///< resolved by init()
+  const SimKernels* kern_ = nullptr;       ///< backend kernel table
   std::vector<PatternWord> faulty_;   ///< num_gates * W faulty-machine words
   std::vector<std::uint8_t> touched_; ///< gate's faulty value differs from good
   std::vector<GateId> active_;        ///< touched gates of the current fault
@@ -122,11 +128,15 @@ struct FaultSimResult {
 
 struct FaultSimOptions {
   /// Pattern words per simulation block: 64*block_words patterns per
-  /// sweep. Must be 1, 2, 4 or 8.
+  /// sweep. Must be 1, 2, 4, 8, 16 or 32 (16/32 require the wide
+  /// backend).
   int block_words = 4;
   /// Worker count for the per-fault sweep. 1 = serial (no threads
   /// spawned); 0 = hardware concurrency.
   int num_threads = 1;
+  /// Kernel backend; Auto = best available for the width. Results are
+  /// bit-identical across backends.
+  SimBackend backend = SimBackend::Auto;
   /// Optional metrics/trace scope (not owned; nullptr = no telemetry).
   Telemetry* telemetry = nullptr;
 };
@@ -206,7 +216,7 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
   std::uint8_t* const touched = touched_.data();
 
   // Sinks may return bool (false = stop sweeping this fault's cone).
-  const auto call_sink = [&sink](GateId g, const PatternWord* d) -> bool {
+  auto call_sink = [&sink](GateId g, const PatternWord* d) -> bool {
     if constexpr (std::is_invocable_r_v<bool, Sink&, GateId,
                                         const PatternWord*> &&
                   !std::is_void_v<
@@ -287,48 +297,41 @@ void FaultConeEvaluator::propagate(const BlockSimulator& good, const Fault& f,
       return;
     }
   }
-  // Sweep the cone in level order, sparsely: `touched` marks gates whose
-  // faulty value actually differs from the good machine, so a gate with
-  // no touched fanin is identical to the good machine and is skipped
-  // without evaluation. Most fault effects die within a few levels, which
-  // turns the O(cone) sweep into an O(active frontier) sweep with cheap
-  // byte-load skip checks.
+  // Sweep the cone in level order, sparsely, through the backend's
+  // cone_sweep kernel: `touched` marks gates whose faulty value actually
+  // differs from the good machine, so a gate with no touched fanin is
+  // identical to the good machine and is skipped without evaluation.
+  // Most fault effects die within a few levels, which turns the O(cone)
+  // sweep into an O(active frontier) sweep with cheap byte-load skip
+  // checks.
   const std::vector<GateId>& cone_gates = cone(site);
   stats_.cone_gates += cone_gates.size();
-  active_.clear();
-  active_.push_back(site);
-  const auto fanin_block = [&](GateId fin) {
-    return touched[fin] ? faulty + static_cast<std::size_t>(fin) * W
-                        : good.block(fin);
+  active_.resize(cone_gates.size() + 1);
+  active_[0] = site;
+
+  ConeSweepArgs args;
+  args.nl = &nl;
+  args.good = good.storage().data();
+  args.faulty = faulty;
+  args.touched = touched;
+  args.cone = cone_gates.data();
+  args.cone_size = cone_gates.size();
+  args.site = site;
+  args.mask = mask.w.data();
+  args.observable = observable.data();
+  args.sink = [](void* ctx, GateId g, const PatternWord* d) -> bool {
+    return (*static_cast<decltype(call_sink)*>(ctx))(g, d);
   };
-  for (GateId id : cone_gates) {
-    if (id == site) continue;
-    const std::span<const GateId> fans = nl.fanin_span(id);
-    std::uint8_t any_touched = 0;
-    for (GateId fin : fans) any_touched |= touched[fin];
-    if (!any_touched) continue;
-    PatternWord* const out = faulty + static_cast<std::size_t>(id) * W;
-    eval_gate_block<W>(types[id], fans, fanin_block, out);
-    const PatternWord* g = good.block(id);
-    PatternWord raw = 0;
-    for (int w = 0; w < W; ++w) raw |= out[w] ^ g[w];
-    if (raw == 0) continue;  // effect cancelled here
-    touched[id] = 1;
-    active_.push_back(id);
-    if (observable[id]) {
-      PatternWord any = 0;
-      for (int w = 0; w < W; ++w) {
-        diff[w] = (out[w] ^ g[w]) & mask.w[w];
-        any |= diff[w];
-      }
-      if (any != 0 && !call_sink(id, static_cast<const PatternWord*>(diff))) {
-        ++stats_.aborts;  // aborted by the sink; scratch is cleaned up below
-        break;
-      }
-    }
+  args.sink_ctx = &call_sink;
+  args.active = active_.data();
+  args.active_count = 1;  // the pre-seeded site
+  kern_->cone_sweep(args, W);
+
+  if (args.aborted) ++stats_.aborts;
+  stats_.active_gates += args.active_count;
+  for (std::size_t i = 0; i < args.active_count; ++i) {
+    touched[active_[i]] = 0;
   }
-  stats_.active_gates += active_.size();
-  for (GateId id : active_) touched[id] = 0;
 }
 
 }  // namespace scanpower

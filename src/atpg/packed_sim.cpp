@@ -1,5 +1,6 @@
 #include "atpg/packed_sim.hpp"
 
+#include "atpg/sim_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace scanpower {
@@ -41,36 +42,17 @@ PatternWord eval_type_packed(GateType type, std::span<const PatternWord> ins) {
   SP_ASSERT(false, "unhandled type in eval_type_packed");
 }
 
-BlockSimulator::BlockSimulator(const Netlist& nl, int words)
+BlockSimulator::BlockSimulator(const Netlist& nl, int words,
+                               SimBackend backend)
     : nl_(&nl), words_(words) {
   SP_CHECK(nl.finalized(), "BlockSimulator requires a finalized netlist");
   SP_CHECK(is_valid_block_words(words),
-           "BlockSimulator: block width must be 1, 2, 4 or 8 words");
+           "BlockSimulator: block width must be 1, 2, 4, 8, 16 or 32 words");
+  backend_ = resolve_backend(backend, words);
+  kern_ = &sim_kernels(backend_);
   values_.assign(nl.num_gates() * static_cast<std::size_t>(words_), 0);
 }
 
-template <int W>
-void BlockSimulator::eval_impl() {
-  const Netlist& nl = *nl_;
-  const std::span<const GateType> types = nl.types_flat();
-  PatternWord* const vals = values_.data();
-  const auto fanin_block = [vals](GateId f) {
-    return vals + static_cast<std::size_t>(f) * W;
-  };
-  for (GateId id : nl.topo_order()) {
-    eval_gate_block<W>(types[id], nl.fanin_span(id), fanin_block,
-                       vals + static_cast<std::size_t>(id) * W);
-  }
-}
-
-void BlockSimulator::eval() {
-  switch (words_) {
-    case 1: eval_impl<1>(); break;
-    case 2: eval_impl<2>(); break;
-    case 4: eval_impl<4>(); break;
-    case 8: eval_impl<8>(); break;
-    default: SP_ASSERT(false, "invalid block width");
-  }
-}
+void BlockSimulator::eval() { kern_->eval_full(*nl_, values_.data(), words_); }
 
 }  // namespace scanpower

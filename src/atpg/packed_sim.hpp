@@ -3,10 +3,12 @@
 //
 // Each gate's value is a block of W 64-bit words (W*64 fully specified
 // patterns per sweep, one pattern per bit lane). W is selected at runtime
-// from {1, 2, 4, 8}; the evaluation loops are instantiated per width so
-// the per-gate word loop unrolls. Used by the fault simulator (good
-// machine + cone-restricted faulty machine) and by random-phase test
-// generation.
+// from {1, 2, 4, 8} for the word backends, or {16, 32} for the
+// device-shaped wide backend; full evaluation dispatches through a
+// per-backend kernel table (see sim_backend.hpp / sim_kernels.hpp), so
+// the same simulator runs scalar, AVX2, AVX-512 or wide kernels with
+// bit-identical results. Used by the fault simulator (good machine +
+// cone-restricted faulty machine) and by random-phase test generation.
 //
 // Inner loops read the netlist through the flat CSR views (fanin_span /
 // types_flat) and use fixed-fanin fast paths for the NAND/NOR/INV-mapped
@@ -18,12 +20,15 @@
 #include <span>
 #include <vector>
 
+#include "atpg/sim_backend.hpp"
 #include "netlist/netlist.hpp"
 #include "util/assert.hpp"
 
 namespace scanpower {
 
 using PatternWord = std::uint64_t;
+
+struct SimKernels;  // sim_kernels.hpp
 
 /// A block of W pattern words (W*64 bit lanes).
 template <int W>
@@ -37,9 +42,11 @@ struct PackedBlock {
   }
 };
 
-/// Widths accepted by BlockSimulator / FaultSimOptions.
+/// Widths accepted by BlockSimulator / FaultSimOptions. 1-8 are the word
+/// backends' widths; 16/32 belong to the wide backend (see
+/// backend_supports_words for the per-backend matrix).
 inline bool is_valid_block_words(int w) {
-  return w == 1 || w == 2 || w == 4 || w == 8;
+  return w == 1 || w == 2 || w == 4 || w == 8 || w == 16 || w == 32;
 }
 
 /// Lane-validity mask for a block holding `batch` patterns (a final block
@@ -163,9 +170,12 @@ inline void eval_gate_block(GateType type, std::span<const GateId> fanins,
 /// blocks, gate-major (`block(id)[w]`).
 class BlockSimulator {
  public:
-  explicit BlockSimulator(const Netlist& nl, int words = 4);
+  explicit BlockSimulator(const Netlist& nl, int words = 4,
+                          SimBackend backend = SimBackend::Auto);
 
   int words() const { return words_; }
+  /// The resolved kernel backend (never Auto).
+  SimBackend backend() const { return backend_; }
   std::size_t lanes() const { return static_cast<std::size_t>(words_) * 64; }
 
   PatternWord* block(GateId id) {
@@ -177,17 +187,17 @@ class BlockSimulator {
   PatternWord word(GateId id, int wi) const { return block(id)[wi]; }
   void set_source_word(GateId id, int wi, PatternWord w) { block(id)[wi] = w; }
 
-  /// Full levelized evaluation (good machine) over all W words.
+  /// Full levelized evaluation (good machine) over all W words, through
+  /// the resolved backend's kernel table.
   void eval();
 
   const std::vector<PatternWord>& storage() const { return values_; }
 
  protected:
-  template <int W>
-  void eval_impl();
-
   const Netlist* nl_;
   int words_;
+  SimBackend backend_;        ///< resolved, never Auto
+  const SimKernels* kern_;    ///< backend kernel table
   std::vector<PatternWord> values_;  ///< num_gates * words_, gate-major
 };
 

@@ -1,0 +1,124 @@
+// Wide backend: the "device-shaped" engine. Blocks are W in {16, 32}
+// words per gate (1024/2048 bit-lanes), stored as structure-of-arrays
+// value planes, and the full evaluation walks every gate with ONE uniform,
+// branch-free inner loop: inputs are XOR-inverted by a per-gate input mask
+// and AND-accumulated, then the accumulator is XOR-inverted by an output
+// mask (AND/NAND/OR/NOR/BUF/NOT all reduce to a mask pair by De Morgan;
+// XOR/XNOR use the same shape with an XOR accumulator). No fanin-count
+// special cases, no controlling-value early-outs -- the loop shape a GPU
+// port would give one thread per word. Runs on any CPU; everything is
+// 64-bit bitwise logic, so results are bit-identical to Scalar.
+//
+// The ternary evaluation, cone sweep and reductions reuse the shared
+// generic bodies at W = 16/32 (instantiated here with internal linkage).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "atpg/packed_sim.hpp"
+#include "atpg/sim_kernels.hpp"
+#include "util/assert.hpp"
+
+namespace scanpower {
+namespace {
+
+#include "atpg/sim_kernels_impl.inc"
+
+constexpr unsigned kWidths = 16u | 32u;
+
+/// Per-gate masks of the uniform AND/XOR-accumulate form.
+struct GatePlan {
+  PatternWord in_mask;   ///< XORed into every input word before accumulate
+  PatternWord out_mask;  ///< XORed into the accumulator afterwards
+  std::uint8_t mode;     ///< 0 = AND-accumulate, 1 = XOR-accumulate,
+                         ///< 2 = mux blend, 3 = constant (out_mask = value)
+};
+
+GatePlan plan_gate(GateType t) {
+  constexpr PatternWord kAll = ~PatternWord{0};
+  switch (t) {
+    case GateType::Const0: return {0, 0, 3};
+    case GateType::Const1: return {0, kAll, 3};
+    case GateType::Buf:    return {0, 0, 0};
+    case GateType::Not:    return {0, kAll, 0};
+    case GateType::And:    return {0, 0, 0};
+    case GateType::Nand:   return {0, kAll, 0};
+    case GateType::Or:     return {kAll, kAll, 0};   // ~(AND of ~inputs)
+    case GateType::Nor:    return {kAll, 0, 0};
+    case GateType::Xor:    return {0, 0, 1};
+    case GateType::Xnor:   return {0, kAll, 1};
+    case GateType::Mux:    return {0, 0, 2};
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  SP_ASSERT(false, "topo_order contains a source");
+  return {0, 0, 3};
+}
+
+template <int W>
+void eval_full_wide(const Netlist& nl, PatternWord* vals) {
+  const std::span<const GateType> types = nl.types_flat();
+  const auto blk = [vals](GateId id) {
+    return vals + static_cast<std::size_t>(id) * W;
+  };
+  PatternWord acc[W];
+  for (GateId id : nl.topo_order()) {
+    const GatePlan p = plan_gate(types[id]);
+    const std::span<const GateId> fans = nl.fanin_span(id);
+    PatternWord* const out = blk(id);
+    if (p.mode == 0) {
+      for (int w = 0; w < W; ++w) acc[w] = ~PatternWord{0};
+      for (GateId fin : fans) {
+        const PatternWord* f = blk(fin);
+        for (int w = 0; w < W; ++w) acc[w] &= f[w] ^ p.in_mask;
+      }
+      for (int w = 0; w < W; ++w) out[w] = acc[w] ^ p.out_mask;
+    } else if (p.mode == 1) {
+      for (int w = 0; w < W; ++w) acc[w] = 0;
+      for (GateId fin : fans) {
+        const PatternWord* f = blk(fin);
+        for (int w = 0; w < W; ++w) acc[w] ^= f[w];
+      }
+      for (int w = 0; w < W; ++w) out[w] = acc[w] ^ p.out_mask;
+    } else if (p.mode == 2) {
+      const PatternWord* s = blk(fans[0]);
+      const PatternWord* a = blk(fans[1]);
+      const PatternWord* b = blk(fans[2]);
+      for (int w = 0; w < W; ++w) out[w] = (s[w] & b[w]) | (~s[w] & a[w]);
+    } else {
+      for (int w = 0; w < W; ++w) out[w] = p.out_mask;
+    }
+  }
+}
+
+void eval_full(const Netlist& nl, PatternWord* values, int words) {
+  dispatch_words<kWidths>(
+      words, [&](auto w) { eval_full_wide<decltype(w)::value>(nl, values); });
+}
+
+void eval_ternary(const Netlist& nl, PatternWord* p1, PatternWord* p0,
+                  int words) {
+  dispatch_words<kWidths>(words, [&](auto w) {
+    eval_ternary_impl<decltype(w)::value>(nl, p1, p0);
+  });
+}
+
+void cone_sweep(ConeSweepArgs& a, int words) {
+  dispatch_words<kWidths>(words,
+                          [&](auto w) { cone_sweep_impl<decltype(w)::value>(a); });
+}
+
+const SimKernels kTable = {
+    SimBackend::Wide, &eval_full,       &eval_ternary,
+    &cone_sweep,      &leak_gather_impl, &obs_reduce_impl,
+};
+
+}  // namespace
+
+const SimKernels* wide_sim_kernels() { return &kTable; }
+
+}  // namespace scanpower

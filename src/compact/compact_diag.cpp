@@ -41,7 +41,7 @@ SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts)
     : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "SignatureDiagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
-           "diagnose: block_words must be 1, 2, 4 or 8");
+           "diagnose: block_words must be 1, 2, 4, 8, 16 or 32");
   opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
   owned_points_ = std::make_unique<ObservationPoints>(nl);
   owned_cones_ = std::make_unique<ObservationConeCache>(nl, *owned_points_);
@@ -54,7 +54,7 @@ SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts)
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (auto& w : workers_) {
     w = std::make_unique<Worker>();
-    w->eval.init(nl, opts_.block_words);
+    w->eval.init(nl, opts_.block_words, opts_.backend);
   }
 }
 
@@ -67,12 +67,12 @@ SignatureDiagnoser::SignatureDiagnoser(const Netlist& nl, DiagnosisOptions opts,
       pool_(&pool) {
   SP_CHECK(nl.finalized(), "SignatureDiagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
-           "diagnose: block_words must be 1, 2, 4 or 8");
+           "diagnose: block_words must be 1, 2, 4, 8, 16 or 32");
   opts_.num_threads = pool.size();
   workers_.resize(static_cast<std::size_t>(pool_->size()));
   for (auto& w : workers_) {
     w = std::make_unique<Worker>();
-    w->eval.init(nl, opts_.block_words);
+    w->eval.init(nl, opts_.block_words, opts_.backend);
   }
 }
 
@@ -80,7 +80,8 @@ SignatureDiagnoser::~SignatureDiagnoser() = default;
 
 void SignatureDiagnoser::ensure_goods(std::span<const TestPattern> patterns) {
   if (owned_goods_) {
-    goods_->bind(*nl_, patterns, opts_.block_words);
+    goods_->bind(*nl_, patterns, opts_.block_words,
+                 GoodBlockCache::kDefaultMaxCachedBlocks, opts_.backend);
     return;
   }
   SP_CHECK(goods_->bound_to(patterns, opts_.block_words),
@@ -146,7 +147,7 @@ void SignatureDiagnoser::score_candidates(
     wk.dirty_mark.assign(points_->size(), 0);
     wk.diff_sigs.assign(nwin, 0);
     if (!goods.cached() && !wk.stream) {
-      wk.stream = std::make_unique<BlockSimulator>(nl, W);
+      wk.stream = std::make_unique<BlockSimulator>(nl, W, opts_.backend);
     }
     for (std::size_t ci = static_cast<std::size_t>(t); ci < candidates.size();
          ci += static_cast<std::size_t>(num_workers)) {
@@ -233,11 +234,11 @@ DiagnosisResult SignatureDiagnoser::diagnose(
   // configuration and feeds to diagnose_with() directly.
   const MisrCompactor compactor(log.misr, opts_.block_words);
   const XMaskPlan plan(*nl_, *points_, patterns, log.misr.window,
-                       opts_.block_words);
+                       opts_.block_words, opts_.backend);
   const std::vector<TestPattern> filled = zero_filled_patterns(patterns);
   const std::span<const TestPattern> sim_patterns =
       filled.empty() ? patterns : std::span<const TestPattern>(filled);
-  ResponseCapture capture(*nl_, opts_.block_words);
+  ResponseCapture capture(*nl_, opts_.block_words, opts_.backend);
   const ResponseMatrix good = capture.capture_good(sim_patterns);
   const std::vector<std::uint64_t> expected = compactor.compact(good, &plan);
 
@@ -306,6 +307,8 @@ DiagnosisResult SignatureDiagnoser::diagnose_with(
         case 2: score_candidates<2>(patterns, faults, candidates, log, plan, compactor, scores); break;
         case 4: score_candidates<4>(patterns, faults, candidates, log, plan, compactor, scores); break;
         case 8: score_candidates<8>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        case 16: score_candidates<16>(patterns, faults, candidates, log, plan, compactor, scores); break;
+        case 32: score_candidates<32>(patterns, faults, candidates, log, plan, compactor, scores); break;
         default: SP_ASSERT(false, "invalid block width");
       }
     }

@@ -62,7 +62,8 @@ SignatureLog load_signature_log_file(const std::string& path);
 class SignatureCapture {
  public:
   explicit SignatureCapture(const Netlist& nl, MisrConfig cfg = {},
-                            int block_words = 4);
+                            int block_words = 4,
+                            SimBackend backend = SimBackend::Auto);
 
   const MisrConfig& config() const { return cfg_; }
   const ObservationPoints& points() const { return capture_.points(); }
@@ -95,6 +96,7 @@ class SignatureCapture {
 
   const Netlist* nl_;
   MisrConfig cfg_;
+  SimBackend backend_ = SimBackend::Auto;
   ResponseCapture capture_;
   MisrCompactor compactor_;
 

@@ -48,7 +48,7 @@ class XMaskPlan {
   /// pattern of `w`. `window` is the compaction window in patterns.
   XMaskPlan(const Netlist& nl, const ObservationPoints& points,
             std::span<const TestPattern> patterns, int window,
-            int block_words = 4);
+            int block_words = 4, SimBackend backend = SimBackend::Auto);
 
   std::size_t num_points() const { return num_points_; }
   std::size_t num_windows() const { return num_windows_; }

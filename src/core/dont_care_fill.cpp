@@ -7,6 +7,7 @@
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scanpower {
 
@@ -23,7 +24,7 @@ FillResult fill_scalar(const Netlist& nl, const LeakageModel& model,
                        const std::vector<std::size_t>& free_pi,
                        const std::vector<std::size_t>& free_mux,
                        FillResult res) {
-  Rng rng(opts.seed);
+  Rng rng;
   Simulator sim(nl);
 
   auto leakage_of = [&](const std::vector<Logic>& pi,
@@ -52,6 +53,13 @@ FillResult fill_scalar(const Netlist& nl, const LeakageModel& model,
   std::vector<Logic> cand_pi = pi_pattern;
   std::vector<Logic> cand_mux = mux_pattern;
   for (int t = 0; t < trials; ++t) {
+    // Per-64-trial-word seeds: trial t draws from a generator seeded by
+    // (seed, t / 64) alone, so trial words are independent and the packed
+    // engine can partition them across workers while drawing the exact
+    // same stream.
+    if (t % 64 == 0) {
+      rng.reseed(block_seed(opts.seed, static_cast<std::uint64_t>(t) / 64));
+    }
     for (std::size_t i : free_pi) cand_pi[i] = from_bool(rng.next_bool());
     for (std::size_t i : free_mux) cand_mux[i] = from_bool(rng.next_bool());
     const double leak = leakage_of(cand_pi, cand_mux);
@@ -84,14 +92,14 @@ FillResult fill_packed(const Netlist& nl, const LeakageModel& model,
                        const std::vector<std::size_t>& free_mux,
                        FillResult res) {
   SP_CHECK(is_valid_block_words(opts.block_words),
-           "fill: block_words must be 1, 2, 4 or 8");
+           "fill: block_words must be 1, 2, 4, 8, 16 or 32");
   std::unique_ptr<const GateLeakageTables> owned_tables;
   if (opts.tables == nullptr) {
     owned_tables = std::make_unique<GateLeakageTables>(nl, model);
   }
   const GateLeakageTables& tables =
       opts.tables ? *opts.tables : *owned_tables;
-  const PackedLeakageEvaluator leval(nl, tables);
+  const PackedLeakageEvaluator leval(nl, tables, opts.backend);
 
   // Free positions in the scalar engine's draw order.
   std::vector<GateId> free_sources;
@@ -105,72 +113,133 @@ FillResult fill_packed(const Netlist& nl, const LeakageModel& model,
                            : (opts.minimize_leakage ? std::max(1, opts.trials)
                                                     : 1);
   // Clamp the block width to the candidate count: scoring 24 trials on a
-  // 256-lane block would aggregate leakage for 232 dead lanes.
+  // 256-lane block would aggregate leakage for 232 dead lanes. Never
+  // clamp to a width the configured backend cannot run (the wide backend
+  // starts at 16 words).
   int W = opts.block_words;
-  while (W > 1 && static_cast<std::size_t>(W) * 32 >=
-                      static_cast<std::size_t>(trials)) {
+  while (W > 1 &&
+         static_cast<std::size_t>(W) * 32 >= static_cast<std::size_t>(trials) &&
+         backend_supports_words(opts.backend, W / 2)) {
     W /= 2;
   }
-  TernaryBlockSimulator sim(nl, W);
-  const std::size_t lanes = sim.lanes();
-  std::vector<double> leak(lanes);
+  const std::size_t lanes = static_cast<std::size_t>(W) * 64;
 
   // Fixed sources: assigned constants broadcast lane-wide; non-eligible
   // mux cells broadcast X (they toggle during shift).
-  for (std::size_t k = 0; k < pi_pattern.size(); ++k) {
-    sim.set_source_all(nl.inputs()[k], pi_pattern[k]);
-  }
-  for (std::size_t c = 0; c < mux_pattern.size(); ++c) {
-    sim.set_source_all(nl.dffs()[c],
-                       mux_eligible[c] ? mux_pattern[c] : Logic::X);
-  }
+  auto broadcast_fixed = [&](TernaryBlockSimulator& sim) {
+    for (std::size_t k = 0; k < pi_pattern.size(); ++k) {
+      sim.set_source_all(nl.inputs()[k], pi_pattern[k]);
+    }
+    for (std::size_t c = 0; c < mux_pattern.size(); ++c) {
+      sim.set_source_all(nl.dffs()[c],
+                         mux_eligible[c] ? mux_pattern[c] : Logic::X);
+    }
+  };
 
   if (res.free_inputs == 0) {
+    TernaryBlockSimulator sim(nl, W, opts.backend);
+    std::vector<double> leak(lanes);
+    broadcast_fixed(sim);
     sim.eval();
     leval.eval(sim, leak);
     res.best_leakage_na = res.first_leakage_na = leak[0];
     return res;
   }
 
-  Rng rng(opts.seed);
   const std::size_t total = static_cast<std::size_t>(trials);
+  const std::size_t nblocks = (total + lanes - 1) / lanes;
+  // Borrow the caller's pool when provided (ScanSession); the sweep is
+  // bit-identical for any pool size, so sharing is result-free.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool_ptr = opts.pool;
+  if (pool_ptr == nullptr) {
+    owned_pool =
+        std::make_unique<ThreadPool>(ThreadPool::resolve_threads(opts.num_threads));
+    pool_ptr = owned_pool.get();
+  }
+  ThreadPool& pool = *pool_ptr;
+  const int T = pool.size();
 
+  // Per-worker simulation state; one block of candidates per worker per
+  // wave. Trial word k (trials 64k..64k+63) draws from a generator seeded
+  // by (opts.seed, k) alone, and block-local winners are merged on the
+  // caller thread in ascending block order with a strict '<', so the
+  // chosen fill -- the earliest strict minimum, exactly the scalar
+  // engine's rule -- is bit-identical for any thread count.
+  struct Partial {
+    std::vector<PatternWord> cand;
+    std::vector<double> leak;
+    std::vector<std::uint8_t> bits;  ///< free-source values of the block winner
+    double min = 0.0;                ///< block-local minimum leakage
+    double first = 0.0;              ///< leak[0]; consumed for block 0 only
+  };
+  std::vector<TernaryBlockSimulator> sims;
+  sims.reserve(static_cast<std::size_t>(T));
+  std::vector<Partial> parts(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    sims.emplace_back(nl, W, opts.backend);
+    broadcast_fixed(sims.back());
+    parts[static_cast<std::size_t>(t)].cand.assign(
+        nfree * static_cast<std::size_t>(W), PatternWord{0});
+    parts[static_cast<std::size_t>(t)].leak.assign(lanes, 0.0);
+    parts[static_cast<std::size_t>(t)].bits.assign(nfree, 0);
+  }
+
+  bool have_best = false;
   double best = 0.0;
   std::vector<std::uint8_t> best_bits(nfree, 0);
-  std::vector<PatternWord> cand(nfree * static_cast<std::size_t>(W));
 
-  for (std::size_t base = 0; base < total; base += lanes) {
-    const std::size_t batch = std::min(lanes, total - base);
-    // Assemble candidate words lane by lane so the rng stream matches the
-    // scalar engine trial-for-trial.
-    std::fill(cand.begin(), cand.end(), PatternWord{0});
-    for (std::size_t lane = 0; lane < batch; ++lane) {
-      const std::size_t w = lane / 64;
-      const PatternWord bit = PatternWord{1} << (lane % 64);
-      for (std::size_t j = 0; j < nfree; ++j) {
-        if (rng.next_bool()) cand[j * W + w] |= bit;
-      }
-    }
-    for (std::size_t j = 0; j < nfree; ++j) {
-      for (int w = 0; w < W; ++w) {
-        sim.set_source_word(free_sources[j], w, cand[j * W + w]);
-      }
-    }
-    sim.eval();
-    leval.eval(sim, leak);
-    for (std::size_t lane = 0; lane < batch; ++lane) {
-      const std::size_t t = base + lane;
-      if (t == 0) res.first_leakage_na = leak[lane];
-      if (t == 0 || leak[lane] < best) {
-        best = leak[lane];
-        const std::size_t w = lane / 64;
-        const PatternWord bit = PatternWord{1} << (lane % 64);
-        for (std::size_t j = 0; j < nfree; ++j) {
-          best_bits[j] = (cand[j * W + w] & bit) != 0;
+  ordered_block_sweep(
+      pool, nblocks,
+      [&](int t, std::size_t b) {
+        Partial& part = parts[static_cast<std::size_t>(t)];
+        TernaryBlockSimulator& sim = sims[static_cast<std::size_t>(t)];
+        const std::size_t base = b * lanes;
+        const std::size_t batch = std::min(lanes, total - base);
+        // Assemble candidate words lane by lane so the rng stream matches
+        // the scalar engine trial-for-trial.
+        Rng rng;
+        std::fill(part.cand.begin(), part.cand.end(), PatternWord{0});
+        for (std::size_t lane = 0; lane < batch; ++lane) {
+          if (lane % 64 == 0) {
+            rng.reseed(block_seed(opts.seed, (base + lane) / 64));
+          }
+          const std::size_t w = lane / 64;
+          const PatternWord bit = PatternWord{1} << (lane % 64);
+          for (std::size_t j = 0; j < nfree; ++j) {
+            if (rng.next_bool()) part.cand[j * W + w] |= bit;
+          }
         }
-      }
-    }
-  }
+        for (std::size_t j = 0; j < nfree; ++j) {
+          for (int w = 0; w < W; ++w) {
+            sim.set_source_word(free_sources[j], w, part.cand[j * W + w]);
+          }
+        }
+        sim.eval();
+        leval.eval(sim, part.leak);
+        part.first = part.leak[0];
+        // Block-local earliest strict minimum.
+        bool have = false;
+        for (std::size_t lane = 0; lane < batch; ++lane) {
+          if (have && !(part.leak[lane] < part.min)) continue;
+          have = true;
+          part.min = part.leak[lane];
+          const std::size_t w = lane / 64;
+          const PatternWord bit = PatternWord{1} << (lane % 64);
+          for (std::size_t j = 0; j < nfree; ++j) {
+            part.bits[j] = (part.cand[j * W + w] & bit) != 0;
+          }
+        }
+      },
+      [&](int t, std::size_t b) {
+        const Partial& part = parts[static_cast<std::size_t>(t)];
+        if (b == 0) res.first_leakage_na = part.first;
+        if (!have_best || part.min < best) {
+          have_best = true;
+          best = part.min;
+          best_bits = part.bits;
+        }
+      });
 
   res.best_leakage_na = best;
   res.trials = trials;

@@ -11,11 +11,14 @@
 
 #include <cstdint>
 
+#include "atpg/sim_backend.hpp"
 #include "netlist/netlist.hpp"
 #include "power/leakage_model.hpp"
 #include "sim/logic.hpp"
 
 namespace scanpower {
+
+class ThreadPool;
 
 struct FillOptions {
   int trials = 64;           ///< random candidates examined
@@ -29,14 +32,30 @@ struct FillOptions {
   /// stream and computes bit-identical leakage to the scalar engine, so
   /// both pick the same fill. false = scalar reference (one 3-valued
   /// Simulator pass + circuit_leakage_na walk per trial).
+  ///
+  /// Every 64-trial word draws from a generator seeded by (seed, trial /
+  /// 64) alone -- in both engines -- so trial blocks are independent and
+  /// the packed engine can partition them across a worker pool.
   bool packed = true;
-  /// Pattern words per packed sweep (1, 2, 4 or 8).
+  /// Pattern words per packed sweep (1, 2, 4, 8, 16 or 32; 16/32 require
+  /// the wide backend).
   int block_words = 4;
+  /// Worker threads for the packed sweep; 1 = serial, 0 = all cores.
+  /// Results are bit-identical across thread counts: candidate blocks
+  /// have fixed per-block seeds and block results are merged in
+  /// ascending block order.
+  int num_threads = 1;
+  /// Kernel backend for the packed sweep; Auto = best available for the
+  /// width. Results are bit-identical across backends.
+  SimBackend backend = SimBackend::Auto;
   /// Borrowed per-(netlist, model) leakage tables for the packed engine;
   /// null = build a private copy per call (the one-shot cost a
   /// ScanSession amortizes). Must match the (netlist, model) pair passed
   /// to fill_dont_cares_min_leakage.
   const GateLeakageTables* tables = nullptr;
+  /// Borrowed worker pool; null = create a private one of num_threads
+  /// workers. Any pool size produces bit-identical fills.
+  ThreadPool* pool = nullptr;
 };
 
 struct FillResult {

@@ -291,7 +291,7 @@ MinLeakageSearchResult min_leakage_vector_search(
   SP_CHECK(nl.finalized(),
            "min_leakage_vector_search requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts.block_words),
-           "min_leakage_vector_search: block_words must be 1, 2, 4 or 8");
+           "min_leakage_vector_search: block_words must be 1, 2, 4, 8, 16 or 32");
   SP_CHECK(opts.sweeps >= 1, "min_leakage_vector_search: need >= 1 sweep");
 
   const int W = opts.block_words;
@@ -303,7 +303,7 @@ MinLeakageSearchResult min_leakage_vector_search(
   const std::size_t n_src = sources.size();
 
   const GateLeakageTables tables(nl, model);
-  const PackedLeakageEvaluator leval(nl, tables);
+  const PackedLeakageEvaluator leval(nl, tables, opts.backend);
   const int T = ThreadPool::resolve_threads(opts.num_threads);
   ThreadPool pool(T);
 
@@ -311,7 +311,7 @@ MinLeakageSearchResult min_leakage_vector_search(
   std::vector<std::vector<double>> leak_buf(static_cast<std::size_t>(T));
   sims.reserve(static_cast<std::size_t>(T));
   for (int t = 0; t < T; ++t) {
-    sims.emplace_back(nl, W);
+    sims.emplace_back(nl, W, opts.backend);
     leak_buf[static_cast<std::size_t>(t)].resize(lanes);
   }
 

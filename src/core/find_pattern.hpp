@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "atpg/backtrace_directive.hpp"
+#include "atpg/sim_backend.hpp"
 #include "core/justify.hpp"
 #include "netlist/netlist.hpp"
 #include "power/leakage_model.hpp"
@@ -85,8 +86,13 @@ FindPatternResult find_controlled_input_pattern(
 struct MinLeakageSearchOptions {
   int sweeps = 8;             ///< random-restart sweeps (64*W vectors each)
   int max_refine_flips = 64;  ///< accepted single-bit refinement moves
-  int block_words = 4;        ///< pattern words per sweep (1, 2, 4 or 8)
+  /// Pattern words per sweep (1, 2, 4, 8, 16 or 32; 16/32 require the
+  /// wide backend).
+  int block_words = 4;
   int num_threads = 1;        ///< workers for the random stage (0 = all cores)
+  /// Kernel backend for the packed sweeps; Auto = best available for the
+  /// width. Results are bit-identical across backends.
+  SimBackend backend = SimBackend::Auto;
   std::uint64_t seed = 0x3ea2c0de5ee51eafULL;
 };
 

@@ -14,7 +14,25 @@ namespace {
 
 void check_block_words(int w, const char* knob) {
   SP_CHECK(is_valid_block_words(w),
-           strprintf("ScanSession: %s must be 1, 2, 4 or 8 (got %d)", knob, w));
+           strprintf("ScanSession: %s must be 1, 2, 4, 8, 16 or 32 (got %d)",
+                     knob, w));
+}
+
+/// Explicit backends are a hard contract (Auto falls back gracefully):
+/// fail construction with the knob named instead of deep inside an engine.
+void check_backend(SimBackend b, int words, const char* knob) {
+  if (b == SimBackend::Auto) return;
+  SP_CHECK(backend_available(b),
+           strprintf("ScanSession: %s backend '%s' is not available on this "
+                     "host (%s)",
+                     knob, backend_name(b),
+                     backend_compiled(b) ? "CPU lacks the required features"
+                                         : "library built without its kernels"));
+  SP_CHECK(backend_supports_words(b, words),
+           strprintf("ScanSession: %s backend '%s' does not support "
+                     "block_words=%d (scalar: any width; avx2/avx512: 1-8; "
+                     "wide: 16/32)",
+                     knob, backend_name(b), words));
 }
 
 void check_threads(int t, const char* knob) {
@@ -67,9 +85,16 @@ ScanSession::ScanSession(Netlist nl, FlowOptions opts)
   check_block_words(opts_.observability.block_words,
                     "observability.block_words");
   check_block_words(opts_.fill.block_words, "fill.block_words");
+  check_backend(opts_.tpg.fault_sim.backend, opts_.tpg.fault_sim.block_words,
+                "tpg.fault_sim");
+  check_backend(opts_.diag.backend, opts_.diag.block_words, "diag");
+  check_backend(opts_.observability.backend, opts_.observability.block_words,
+                "observability");
+  check_backend(opts_.fill.backend, opts_.fill.block_words, "fill");
   check_threads(opts_.tpg.fault_sim.num_threads, "tpg.fault_sim.num_threads");
   check_threads(opts_.diag.num_threads, "diag.num_threads");
   check_threads(opts_.observability.num_threads, "observability.num_threads");
+  check_threads(opts_.fill.num_threads, "fill.num_threads");
   SP_CHECK(opts_.misr.width >= 4 && opts_.misr.width <= 64,
            strprintf("ScanSession: misr.width must be in 4..64 (got %d)",
                      opts_.misr.width));
@@ -136,8 +161,9 @@ MetricsSnapshot ScanSession::metrics() {
 ThreadPool& ScanSession::pool() {
   if (!pool_) {
     const int t = std::max(
-        ThreadPool::resolve_threads(opts_.diag.num_threads),
-        ThreadPool::resolve_threads(opts_.observability.num_threads));
+        {ThreadPool::resolve_threads(opts_.diag.num_threads),
+         ThreadPool::resolve_threads(opts_.observability.num_threads),
+         ThreadPool::resolve_threads(opts_.fill.num_threads)});
     pool_ = std::make_unique<ThreadPool>(t);
   }
   return *pool_;
@@ -199,7 +225,8 @@ void ScanSession::bind_patterns(std::span<const TestPattern> patterns) {
   bound_.assign(patterns.begin(), patterns.end());
   filled_ = zero_filled_patterns(bound_);
   has_patterns_ = true;
-  goods_.bind(nl_, effective_patterns(), opts_.diag.block_words);
+  goods_.bind(nl_, effective_patterns(), opts_.diag.block_words,
+              GoodBlockCache::kDefaultMaxCachedBlocks, opts_.diag.backend);
   // Per-MisrConfig compaction states rebind themselves lazily (they
   // compare the bound content on next use).
 }
@@ -239,7 +266,8 @@ SignatureDiagnoser& ScanSession::sig_diagnoser() {
 
 ResponseCapture& ScanSession::capture() {
   if (!capture_) {
-    capture_ = std::make_unique<ResponseCapture>(nl_, opts_.diag.block_words);
+    capture_ = std::make_unique<ResponseCapture>(nl_, opts_.diag.block_words,
+                                                 opts_.diag.backend);
   }
   return *capture_;
 }
@@ -258,7 +286,8 @@ SignatureCapture& ScanSession::compact_state(const MisrConfig& cfg) {
     telemetry_.metrics.add(0, CounterId::kXMaskBuilds);
     it = compact_
              .emplace(key, std::make_unique<SignatureCapture>(
-                               nl_, cfg, opts_.diag.block_words))
+                               nl_, cfg, opts_.diag.block_words,
+                               opts_.diag.backend))
              .first;
   } else {
     telemetry_.metrics.add(0, CounterId::kSessionCompactStateHits);
@@ -432,7 +461,10 @@ FillResult ScanSession::fill(std::vector<Logic>& pi_pattern,
                              std::vector<Logic>& mux_pattern,
                              const std::vector<bool>& mux_eligible) {
   FillOptions fo = opts_.fill;
-  if (fo.packed) fo.tables = &leakage_tables();
+  if (fo.packed) {
+    fo.tables = &leakage_tables();
+    fo.pool = &pool();
+  }
   return fill_dont_cares_min_leakage(nl_, model_, pi_pattern, mux_pattern,
                                      mux_eligible, fo);
 }
@@ -470,7 +502,10 @@ ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
   // --- don't-care filling ------------------------------------------------
   FillOptions fill_opts = opts_.fill;
   fill_opts.minimize_leakage = opts_.do_min_leakage_fill;
-  if (fill_opts.packed) fill_opts.tables = &leakage_tables();
+  if (fill_opts.packed) {
+    fill_opts.tables = &leakage_tables();
+    fill_opts.pool = &pool();
+  }
   const FillResult fill = fill_dont_cares_min_leakage(
       nl_, model_, pat.pi_pattern, pat.mux_pattern, plan.multiplexed,
       fill_opts);
@@ -535,7 +570,10 @@ FlowResult ScanSession::run_flow() {
         find_controlled_input_pattern(nl_, no_mux, caps, fopts);
     FillOptions fill_opts = opts_.fill;
     fill_opts.minimize_leakage = false;  // [8] targets transitions only
-    if (fill_opts.packed) fill_opts.tables = &leakage_tables();
+    if (fill_opts.packed) {
+      fill_opts.tables = &leakage_tables();
+      fill_opts.pool = &pool();
+    }
     fill_dont_cares_min_leakage(nl_, model_, pat.pi_pattern, pat.mux_pattern,
                                 no_mux.multiplexed, fill_opts);
     ScanPowerEvaluator eval(nl_, model_, caps, opts_.power);

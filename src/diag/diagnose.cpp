@@ -51,7 +51,7 @@ Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
     : nl_(&nl), opts_(opts) {
   SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
-           "diagnose: block_words must be 1, 2, 4 or 8");
+           "diagnose: block_words must be 1, 2, 4, 8, 16 or 32");
   opts_.num_threads = ThreadPool::resolve_threads(opts_.num_threads);
   owned_points_ = std::make_unique<ObservationPoints>(nl);
   owned_cones_ = std::make_unique<ObservationConeCache>(nl, *owned_points_);
@@ -62,7 +62,9 @@ Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts)
   goods_ = owned_goods_.get();
   pool_ = owned_pool_.get();
   workers_.resize(static_cast<std::size_t>(pool_->size()));
-  for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
+  for (FaultConeEvaluator& w : workers_) {
+    w.init(nl, opts_.block_words, opts_.backend);
+  }
 }
 
 Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts, ThreadPool& pool,
@@ -72,10 +74,12 @@ Diagnoser::Diagnoser(const Netlist& nl, DiagnosisOptions opts, ThreadPool& pool,
       pool_(&pool) {
   SP_CHECK(nl.finalized(), "Diagnoser requires a finalized netlist");
   SP_CHECK(is_valid_block_words(opts_.block_words),
-           "diagnose: block_words must be 1, 2, 4 or 8");
+           "diagnose: block_words must be 1, 2, 4, 8, 16 or 32");
   opts_.num_threads = pool.size();
   workers_.resize(static_cast<std::size_t>(pool_->size()));
-  for (FaultConeEvaluator& w : workers_) w.init(nl, opts_.block_words);
+  for (FaultConeEvaluator& w : workers_) {
+    w.init(nl, opts_.block_words, opts_.backend);
+  }
 }
 
 Diagnoser::~Diagnoser() = default;
@@ -86,7 +90,8 @@ void Diagnoser::ensure_goods(std::span<const TestPattern> patterns) {
     // session API amortizes away. The cache cap stays at this engine's
     // historical 64 blocks -- a throwaway binding should not hold the
     // session-sized 256-block footprint.
-    goods_->bind(*nl_, patterns, opts_.block_words, /*max_cached_blocks=*/64);
+    goods_->bind(*nl_, patterns, opts_.block_words, /*max_cached_blocks=*/64,
+                 opts_.backend);
     return;
   }
   SP_CHECK(goods_->bound_to(patterns, opts_.block_words),
@@ -267,7 +272,9 @@ void Diagnoser::score_candidates(std::span<const Fault> faults, Prepared& p) {
   // Streaming scratch for pattern sets past the cache cap; the cached and
   // streamed values are identical, so so is the ranking.
   std::unique_ptr<BlockSimulator> stream;
-  if (!goods.cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
+  if (!goods.cached()) {
+    stream = std::make_unique<BlockSimulator>(*nl_, W, opts_.backend);
+  }
 
   for (std::size_t r0 = 0; r0 < p.candidates.size(); r0 += round_size) {
     const std::size_t r1 = std::min(r0 + round_size, p.candidates.size());
@@ -407,7 +414,7 @@ void Diagnoser::build_multiplets(int worker, std::span<const Fault> faults,
 
   std::unique_ptr<BlockSimulator> local_stream;
   if (!goods.cached() && stream == nullptr) {
-    local_stream = std::make_unique<BlockSimulator>(nl, W);
+    local_stream = std::make_unique<BlockSimulator>(nl, W, opts_.backend);
     stream = local_stream.get();
   }
   FaultConeEvaluator& ev = workers_[static_cast<std::size_t>(worker)];
@@ -605,7 +612,9 @@ DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
       // Worker 0's evaluator is free again (run_on_all has joined), so the
       // recovery stages replay on the caller thread.
       std::unique_ptr<BlockSimulator> stream;
-      if (!goods_->cached()) stream = std::make_unique<BlockSimulator>(*nl_, W);
+      if (!goods_->cached()) {
+        stream = std::make_unique<BlockSimulator>(*nl_, W, opts_.backend);
+      }
       {
         TraceSpan span(telem, "cover", 0, CounterId::kDiagCoverUs,
                        &p.res.stats.cover_us);
@@ -618,6 +627,8 @@ DiagnosisResult Diagnoser::diagnose(std::span<const TestPattern> patterns,
       case 2: run.operator()<2>(); break;
       case 4: run.operator()<4>(); break;
       case 8: run.operator()<8>(); break;
+      case 16: run.operator()<16>(); break;
+      case 32: run.operator()<32>(); break;
       default: SP_ASSERT(false, "invalid block width");
     }
 
@@ -710,7 +721,8 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
       static_cast<std::size_t>(num_workers));
   if (!goods_->cached()) {
     for (auto& s : streams) {
-      s = std::make_unique<BlockSimulator>(*nl_, opts_.block_words);
+      s = std::make_unique<BlockSimulator>(*nl_, opts_.block_words,
+                                           opts_.backend);
     }
   }
   const auto run = [&]<int W>() {
@@ -747,6 +759,8 @@ std::vector<DiagnosisResult> Diagnoser::diagnose_batch(
     case 2: run.operator()<2>(); break;
     case 4: run.operator()<4>(); break;
     case 8: run.operator()<8>(); break;
+    case 16: run.operator()<16>(); break;
+    case 32: run.operator()<32>(); break;
     default: SP_ASSERT(false, "invalid block width");
   }
 

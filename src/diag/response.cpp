@@ -354,9 +354,10 @@ FailureLog load_failure_log_file(const std::string& path, const Netlist* nl,
 
 void GoodBlockCache::bind(const Netlist& nl,
                           std::span<const TestPattern> patterns,
-                          int block_words, std::size_t max_cached_blocks) {
+                          int block_words, std::size_t max_cached_blocks,
+                          SimBackend backend) {
   SP_CHECK(is_valid_block_words(block_words),
-           "GoodBlockCache: block_words must be 1, 2, 4 or 8");
+           "GoodBlockCache: block_words must be 1, 2, 4, 8, 16 or 32");
   nl_ = &nl;
   patterns_ = patterns;
   words_ = block_words;
@@ -369,7 +370,7 @@ void GoodBlockCache::bind(const Netlist& nl,
   const auto t0 = std::chrono::steady_clock::now();
   blocks_.reserve(nblocks_);
   for (std::size_t base = 0; base < patterns.size(); base += lanes) {
-    blocks_.emplace_back(nl, words_);
+    blocks_.emplace_back(nl, words_, backend);
     load_pattern_block(nl, patterns, base, blocks_.back());
     blocks_.back().eval();
   }
@@ -400,18 +401,19 @@ void GoodBlockCache::stream(std::size_t b, BlockSimulator& scratch) const {
   scratch.eval();
 }
 
-ResponseCapture::ResponseCapture(const Netlist& nl, int block_words)
-    : nl_(&nl), words_(block_words), points_(nl) {
+ResponseCapture::ResponseCapture(const Netlist& nl, int block_words,
+                                 SimBackend backend)
+    : nl_(&nl), words_(block_words), backend_(backend), points_(nl) {
   SP_CHECK(is_valid_block_words(block_words),
-           "ResponseCapture: block_words must be 1, 2, 4 or 8");
-  eval_.init(nl, block_words);
+           "ResponseCapture: block_words must be 1, 2, 4, 8, 16 or 32");
+  eval_.init(nl, block_words, backend);
 }
 
 template <int W>
 void ResponseCapture::capture_good_impl(std::span<const TestPattern> patterns,
                                         ResponseMatrix& out) {
   const Netlist& nl = *nl_;
-  BlockSimulator good(nl, W);
+  BlockSimulator good(nl, W, backend_);
   const std::size_t lanes = good.lanes();
   const std::size_t wpp = out.words_per_point();
   for (std::size_t base = 0; base < patterns.size(); base += lanes) {
@@ -442,6 +444,8 @@ ResponseMatrix ResponseCapture::capture_good(
     case 2: capture_good_impl<2>(patterns, out); break;
     case 4: capture_good_impl<4>(patterns, out); break;
     case 8: capture_good_impl<8>(patterns, out); break;
+    case 16: capture_good_impl<16>(patterns, out); break;
+    case 32: capture_good_impl<32>(patterns, out); break;
     default: SP_ASSERT(false, "invalid block width");
   }
   return out;
@@ -451,7 +455,7 @@ template <int W>
 void ResponseCapture::inject_impl(std::span<const TestPattern> patterns,
                                   const Fault& f, FailureLog& log) {
   const Netlist& nl = *nl_;
-  BlockSimulator good(nl, W);
+  BlockSimulator good(nl, W, backend_);
   const std::size_t lanes = good.lanes();
   for (std::size_t base = 0; base < patterns.size(); base += lanes) {
     const std::size_t batch = std::min(lanes, patterns.size() - base);
@@ -498,6 +502,8 @@ FailureLog ResponseCapture::inject(std::span<const TestPattern> patterns,
     case 2: inject_impl<2>(patterns, f, log); break;
     case 4: inject_impl<4>(patterns, f, log); break;
     case 8: inject_impl<8>(patterns, f, log); break;
+    case 16: inject_impl<16>(patterns, f, log); break;
+    case 32: inject_impl<32>(patterns, f, log); break;
     default: SP_ASSERT(false, "invalid block width");
   }
   log.normalize();
@@ -574,7 +580,7 @@ void ResponseCapture::inject_multi_impl(std::span<const TestPattern> patterns,
     return levels[a] != levels[b] ? levels[a] < levels[b] : a < b;
   });
 
-  BlockSimulator good(nl, W);
+  BlockSimulator good(nl, W, backend_);
   const std::size_t lanes = good.lanes();
   std::vector<PatternWord> faulty(nl.num_gates() * static_cast<std::size_t>(W));
   std::vector<std::uint8_t> touched(nl.num_gates(), 0);
@@ -694,6 +700,8 @@ FailureLog ResponseCapture::inject(std::span<const TestPattern> patterns,
     case 2: inject_multi_impl<2>(patterns, unique_faults, log); break;
     case 4: inject_multi_impl<4>(patterns, unique_faults, log); break;
     case 8: inject_multi_impl<8>(patterns, unique_faults, log); break;
+    case 16: inject_multi_impl<16>(patterns, unique_faults, log); break;
+    case 32: inject_multi_impl<32>(patterns, unique_faults, log); break;
     default: SP_ASSERT(false, "invalid block width");
   }
   log.normalize();

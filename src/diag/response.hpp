@@ -132,10 +132,14 @@ class GoodBlockCache {
 
   /// (Re)binds to (nl, patterns, block_words). `patterns` must be fully
   /// specified and must outlive the binding (the owner keeps the storage
-  /// alive; bound_to() identifies a binding by that storage).
+  /// alive; bound_to() identifies a binding by that storage). `backend`
+  /// selects the kernel backend for the cached good machines; the values
+  /// are bit-identical across backends, so it is not part of the binding
+  /// identity.
   void bind(const Netlist& nl, std::span<const TestPattern> patterns,
             int block_words,
-            std::size_t max_cached_blocks = kDefaultMaxCachedBlocks);
+            std::size_t max_cached_blocks = kDefaultMaxCachedBlocks,
+            SimBackend backend = SimBackend::Auto);
   void reset();
 
   bool bound() const { return nl_ != nullptr; }
@@ -269,7 +273,8 @@ FailureLog load_failure_log_file(const std::string& path,
 /// Captures packed observable-point responses from the block simulator.
 class ResponseCapture {
  public:
-  explicit ResponseCapture(const Netlist& nl, int block_words = 4);
+  explicit ResponseCapture(const Netlist& nl, int block_words = 4,
+                           SimBackend backend = SimBackend::Auto);
 
   const ObservationPoints& points() const { return points_; }
   int block_words() const { return words_; }
@@ -304,6 +309,7 @@ class ResponseCapture {
 
   const Netlist* nl_;
   int words_;
+  SimBackend backend_ = SimBackend::Auto;
   ObservationPoints points_;
   FaultConeEvaluator eval_;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "atpg/sim_kernels.hpp"
 #include "power/packed_leakage.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
@@ -73,7 +74,7 @@ void LeakageObservability::compute_monte_carlo_packed(
     const ObservabilityOptions& opts) {
   SP_CHECK(opts.samples > 1, "observability: need at least 2 samples");
   SP_CHECK(is_valid_block_words(opts.block_words),
-           "observability: block_words must be 1, 2, 4 or 8");
+           "observability: block_words must be 1, 2, 4, 8, 16 or 32");
   const std::size_t n = nl.num_gates();
   const std::size_t samples = static_cast<std::size_t>(opts.samples);
   const int W = opts.block_words;
@@ -97,7 +98,8 @@ void LeakageObservability::compute_monte_carlo_packed(
   }
   const GateLeakageTables& tables =
       opts.tables ? *opts.tables : *owned_tables;
-  const PackedLeakageEvaluator leval(nl, tables);
+  const PackedLeakageEvaluator leval(nl, tables, opts.backend);
+  const SimKernels& kern = sim_kernels(resolve_backend(opts.backend, W));
 
   // Per-worker simulation state; one block of samples per worker per
   // wave. Block b draws from a generator seeded by (opts.seed, b) alone,
@@ -114,7 +116,7 @@ void LeakageObservability::compute_monte_carlo_packed(
   std::vector<std::vector<double>> leak_buf(static_cast<std::size_t>(T));
   sims.reserve(static_cast<std::size_t>(T));
   for (int t = 0; t < T; ++t) {
-    sims.emplace_back(nl, W);
+    sims.emplace_back(nl, W, opts.backend);
     leak_buf[static_cast<std::size_t>(t)].resize(lanes);
     parts[static_cast<std::size_t>(t)].sum1.resize(n);
     parts[static_cast<std::size_t>(t)].cnt1.resize(n);
@@ -147,7 +149,7 @@ void LeakageObservability::compute_monte_carlo_packed(
 
         const std::size_t base = b * lanes;
         const std::size_t batch = std::min(lanes, samples - base);
-        PatternWord valid[8];
+        PatternWord valid[32];
         for (int w = 0; w < W; ++w) {
           const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
           valid[w] = batch >= lane0 + 64 ? ~PatternWord{0}
@@ -158,20 +160,13 @@ void LeakageObservability::compute_monte_carlo_packed(
         for (std::size_t lane = 0; lane < batch; ++lane) {
           part.total += leak[lane];
         }
+        // Per-gate masked-add reduction through the backend kernel
+        // (obs_reduce's four-accumulator interleave is the reduction's
+        // definition in every backend, so values stay bit-identical).
         for (GateId id = 0; id < n; ++id) {
-          const PatternWord* v = sim.block(id);
           double s1 = 0.0;
           std::uint32_t c1 = 0;
-          for (int w = 0; w < W; ++w) {
-            PatternWord bits = v[w] & valid[w];
-            c1 += static_cast<std::uint32_t>(std::popcount(bits));
-            const std::size_t lane0 = static_cast<std::size_t>(w) * 64;
-            while (bits != 0) {
-              s1 += leak[lane0 +
-                         static_cast<std::size_t>(std::countr_zero(bits))];
-              bits &= bits - 1;
-            }
-          }
+          kern.obs_reduce(sim.block(id), valid, leak, W, &s1, &c1);
           part.sum1[id] = s1;
           part.cnt1[id] = c1;
         }

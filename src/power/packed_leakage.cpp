@@ -1,14 +1,18 @@
 #include "power/packed_leakage.hpp"
 
+#include "atpg/sim_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace scanpower {
 
-TernaryBlockSimulator::TernaryBlockSimulator(const Netlist& nl, int words)
+TernaryBlockSimulator::TernaryBlockSimulator(const Netlist& nl, int words,
+                                             SimBackend backend)
     : nl_(&nl), words_(words) {
   SP_CHECK(nl.finalized(), "TernaryBlockSimulator requires a finalized netlist");
   SP_CHECK(is_valid_block_words(words),
-           "TernaryBlockSimulator: words must be 1, 2, 4 or 8");
+           "TernaryBlockSimulator: words must be 1, 2, 4, 8, 16 or 32");
+  backend_ = resolve_backend(backend, words);
+  kern_ = &sim_kernels(backend_);
   // Sources start X (both planes set), like Simulator::clear_sources().
   p1_.assign(nl.num_gates() * static_cast<std::size_t>(words), ~PatternWord{0});
   p0_.assign(nl.num_gates() * static_cast<std::size_t>(words), ~PatternWord{0});
@@ -34,184 +38,14 @@ Logic TernaryBlockSimulator::lane_value(GateId id, std::size_t lane) const {
   return b1 ? Logic::One : Logic::Zero;
 }
 
-template <int W>
-void TernaryBlockSimulator::eval_impl() {
-  const Netlist& nl = *nl_;
-  const std::span<const GateType> types = nl.types_flat();
-  PatternWord* const ones = p1_.data();
-  PatternWord* const zeros = p0_.data();
-  const auto blk = [](PatternWord* base, GateId id) {
-    return base + static_cast<std::size_t>(id) * W;
-  };
-
-  for (GateId id : nl.topo_order()) {
-    const std::span<const GateId> fans = nl.fanin_span(id);
-    PatternWord* const o1 = blk(ones, id);
-    PatternWord* const o0 = blk(zeros, id);
-    switch (types[id]) {
-      case GateType::Const0:
-        for (int w = 0; w < W; ++w) {
-          o1[w] = 0;
-          o0[w] = ~PatternWord{0};
-        }
-        break;
-      case GateType::Const1:
-        for (int w = 0; w < W; ++w) {
-          o1[w] = ~PatternWord{0};
-          o0[w] = 0;
-        }
-        break;
-      case GateType::Buf: {
-        const PatternWord* a1 = blk(ones, fans[0]);
-        const PatternWord* a0 = blk(zeros, fans[0]);
-        for (int w = 0; w < W; ++w) {
-          o1[w] = a1[w];
-          o0[w] = a0[w];
-        }
-        break;
-      }
-      case GateType::Not: {
-        const PatternWord* a1 = blk(ones, fans[0]);
-        const PatternWord* a0 = blk(zeros, fans[0]);
-        for (int w = 0; w < W; ++w) {
-          o1[w] = a0[w];
-          o0[w] = a1[w];
-        }
-        break;
-      }
-      case GateType::And:
-      case GateType::Nand: {
-        // possibly-1 = every input possibly 1; possibly-0 = some input
-        // possibly 0.
-        const PatternWord* a1 = blk(ones, fans[0]);
-        const PatternWord* a0 = blk(zeros, fans[0]);
-        PatternWord t1[W];
-        PatternWord t0[W];
-        for (int w = 0; w < W; ++w) {
-          t1[w] = a1[w];
-          t0[w] = a0[w];
-        }
-        for (std::size_t i = 1; i < fans.size(); ++i) {
-          const PatternWord* b1 = blk(ones, fans[i]);
-          const PatternWord* b0 = blk(zeros, fans[i]);
-          for (int w = 0; w < W; ++w) {
-            t1[w] &= b1[w];
-            t0[w] |= b0[w];
-          }
-        }
-        if (types[id] == GateType::And) {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t1[w];
-            o0[w] = t0[w];
-          }
-        } else {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t0[w];
-            o0[w] = t1[w];
-          }
-        }
-        break;
-      }
-      case GateType::Or:
-      case GateType::Nor: {
-        const PatternWord* a1 = blk(ones, fans[0]);
-        const PatternWord* a0 = blk(zeros, fans[0]);
-        PatternWord t1[W];
-        PatternWord t0[W];
-        for (int w = 0; w < W; ++w) {
-          t1[w] = a1[w];
-          t0[w] = a0[w];
-        }
-        for (std::size_t i = 1; i < fans.size(); ++i) {
-          const PatternWord* b1 = blk(ones, fans[i]);
-          const PatternWord* b0 = blk(zeros, fans[i]);
-          for (int w = 0; w < W; ++w) {
-            t1[w] |= b1[w];
-            t0[w] &= b0[w];
-          }
-        }
-        if (types[id] == GateType::Or) {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t1[w];
-            o0[w] = t0[w];
-          }
-        } else {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t0[w];
-            o0[w] = t1[w];
-          }
-        }
-        break;
-      }
-      case GateType::Xor:
-      case GateType::Xnor: {
-        const PatternWord* a1 = blk(ones, fans[0]);
-        const PatternWord* a0 = blk(zeros, fans[0]);
-        PatternWord t1[W];
-        PatternWord t0[W];
-        for (int w = 0; w < W; ++w) {
-          t1[w] = a1[w];
-          t0[w] = a0[w];
-        }
-        for (std::size_t i = 1; i < fans.size(); ++i) {
-          const PatternWord* b1 = blk(ones, fans[i]);
-          const PatternWord* b0 = blk(zeros, fans[i]);
-          for (int w = 0; w < W; ++w) {
-            const PatternWord n1 = (t1[w] & b0[w]) | (t0[w] & b1[w]);
-            const PatternWord n0 = (t1[w] & b1[w]) | (t0[w] & b0[w]);
-            t1[w] = n1;
-            t0[w] = n0;
-          }
-        }
-        if (types[id] == GateType::Xor) {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t1[w];
-            o0[w] = t0[w];
-          }
-        } else {
-          for (int w = 0; w < W; ++w) {
-            o1[w] = t0[w];
-            o0[w] = t1[w];
-          }
-        }
-        break;
-      }
-      case GateType::Mux: {
-        // If the select can be 0, the output can take a's values; if it
-        // can be 1, b's. An X select with agreeing data inputs resolves,
-        // matching eval_gate().
-        const PatternWord* s1 = blk(ones, fans[0]);
-        const PatternWord* s0 = blk(zeros, fans[0]);
-        const PatternWord* a1 = blk(ones, fans[1]);
-        const PatternWord* a0 = blk(zeros, fans[1]);
-        const PatternWord* b1 = blk(ones, fans[2]);
-        const PatternWord* b0 = blk(zeros, fans[2]);
-        for (int w = 0; w < W; ++w) {
-          o1[w] = (s0[w] & a1[w]) | (s1[w] & b1[w]);
-          o0[w] = (s0[w] & a0[w]) | (s1[w] & b0[w]);
-        }
-        break;
-      }
-      case GateType::Input:
-      case GateType::Dff:
-        SP_ASSERT(false, "topo_order contains a source");
-    }
-  }
-}
-
 void TernaryBlockSimulator::eval() {
-  switch (words_) {
-    case 1: eval_impl<1>(); break;
-    case 2: eval_impl<2>(); break;
-    case 4: eval_impl<4>(); break;
-    case 8: eval_impl<8>(); break;
-    default: SP_ASSERT(false, "invalid block width");
-  }
+  kern_->eval_ternary(*nl_, p1_.data(), p0_.data(), words_);
 }
 
 PackedLeakageEvaluator::PackedLeakageEvaluator(const Netlist& nl,
-                                               const GateLeakageTables& tables)
-    : nl_(&nl), tables_(&tables) {
+                                               const GateLeakageTables& tables,
+                                               SimBackend backend)
+    : nl_(&nl), tables_(&tables), backend_(backend) {
   SP_CHECK(nl.finalized(),
            "PackedLeakageEvaluator requires a finalized netlist");
 }
@@ -225,7 +59,8 @@ void PackedLeakageEvaluator::eval(const BlockSimulator& sim,
   SP_CHECK(leak.size() >= lanes, "packed leakage: output buffer too small");
   for (std::size_t i = 0; i < lanes; ++i) leak[i] = 0.0;
 
-  const PatternWord* fb[GateLeakageTables::kMaxTableWidth];
+  const SimKernels& kern = sim_kernels(resolve_backend(backend_, W));
+  PatternWord srcw[GateLeakageTables::kMaxTableWidth];
   for (GateId id = 0; id < nl.num_gates(); ++id) {
     if (tables.leakless(id)) continue;
     const double* tbl = tables.table(id);
@@ -247,36 +82,12 @@ void PackedLeakageEvaluator::eval(const BlockSimulator& sim,
       }
       continue;
     }
-    if (k == 1) {
-      const PatternWord* a = sim.block(fans[0]);
-      for (int w = 0; w < W; ++w) {
-        double* out = leak.data() + static_cast<std::size_t>(w) * 64;
-        const PatternWord aw = a[w];
-        for (int i = 0; i < 64; ++i) out[i] += tbl[(aw >> i) & 1];
-      }
-    } else if (k == 2) {
-      const PatternWord* a = sim.block(fans[0]);
-      const PatternWord* b = sim.block(fans[1]);
-      for (int w = 0; w < W; ++w) {
-        double* out = leak.data() + static_cast<std::size_t>(w) * 64;
-        const PatternWord aw = a[w];
-        const PatternWord bw = b[w];
-        for (int i = 0; i < 64; ++i) {
-          out[i] += tbl[((aw >> i) & 1) | (((bw >> i) & 1) << 1)];
-        }
-      }
-    } else {
-      for (int j = 0; j < k; ++j) fb[j] = sim.block(fans[j]);
-      for (int w = 0; w < W; ++w) {
-        double* out = leak.data() + static_cast<std::size_t>(w) * 64;
-        for (int i = 0; i < 64; ++i) {
-          unsigned state = 0;
-          for (int j = 0; j < k; ++j) {
-            state |= static_cast<unsigned>((fb[j][w] >> i) & 1) << j;
-          }
-          out[i] += tbl[state];
-        }
-      }
+    // Tabulated gate: per-lane state assembly + table gather, one add per
+    // lane per gate (backend kernel; bit-identical accumulation order).
+    for (int w = 0; w < W; ++w) {
+      for (int j = 0; j < k; ++j) srcw[j] = sim.block(fans[j])[w];
+      kern.leak_gather(tbl, 0, srcw, k,
+                       leak.data() + static_cast<std::size_t>(w) * 64);
     }
   }
 }

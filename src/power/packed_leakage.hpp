@@ -36,9 +36,12 @@ namespace scanpower {
 /// Simulator on every lane.
 class TernaryBlockSimulator {
  public:
-  explicit TernaryBlockSimulator(const Netlist& nl, int words = 4);
+  explicit TernaryBlockSimulator(const Netlist& nl, int words = 4,
+                                 SimBackend backend = SimBackend::Auto);
 
   int words() const { return words_; }
+  /// The resolved kernel backend (never Auto).
+  SimBackend backend() const { return backend_; }
   std::size_t lanes() const { return static_cast<std::size_t>(words_) * 64; }
 
   PatternWord* p1(GateId id) {
@@ -65,15 +68,15 @@ class TernaryBlockSimulator {
 
   Logic lane_value(GateId id, std::size_t lane) const;
 
-  /// Full levelized Kleene evaluation of the combinational core.
+  /// Full levelized Kleene evaluation of the combinational core, through
+  /// the resolved backend's kernel table.
   void eval();
 
  private:
-  template <int W>
-  void eval_impl();
-
   const Netlist* nl_;
   int words_;
+  SimBackend backend_;      ///< resolved, never Auto
+  const SimKernels* kern_;  ///< backend kernel table
   std::vector<PatternWord> p1_;  ///< num_gates * words_, gate-major
   std::vector<PatternWord> p0_;
 };
@@ -85,7 +88,11 @@ class TernaryBlockSimulator {
 /// bit-identical to the scalar walk.
 class PackedLeakageEvaluator {
  public:
-  PackedLeakageEvaluator(const Netlist& nl, const GateLeakageTables& tables);
+  /// `backend` steers the table-gather kernel of the 2-valued eval (the
+  /// evaluator is width-agnostic, so resolution happens per eval() call
+  /// against the simulator's width).
+  PackedLeakageEvaluator(const Netlist& nl, const GateLeakageTables& tables,
+                         SimBackend backend = SimBackend::Auto);
 
   const GateLeakageTables& tables() const { return *tables_; }
 
@@ -101,6 +108,7 @@ class PackedLeakageEvaluator {
  private:
   const Netlist* nl_;
   const GateLeakageTables* tables_;
+  SimBackend backend_;  ///< as requested (may be Auto; resolved per eval)
 };
 
 }  // namespace scanpower

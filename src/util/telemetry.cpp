@@ -19,6 +19,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "fault_sim.runs",
     "fault_sim.blocks",
     "fault_sim.detected",
+    "backend.blocks_scalar",
+    "backend.blocks_avx2",
+    "backend.blocks_avx512",
+    "backend.blocks_wide",
     "diag.queries",
     "diag.candidates",
     "diag.dropped",
@@ -54,6 +58,7 @@ constexpr const char* kCounterNames[kNumCounters] = {
 constexpr const char* kGaugeNames[kNumGauges] = {
     "good_cache.blocks_cached",
     "pool.workers",
+    "sim.backend",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

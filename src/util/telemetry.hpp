@@ -55,6 +55,12 @@ enum class CounterId : int {
   kFaultSimRuns,
   kFaultSimBlocks,
   kFaultSimDetected,   ///< faults detected and dropped (semantic)
+  // kernel-backend attribution: fault-sim blocks swept per backend (work
+  // counters; which one advances depends on the resolved backend)
+  kBackendBlocksScalar,
+  kBackendBlocksAvx2,
+  kBackendBlocksAvx512,
+  kBackendBlocksWide,
   // full-response diagnosis (semantic)
   kDiagQueries,
   kDiagCandidates,     ///< prune survivors scored
@@ -97,6 +103,7 @@ enum class CounterId : int {
 enum class GaugeId : int {
   kGoodBlocksCached = 0, ///< blocks currently held by the good-block cache
   kPoolWorkers,
+  kSimBackend,           ///< last resolved SimBackend (numeric enum value)
   kCount
 };
 
