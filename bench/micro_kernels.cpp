@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "atpg/fault_sim.hpp"
 #include "atpg/packed_sim.hpp"
@@ -17,6 +21,7 @@
 #include "core/dont_care_fill.hpp"
 #include "core/justify.hpp"
 #include "core/session.hpp"
+#include "core/work_queue.hpp"
 #include "diag/diagnose.hpp"
 #include "diag/noise.hpp"
 #include "diag/response.hpp"
@@ -638,6 +643,133 @@ void BM_TestGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TestGeneration)->Unit(benchmark::kMillisecond);
+
+// Saturation benchmark for the diagnosis service stack: N client threads
+// hammer M designs with failure logs, closed-loop (one outstanding
+// request per client). Args are (warm, clients, designs):
+//  - warm = 1: requests flow through one DiagnosisQueue whose designs
+//    were open()ed up front -- shared DesignContexts out of the
+//    SessionPool, queued logs coalesced per design into batched
+//    64-candidate rounds.
+//  - warm = 0: the cold per-call path -- every request constructs a
+//    throwaway ScanSession (full design-keyed build) before diagnosing,
+//    which is what per-invocation CLI calls cost.
+// Engine knobs are pinned at T=4 / W=4 for both paths (the acceptance
+// comparison in BENCH_server.json). Reported: logs/sec (items) plus
+// p50/p99 per-request latency in ms. Results are bit-identical between
+// the paths (guarded by tests/test_session_pool.cpp).
+void BM_DiagServer(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const int clients = static_cast<int>(state.range(1));
+  const int ndesigns = static_cast<int>(state.range(2));
+  static const char* kDesigns[] = {"s713", "s1423"};
+
+  FlowOptions fopts;
+  fopts.diag.block_words = 4;
+  fopts.diag.num_threads = 4;
+
+  // Per design: 96 random patterns and 8 distinct detected-fault logs.
+  struct Dut {
+    const Netlist* nl;
+    std::vector<TestPattern> pats;
+    std::vector<Evidence> evs;
+  };
+  std::vector<Dut> duts;
+  for (int d = 0; d < ndesigns; ++d) {
+    Dut dut;
+    dut.nl = &circuit(kDesigns[d]);
+    Rng rng(17 + d);
+    for (int i = 0; i < 96; ++i) {
+      dut.pats.push_back(random_pattern(*dut.nl, rng));
+    }
+    const auto faults = collapse_faults(*dut.nl);
+    FaultSimulator fsim(*dut.nl, FaultSimOptions{.block_words = 4});
+    const FaultSimResult det = fsim.run(dut.pats, faults);
+    ScanSession inj(*dut.nl, fopts);
+    inj.bind_patterns(dut.pats);
+    std::size_t next = 0;
+    for (std::size_t fi = 0; fi < faults.size() && dut.evs.size() < 8;
+         fi += faults.size() / 11 + 1) {
+      std::size_t pick = std::max(fi, next);
+      while (pick < faults.size() && !det.detected[pick]) ++pick;
+      if (pick >= faults.size()) break;
+      next = pick + 1;
+      dut.evs.push_back(inj.inject(faults[pick]));
+    }
+    SP_CHECK(dut.evs.size() == 8, "BM_DiagServer: need 8 logs per design");
+    duts.push_back(std::move(dut));
+  }
+
+  // The queue (and its contexts) is service steady state: built once,
+  // outside the measured loop, exactly like a long-running diag_server.
+  Telemetry telem;
+  DiagnosisQueue::Options qo;
+  qo.pool_capacity = static_cast<std::size_t>(ndesigns);
+  DiagnosisQueue queue(qo, &telem);
+  std::vector<DiagnosisQueue::DesignKey> keys;
+  if (warm) {
+    for (const Dut& dut : duts) {
+      keys.push_back(queue.open(*dut.nl, fopts, dut.pats));
+    }
+    queue.submit(keys[0], duts[0].evs[0]).get();  // populate lazy caches
+  }
+
+  constexpr int kPerClient = 8;  // requests per client per iteration
+  std::mutex lat_mu;
+  std::vector<double> lat_ms;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<double> local;
+        local.reserve(kPerClient);
+        for (int i = 0; i < kPerClient; ++i) {
+          const Dut& dut = duts[static_cast<std::size_t>(c + i) % duts.size()];
+          const Evidence& ev = dut.evs[static_cast<std::size_t>(i) %
+                                       dut.evs.size()];
+          const auto t0 = std::chrono::steady_clock::now();
+          if (warm) {
+            std::future<DiagnosisResult> f = queue.submit(
+                keys[static_cast<std::size_t>(c + i) % keys.size()], ev);
+            benchmark::DoNotOptimize(f.get().num_candidates);
+          } else {
+            ScanSession cold(*dut.nl, fopts);
+            cold.bind_patterns(dut.pats);
+            benchmark::DoNotOptimize(cold.diagnose(ev).num_candidates);
+          }
+          local.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        lat_ms.insert(lat_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          clients * kPerClient);
+  std::sort(lat_ms.begin(), lat_ms.end());
+  if (!lat_ms.empty()) {
+    const auto pct = [&](double p) {
+      const std::size_t i = static_cast<std::size_t>(
+          p * static_cast<double>(lat_ms.size() - 1));
+      return lat_ms[i];
+    };
+    state.counters["p50_ms"] = pct(0.50);
+    state.counters["p99_ms"] = pct(0.99);
+  }
+}
+BENCHMARK(BM_DiagServer)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Args({0, 4, 1})   // cold per-call baseline, 4 clients, 1 design
+    ->Args({1, 4, 1})   // warm queue (acceptance comparison)
+    ->Args({0, 4, 2})
+    ->Args({1, 4, 2})
+    ->Args({1, 1, 1})   // no concurrency: queue overhead floor
+    ->Args({1, 8, 2});  // oversubscribed saturation
 
 }  // namespace
 

@@ -401,8 +401,21 @@ int main(int argc, char** argv) {
                  "--signature-log (or --inject) instead of --log\n");
     return 2;
   }
-  if (save_log_path && !inject_mode && file_logs.size() != 1) {
-    std::fprintf(stderr, "error: --save-log needs a single-log run\n");
+  // --save-log writes exactly one log. Count the run's logs the same way
+  // for both modes (an injection is one synthetic log) so the guard can't
+  // be skirted by --inject; a multi-log batch is a hard error naming the
+  // conflicting flags instead of silently writing only one of the logs.
+  const std::size_t num_logs = inject_mode ? 1 : file_logs.size();
+  if (save_log_path && num_logs != 1) {
+    const std::size_t num_sig =
+        static_cast<std::size_t>(std::count_if(
+            file_logs.begin(), file_logs.end(),
+            [](const FileLog& f) { return f.signature; }));
+    std::fprintf(stderr,
+                 "error: --save-log writes a single log, but this run "
+                 "diagnoses %zu (%zu --log, %zu --signature-log); drop "
+                 "--save-log or reduce the batch to one log\n",
+                 num_logs, file_logs.size() - num_sig, num_sig);
     return 2;
   }
 

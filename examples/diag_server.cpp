@@ -1,0 +1,301 @@
+// Long-running diagnosis server over the async service stack: designs are
+// shared DesignContexts parked in a SessionPool, requests flow through a
+// DiagnosisQueue (submit -> future), and queued logs coalesce per design
+// into batched 64-candidate scoring rounds -- so a burst of K logs against
+// one design costs one engine setup plus K scoring passes, and results
+// stay bit-identical to sequential diagnose() calls.
+//
+// Line protocol, newline-delimited on stdin (# starts a comment):
+//
+//   design <path> [nomap]      load a .bench / structural .v design and
+//                              make it current (contexts stay warm in the
+//                              pool across switches; LRU past capacity)
+//   patterns <n> [seed]        bind n random patterns to the current
+//                              design (required before evidence; rebind
+//                              drains the design first)
+//   log <path>                 submit a failure-log file for diagnosis
+//   signature-log <path>       submit a MISR signature-log file
+//   inject <fault>             synthesize + submit "net/sa0" style fault
+//   inject-index <n>           ... the n-th collapsed fault
+//   flush                      wait for every pending result and print one
+//                              compact JSON object per line (input order)
+//   stats                      print the server telemetry report (the
+//                              sessions.* / queue.* counters with the
+//                              context-pool and queue gauges)
+//   quit                       flush and exit
+//
+// Responses go to stdout; errors for one request poison only that
+// request's line ("error" field), never the server. Startup flags:
+//
+//   diag_server [--pool-capacity n] [--max-batch n] [--top n]
+//               [--threads n] [--block-words w]
+//               [--backend auto|scalar|avx2|avx512|wide]
+//               [--log-level debug|info|warn|error|off]
+//
+// Example session:
+//
+//   design bench/iscas89/s9234.bench
+//   patterns 192 7
+//   inject G100/sa1
+//   log chip42.flog
+//   flush
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "compact/signature_log.hpp"
+#include "core/session.hpp"
+#include "core/work_queue.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace scanpower;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--pool-capacity n] [--max-batch n] [--top n]\n"
+      "          [--threads n] [--block-words w]\n"
+      "          [--backend auto|scalar|avx2|avx512|wide]\n"
+      "          [--log-level debug|info|warn|error|off]\n"
+      "\n"
+      "  Reads newline-delimited commands on stdin:\n"
+      "    design <path> [nomap]   load a design, make it current\n"
+      "    patterns <n> [seed]     bind n random patterns to it\n"
+      "    log <file>              submit a failure log\n"
+      "    signature-log <file>    submit a MISR signature log\n"
+      "    inject <fault>          synthesize + submit net/sa0-style fault\n"
+      "    inject-index <n>        ... the n-th collapsed fault\n"
+      "    flush                   print pending results (one JSON/line)\n"
+      "    stats                   print server telemetry\n"
+      "    quit                    flush and exit\n",
+      argv0);
+  return 2;
+}
+
+/// One registered design: the queue key plus a cheap front session over
+/// the shared context (used to parse faults and synthesize injected
+/// evidence without touching the dispatcher's tenant session).
+struct Design {
+  DiagnosisQueue::DesignKey key = 0;
+  std::shared_ptr<const DesignContext> ctx;
+  std::unique_ptr<ScanSession> front;
+  std::size_t num_patterns = 0;
+};
+
+struct Pending {
+  std::string circuit;
+  std::string source;
+  std::size_t num_patterns = 0;
+  std::shared_ptr<const DesignContext> ctx;  // keeps names resolvable
+  std::future<DiagnosisResult> result;
+};
+
+void write_result(std::ostream& os, Pending& p, std::size_t top) {
+  JsonWriter j(os, /*indent=*/0);  // compact: one object per line
+  DiagnosisResult res;
+  try {
+    res = p.result.get();
+  } catch (const std::exception& e) {
+    j.begin_object();
+    j.field("circuit", p.circuit);
+    j.field("source", p.source);
+    j.field("error", e.what());
+    j.end_object();
+    os << "\n";
+    return;
+  }
+  const Netlist& nl = p.ctx->netlist();
+  j.begin_object();
+  j.field("circuit", p.circuit);
+  j.field("source", p.source);
+  j.field("num_patterns", static_cast<std::uint64_t>(p.num_patterns));
+  j.field("num_faults", static_cast<std::uint64_t>(res.num_faults));
+  j.field("num_candidates", static_cast<std::uint64_t>(res.num_candidates));
+  j.field("num_failing_patterns",
+          static_cast<std::uint64_t>(res.num_failing_patterns));
+  j.field("union_fallback", res.union_fallback);
+  j.begin_array("ranked");
+  for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
+    const CandidateScore& sc = res.ranked[i];
+    j.begin_object();
+    j.field("fault", sc.fault.to_string(nl));
+    j.field("tfsf", sc.tfsf);
+    j.field("tfsp", sc.tfsp);
+    j.field("tpsf", sc.tpsf);
+    j.field("exact", sc.exact());
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t pool_capacity = SessionPool::kDefaultCapacity;
+  std::size_t max_batch = 64;
+  std::size_t top = 5;
+  DiagnosisOptions dopts;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (cli::value_flag(argc, argv, i, "--pool-capacity", v)) {
+      pool_capacity = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--max-batch", v)) {
+      max_batch = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--top", v)) {
+      top = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--threads",
+                               dopts.num_threads)) {
+    } else if (cli::value_flag(argc, argv, i, "--block-words",
+                               dopts.block_words)) {
+    } else if (cli::backend_flag(argc, argv, i, "--backend", dopts.backend)) {
+    } else if (cli::value_flag(argc, argv, i, "--log-level", v)) {
+      set_log_level(cli::parse_log_level(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Telemetry telemetry;
+  DiagnosisQueue::Options qopts;
+  qopts.max_batch = max_batch;
+  qopts.pool_capacity = pool_capacity;
+  DiagnosisQueue queue(qopts, &telemetry);
+
+  FlowOptions fopts;
+  fopts.diag = dopts;
+  fopts.tpg.fault_sim.block_words = dopts.block_words;
+  fopts.tpg.fault_sim.num_threads = dopts.num_threads;
+  fopts.tpg.fault_sim.backend = dopts.backend;
+
+  std::map<std::string, Design> designs;  // by netlist name
+  Design* current = nullptr;
+  std::vector<Pending> pending;
+  // The design the 'design' command loaded, waiting for 'patterns'.
+  std::unique_ptr<Netlist> loaded;
+
+  const auto flush = [&] {
+    for (Pending& p : pending) write_result(std::cout, p, top);
+    std::cout.flush();
+    pending.clear();
+  };
+  const auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "design") {
+        std::string path, opt;
+        if (!(in >> path)) {
+          fail("design needs a file path");
+          continue;
+        }
+        in >> opt;
+        loaded = std::make_unique<Netlist>(
+            cli::load_design(path, /*do_map=*/opt != "nomap"));
+        auto it = designs.find(loaded->name());
+        if (it != designs.end()) {
+          current = &it->second;  // already registered: just switch
+          loaded.reset();
+        } else {
+          current = nullptr;  // registered by the next 'patterns'
+        }
+      } else if (cmd == "patterns") {
+        std::size_t n = 0;
+        std::uint64_t seed = 0xd1a6ULL;
+        if (!(in >> n) || n == 0) {
+          fail("patterns needs a count >= 1");
+          continue;
+        }
+        in >> seed;
+        const Netlist* nl =
+            loaded ? loaded.get() : (current ? &current->ctx->netlist() : nullptr);
+        if (!nl) {
+          fail("no design loaded (use: design <path>)");
+          continue;
+        }
+        Rng rng(seed);
+        std::vector<TestPattern> patterns;
+        patterns.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          patterns.push_back(random_pattern(*nl, rng));
+        }
+        queue.drain();  // rebind requires the design idle
+        const auto key = queue.open(*nl, fopts, patterns);
+        Design& d = designs[nl->name()];
+        d.key = key;
+        if (!d.ctx) {
+          d.ctx = queue.contexts().acquire(*nl, fopts);
+          d.front = std::make_unique<ScanSession>(d.ctx, fopts);
+        }
+        d.front->bind_patterns(patterns);
+        d.num_patterns = n;
+        current = &d;
+        loaded.reset();
+      } else if (cmd == "log" || cmd == "signature-log" || cmd == "inject" ||
+                 cmd == "inject-index") {
+        if (!current) {
+          fail("no design registered (use: design <path>, then patterns <n>)");
+          continue;
+        }
+        std::string arg;
+        if (!(in >> arg)) {
+          fail(cmd + " needs an argument");
+          continue;
+        }
+        Evidence ev;
+        if (cmd == "log") {
+          ev = load_failure_log_file(arg, &current->ctx->netlist(),
+                                     &current->ctx->points());
+        } else if (cmd == "signature-log") {
+          ev = load_signature_log_file(arg);
+        } else {
+          const Fault f =
+              cmd == "inject"
+                  ? parse_fault(current->ctx->netlist(), arg)
+                  : current->ctx->faults().at(
+                        static_cast<std::size_t>(std::stol(arg)));
+          ev = current->front->inject(f);
+        }
+        Pending p;
+        p.circuit = current->ctx->netlist().name();
+        p.source = cmd + " " + arg;
+        p.num_patterns = current->num_patterns;
+        p.ctx = current->ctx;
+        p.result = queue.submit(current->key, std::move(ev));
+        pending.push_back(std::move(p));
+      } else if (cmd == "flush") {
+        flush();
+      } else if (cmd == "stats") {
+        telemetry.metrics.snapshot().write_text(std::cout);
+        std::cout.flush();
+      } else if (cmd == "quit") {
+        break;
+      } else {
+        fail("unknown command: " + cmd);
+      }
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+  }
+  flush();
+  return 0;
+}

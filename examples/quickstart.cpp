@@ -14,6 +14,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "core/session.hpp"
+#include "core/session_pool.hpp"
 #include "techmap/techmap.hpp"
 
 using namespace scanpower;
@@ -97,5 +98,19 @@ int main() {
   std::printf("diagnosis timing: prune %llu us, score %llu us\n",
               static_cast<unsigned long long>(full.stats.prune_us),
               static_cast<unsigned long long>(full.stats.score_us));
+
+  // 5. Serving several clients of the same design? Share the design-keyed
+  //    layer instead of rebuilding it per session: a SessionPool hands out
+  //    immutable DesignContexts keyed by a structural hash (LRU-evicted
+  //    past its capacity), and sessions built over one are cheap -- they
+  //    reference the context's faults/cones/tables and keep only their
+  //    own pattern caches. Results are bit-identical to an isolated
+  //    session; see diag_server for the queue-fed multi-client front end.
+  SessionPool pool(/*capacity=*/4);
+  ScanSession tenant(pool.acquire(nl), session.options());
+  tenant.bind_patterns(session.patterns());
+  const DiagnosisResult shared = tenant.diagnose(full_log);
+  std::printf("\nshared-context tenant agrees: rank %zu of %zu candidates\n",
+              shared.rank_of(defect), shared.num_candidates);
   return 0;
 }

@@ -1,0 +1,99 @@
+#pragma once
+// DesignContext: the immutable, shareable design-keyed layer of the
+// service stack.
+//
+// ScanSession amortizes engine state across queries, but it is a
+// single-threaded object: one session per client, each with its own copy
+// of the design-keyed state (collapsed fault list, observation points and
+// cones, leakage tables, ATPG set, the netlist itself). A multi-tenant
+// service wants that layer built once per *design* and referenced by many
+// concurrent sessions. DesignContext is exactly that split:
+//
+//   - build-once-under-lock: the constructor builds every eagerly needed
+//     piece (collapsed faults, ObservationPoints, the fully materialized
+//     ObservationConeCache, GateLeakageTables); the ATPG TestSet is the
+//     one expensive piece a diagnosis-only tenant never touches, so it
+//     builds lazily behind std::call_once.
+//   - read-only after publish: once a shared_ptr<const DesignContext> is
+//     handed out, nothing mutates but relaxed cache tallies -- so the
+//     bit-identical-across-(block_words, num_threads) house rule extends
+//     to "across concurrent tenants": N sessions sharing one context
+//     return byte-identical results to N isolated sessions.
+//
+// Sessions reference a context via shared_ptr (ScanSession's context
+// constructor), so SessionPool eviction can never invalidate in-flight
+// work: the last referencing session keeps the context alive.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace scanpower {
+
+/// Validates every engine knob of `opts` against `nl` up front -- bad
+/// block widths, thread counts, backends, MISR configurations and sample
+/// counts throw Error with the knob named, prefixed by `who`. Shared by
+/// ScanSession and DesignContext so both entry points reject the same
+/// misconfigurations with the same messages.
+void validate_flow_options(const Netlist& nl, const FlowOptions& opts,
+                           const char* who);
+
+class DesignContext {
+ public:
+  /// Copies the (finalized) netlist and builds the design-keyed layer.
+  /// `opts` is validated up front exactly like ScanSession's constructor;
+  /// it also supplies the TPG configuration of the lazy ATPG set and the
+  /// default options of sessions created from this context. `telemetry`
+  /// (optional) receives the build counters; the context does not retain
+  /// it past construction.
+  explicit DesignContext(Netlist nl, FlowOptions opts = {},
+                         Telemetry* telemetry = nullptr);
+
+  DesignContext(const DesignContext&) = delete;
+  DesignContext& operator=(const DesignContext&) = delete;
+
+  const Netlist& netlist() const { return nl_; }
+  const FlowOptions& options() const { return opts_; }
+  const LeakageModel& leakage_model() const { return model_; }
+
+  /// Collapsed stuck-at fault universe of the design.
+  const std::vector<Fault>& faults() const { return faults_; }
+  /// Observation-point index space of the full-scan response.
+  const ObservationPoints& points() const { return points_; }
+  /// Fully pre-built fanin cones (build_all() ran in the constructor, so
+  /// concurrent cone() calls can only hit -- reads plus relaxed tallies).
+  /// Mutable through const: the reference is handed to the diagnosers'
+  /// borrowing constructors, and post-publish the object is logically
+  /// immutable.
+  ObservationConeCache& cones() const { return cones_; }
+  /// Per-(netlist, model) state->leakage tables.
+  const GateLeakageTables& leakage_tables() const { return tables_; }
+  /// ATPG test set under options().tpg; first caller builds it under
+  /// std::call_once, so concurrent tenants block rather than duplicate.
+  const TestSet& tests() const;
+
+  /// Structural hash of the design (name, gate types, CSR fanins, outputs,
+  /// scan cells): the SessionPool key. Computed once at construction.
+  std::uint64_t design_hash() const { return hash_; }
+  /// The same hash for a netlist without building a context -- pool lookup.
+  static std::uint64_t hash_design(const Netlist& nl);
+
+ private:
+  Netlist nl_;
+  FlowOptions opts_;
+  LeakageModel model_;
+  std::uint64_t hash_ = 0;
+
+  std::vector<Fault> faults_;
+  ObservationPoints points_;
+  mutable ObservationConeCache cones_;
+  GateLeakageTables tables_;
+
+  mutable std::once_flag tests_once_;
+  mutable std::unique_ptr<TestSet> tests_;
+};
+
+}  // namespace scanpower

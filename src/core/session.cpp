@@ -12,36 +12,6 @@ namespace scanpower {
 
 namespace {
 
-void check_block_words(int w, const char* knob) {
-  SP_CHECK(is_valid_block_words(w),
-           strprintf("ScanSession: %s must be 1, 2, 4, 8, 16 or 32 (got %d)",
-                     knob, w));
-}
-
-/// Explicit backends are a hard contract (Auto falls back gracefully):
-/// fail construction with the knob named instead of deep inside an engine.
-void check_backend(SimBackend b, int words, const char* knob) {
-  if (b == SimBackend::Auto) return;
-  SP_CHECK(backend_available(b),
-           strprintf("ScanSession: %s backend '%s' is not available on this "
-                     "host (%s)",
-                     knob, backend_name(b),
-                     backend_compiled(b) ? "CPU lacks the required features"
-                                         : "library built without its kernels"));
-  SP_CHECK(backend_supports_words(b, words),
-           strprintf("ScanSession: %s backend '%s' does not support "
-                     "block_words=%d (scalar: any width; avx2/avx512: 1-8; "
-                     "wide: 16/32)",
-                     knob, backend_name(b), words));
-}
-
-void check_threads(int t, const char* knob) {
-  SP_CHECK(t >= 0,
-           strprintf("ScanSession: %s must be >= 0 (0 = all hardware "
-                     "threads; got %d)",
-                     knob, t));
-}
-
 /// Applies FlowOptions::max_power_patterns (truncation keeps the original
 /// scan-in sequence, so all structures see identical stimulus).
 TestSet capped_tests(const TestSet& tests, std::size_t cap) {
@@ -74,48 +44,9 @@ std::vector<Logic> implied_scan_values(const Netlist& nl,
 ScanSession::ScanSession(Netlist nl, FlowOptions opts)
     : nl_(std::move(nl)), opts_(std::move(opts)),
       model_(opts_.leakage_params) {
-  SP_CHECK(nl_.finalized(),
-           "ScanSession: netlist must be finalized (call Netlist::finalize "
-           "before constructing a session)");
   // Validate every engine knob up front, naming the knob -- the same
   // misconfigurations used to surface as failures deep inside the engines.
-  check_block_words(opts_.tpg.fault_sim.block_words,
-                    "tpg.fault_sim.block_words");
-  check_block_words(opts_.diag.block_words, "diag.block_words");
-  check_block_words(opts_.observability.block_words,
-                    "observability.block_words");
-  check_block_words(opts_.fill.block_words, "fill.block_words");
-  check_backend(opts_.tpg.fault_sim.backend, opts_.tpg.fault_sim.block_words,
-                "tpg.fault_sim");
-  check_backend(opts_.diag.backend, opts_.diag.block_words, "diag");
-  check_backend(opts_.observability.backend, opts_.observability.block_words,
-                "observability");
-  check_backend(opts_.fill.backend, opts_.fill.block_words, "fill");
-  check_threads(opts_.tpg.fault_sim.num_threads, "tpg.fault_sim.num_threads");
-  check_threads(opts_.diag.num_threads, "diag.num_threads");
-  check_threads(opts_.observability.num_threads, "observability.num_threads");
-  check_threads(opts_.fill.num_threads, "fill.num_threads");
-  SP_CHECK(opts_.misr.width >= 4 && opts_.misr.width <= 64,
-           strprintf("ScanSession: misr.width must be in 4..64 (got %d)",
-                     opts_.misr.width));
-  SP_CHECK(opts_.misr.window >= 1,
-           strprintf("ScanSession: misr.window must be >= 1 pattern (got %d)",
-                     opts_.misr.window));
-  const std::uint64_t poly = opts_.misr.resolved_poly();
-  SP_CHECK((opts_.misr.width == 64 || (poly >> opts_.misr.width) == 0) &&
-               ((poly >> (opts_.misr.width - 1)) & 1) != 0,
-           strprintf("ScanSession: misr.poly %llx does not fit width %d with "
-                     "the top (bit %d) tap set; the top tap keeps the MISR "
-                     "transition invertible -- see default_misr_poly()",
-                     static_cast<unsigned long long>(poly), opts_.misr.width,
-                     opts_.misr.width - 1));
-  SP_CHECK(opts_.observability.samples > 1,
-           strprintf("ScanSession: observability.samples must be >= 2 (got "
-                     "%d)",
-                     opts_.observability.samples));
-  SP_CHECK(opts_.fill.trials >= 1,
-           strprintf("ScanSession: fill.trials must be >= 1 (got %d)",
-                     opts_.fill.trials));
+  validate_flow_options(nl_, opts_, "ScanSession");
 
   // Every engine built from these option copies reports into the session
   // scope. Safe: a session is neither copyable nor movable, so the
@@ -123,6 +54,19 @@ ScanSession::ScanSession(Netlist nl, FlowOptions opts)
   opts_.diag.telemetry = &telemetry_;
   opts_.tpg.fault_sim.telemetry = &telemetry_;
 }
+
+ScanSession::ScanSession(std::shared_ptr<const DesignContext> ctx,
+                         FlowOptions opts)
+    : ctx_(std::move(ctx)), opts_(std::move(opts)),
+      model_(opts_.leakage_params) {
+  SP_CHECK(ctx_ != nullptr, "ScanSession: null DesignContext");
+  validate_flow_options(ctx_->netlist(), opts_, "ScanSession");
+  opts_.diag.telemetry = &telemetry_;
+  opts_.tpg.fault_sim.telemetry = &telemetry_;
+}
+
+ScanSession::ScanSession(std::shared_ptr<const DesignContext> ctx)
+    : ScanSession(ctx, ctx == nullptr ? FlowOptions{} : ctx->options()) {}
 
 ScanSession::~ScanSession() = default;
 
@@ -135,7 +79,12 @@ MetricsSnapshot ScanSession::metrics() {
     // Cache and pool tallies live on the owning objects as absolute
     // lifetime values; overwrite (never add) the registry slots so
     // repeated snapshots stay correct.
-    if (cones_) {
+    if (ctx_) {
+      // Shared context: cone tallies aggregate across every tenant (the
+      // cache itself is design-wide state).
+      set(CounterId::kConeCacheHits, ctx_->cones().hits());
+      set(CounterId::kConeCacheMisses, ctx_->cones().misses());
+    } else if (cones_) {
       set(CounterId::kConeCacheHits, cones_->hits());
       set(CounterId::kConeCacheMisses, cones_->misses());
     }
@@ -170,26 +119,32 @@ ThreadPool& ScanSession::pool() {
 }
 
 const std::vector<Fault>& ScanSession::faults() {
+  if (ctx_) return ctx_->faults();
   if (!faults_) {
-    faults_ = std::make_unique<std::vector<Fault>>(collapse_faults(nl_));
+    faults_ = std::make_unique<std::vector<Fault>>(collapse_faults(nl()));
   }
   return *faults_;
 }
 
 const ObservationPoints& ScanSession::points() {
-  if (!points_) points_ = std::make_unique<ObservationPoints>(nl_);
+  if (ctx_) return ctx_->points();
+  if (!points_) points_ = std::make_unique<ObservationPoints>(nl());
   return *points_;
 }
 
 ObservationConeCache& ScanSession::cones() {
+  if (ctx_) return ctx_->cones();  // fully pre-built: concurrent-safe hits
   if (!cones_) {
-    cones_ = std::make_unique<ObservationConeCache>(nl_, points());
+    cones_ = std::make_unique<ObservationConeCache>(nl(), points());
   }
   return *cones_;
 }
 
 const GateLeakageTables& ScanSession::leakage_tables() {
-  if (!tables_) tables_ = std::make_unique<GateLeakageTables>(nl_, model_);
+  if (ctx_) return ctx_->leakage_tables();
+  if (!tables_) {
+    tables_ = std::make_unique<GateLeakageTables>(nl(), leakage_model());
+  }
   return *tables_;
 }
 
@@ -200,14 +155,19 @@ const LeakageObservability& ScanSession::observability() {
       o.tables = &leakage_tables();
       o.pool = &pool();
     }
-    obs_ = std::make_unique<LeakageObservability>(nl_, model_, o);
+    obs_ = std::make_unique<LeakageObservability>(nl(), leakage_model(), o);
   }
   return *obs_;
 }
 
 const TestSet& ScanSession::tests() {
+  // Deliberately NOT forwarded to the context: a tenant's opts_.tpg may
+  // differ from the context's, and generate_tests is deterministic, so
+  // building locally keeps results bit-identical to an isolated session
+  // at the cost of duplicating ATPG for flow-running tenants. Tenants
+  // that want the shared set use context()->tests() explicitly.
   if (!tests_) {
-    tests_ = std::make_unique<TestSet>(generate_tests(nl_, opts_.tpg));
+    tests_ = std::make_unique<TestSet>(generate_tests(nl(), opts_.tpg));
   }
   return *tests_;
 }
@@ -225,7 +185,7 @@ void ScanSession::bind_patterns(std::span<const TestPattern> patterns) {
   bound_.assign(patterns.begin(), patterns.end());
   filled_ = zero_filled_patterns(bound_);
   has_patterns_ = true;
-  goods_.bind(nl_, effective_patterns(), opts_.diag.block_words,
+  goods_.bind(nl(), effective_patterns(), opts_.diag.block_words,
               GoodBlockCache::kDefaultMaxCachedBlocks, opts_.diag.backend);
   // Per-MisrConfig compaction states rebind themselves lazily (they
   // compare the bound content on next use).
@@ -250,7 +210,7 @@ void ScanSession::require_fully_specified(const char* what) const {
 
 Diagnoser& ScanSession::diagnoser() {
   if (!diagnoser_) {
-    diagnoser_ = std::make_unique<Diagnoser>(nl_, opts_.diag, pool(), points(),
+    diagnoser_ = std::make_unique<Diagnoser>(nl(), opts_.diag, pool(), points(),
                                              cones(), goods_);
   }
   return *diagnoser_;
@@ -259,14 +219,14 @@ Diagnoser& ScanSession::diagnoser() {
 SignatureDiagnoser& ScanSession::sig_diagnoser() {
   if (!sig_diagnoser_) {
     sig_diagnoser_ = std::make_unique<SignatureDiagnoser>(
-        nl_, opts_.diag, pool(), points(), cones(), goods_);
+        nl(), opts_.diag, pool(), points(), cones(), goods_);
   }
   return *sig_diagnoser_;
 }
 
 ResponseCapture& ScanSession::capture() {
   if (!capture_) {
-    capture_ = std::make_unique<ResponseCapture>(nl_, opts_.diag.block_words,
+    capture_ = std::make_unique<ResponseCapture>(nl(), opts_.diag.block_words,
                                                  opts_.diag.backend);
   }
   return *capture_;
@@ -286,7 +246,7 @@ SignatureCapture& ScanSession::compact_state(const MisrConfig& cfg) {
     telemetry_.metrics.add(0, CounterId::kXMaskBuilds);
     it = compact_
              .emplace(key, std::make_unique<SignatureCapture>(
-                               nl_, cfg, opts_.diag.block_words,
+                               nl(), cfg, opts_.diag.block_words,
                                opts_.diag.backend))
              .first;
   } else {
@@ -330,9 +290,9 @@ DiagnosisResult ScanSession::diagnose_full(const FailureLog& log) {
   SP_LOG_INFO(strprintf(
       "diagnosis[%s]: %zu failures over %zu patterns -> %zu/%zu candidates, "
       "best %s (tfsf %llu, tfsp %llu, tpsf %llu)%s%s",
-      nl_.name().c_str(), res.num_failures, res.num_failing_patterns,
+      nl().name().c_str(), res.num_failures, res.num_failing_patterns,
       res.num_candidates, res.num_faults,
-      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl_).c_str(),
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl()).c_str(),
       res.ranked.empty() ? 0ULL
                          : static_cast<unsigned long long>(res.ranked[0].tfsf),
       res.ranked.empty() ? 0ULL
@@ -361,10 +321,10 @@ DiagnosisResult ScanSession::diagnose_compacted(const SignatureLog& log) {
       "compacted diagnosis[%s]: %zu/%zu failing windows (MISR width %d, "
       "window %d, %zu masked point-windows) -> %zu/%zu candidates, best %s "
       "(tfsf %llu, tfsp %llu, tpsf %llu)",
-      nl_.name().c_str(), res.num_failing_windows, res.num_windows,
+      nl().name().c_str(), res.num_failing_windows, res.num_windows,
       log.misr.width, log.misr.window, res.num_masked, res.num_candidates,
       res.num_faults,
-      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl_).c_str(),
+      res.ranked.empty() ? "<none>" : res.ranked[0].fault.to_string(nl()).c_str(),
       res.ranked.empty() ? 0ULL
                          : static_cast<unsigned long long>(res.ranked[0].tfsf),
       res.ranked.empty() ? 0ULL
@@ -419,7 +379,7 @@ std::vector<DiagnosisResult> ScanSession::diagnose_batch(
     }
     SP_LOG_INFO(strprintf("diagnosis batch[%s]: %zu failure logs over %zu "
                        "patterns on %d workers",
-                       nl_.name().c_str(), full.size(), bound_.size(),
+                       nl().name().c_str(), full.size(), bound_.size(),
                        pool().size()));
   }
   return results;
@@ -465,14 +425,14 @@ FillResult ScanSession::fill(std::vector<Logic>& pi_pattern,
     fo.tables = &leakage_tables();
     fo.pool = &pool();
   }
-  return fill_dont_cares_min_leakage(nl_, model_, pi_pattern, mux_pattern,
+  return fill_dont_cares_min_leakage(nl(), leakage_model(), pi_pattern, mux_pattern,
                                      mux_eligible, fo);
 }
 
 ScanPowerResult ScanSession::power_report(const TestSet& tests,
                                           std::span<const Logic> pi_control,
                                           std::span<const Logic> mux_control) {
-  ScanPowerEvaluator eval(nl_, model_, opts_.delay.caps(), opts_.power);
+  ScanPowerEvaluator eval(nl(), leakage_model(), opts_.delay.caps(), opts_.power);
   return eval.evaluate(capped_tests(tests, opts_.max_power_patterns),
                        pi_control, mux_control, opts_.scan);
 }
@@ -486,9 +446,9 @@ ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
   // --- AddMUX -----------------------------------------------------------
   MuxPlan plan;
   if (opts_.insert_muxes) {
-    plan = plan_muxes(nl_, opts_.delay, opts_.mux);
+    plan = plan_muxes(nl(), opts_.delay, opts_.mux);
   } else {
-    plan.multiplexed.assign(nl_.dffs().size(), false);
+    plan.multiplexed.assign(nl().dffs().size(), false);
     plan.base_critical_delay_ps = 0.0;
   }
 
@@ -497,7 +457,7 @@ ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
   fopts.observability =
       opts_.use_observability_directive ? &observability().values() : nullptr;
   fopts.justify_backtrack_limit = opts_.justify_backtrack_limit;
-  FindPatternResult pat = find_controlled_input_pattern(nl_, plan, caps, fopts);
+  FindPatternResult pat = find_controlled_input_pattern(nl(), plan, caps, fopts);
 
   // --- don't-care filling ------------------------------------------------
   FillOptions fill_opts = opts_.fill;
@@ -507,21 +467,21 @@ ScanPowerResult ScanSession::run_proposed(const TestSet& tests,
     fill_opts.pool = &pool();
   }
   const FillResult fill = fill_dont_cares_min_leakage(
-      nl_, model_, pat.pi_pattern, pat.mux_pattern, plan.multiplexed,
-      fill_opts);
+      nl(), leakage_model(), pat.pi_pattern, pat.mux_pattern,
+      plan.multiplexed, fill_opts);
 
   // --- pin reordering -----------------------------------------------------
   // Work on a copy: reordering is a physical rewrite of the circuit.
-  Netlist tuned = nl_;
+  Netlist tuned = nl();
   ReorderResult reorder;
   if (opts_.do_pin_reorder) {
     const std::vector<Logic> scan_vals =
-        implied_scan_values(nl_, pat.pi_pattern, pat.mux_pattern);
-    reorder = reorder_pins_for_leakage(tuned, model_, scan_vals);
+        implied_scan_values(nl(), pat.pi_pattern, pat.mux_pattern);
+    reorder = reorder_pins_for_leakage(tuned, leakage_model(), scan_vals);
   }
 
   // --- evaluation ---------------------------------------------------------
-  ScanPowerEvaluator eval(tuned, model_, caps, opts_.power);
+  ScanPowerEvaluator eval(tuned, leakage_model(), caps, opts_.power);
   const TestSet eval_tests = capped_tests(tests, opts_.max_power_patterns);
   const ScanPowerResult power =
       eval.evaluate(eval_tests, pat.pi_pattern, pat.mux_pattern, opts_.scan);
@@ -539,8 +499,8 @@ FlowResult ScanSession::run_flow() {
   telemetry_.metrics.add(0, CounterId::kSessionFlowRuns);
   TraceSpan flow_span(&telemetry_, "session.run_flow", 0);
   FlowResult res;
-  res.circuit = nl_.name();
-  res.stats = compute_stats(nl_);
+  res.circuit = nl().name();
+  res.stats = compute_stats(nl());
 
   const CapacitanceModel& caps = opts_.delay.caps();
 
@@ -555,28 +515,28 @@ FlowResult ScanSession::run_flow() {
 
   // --- traditional scan -------------------------------------------------
   {
-    ScanPowerEvaluator eval(nl_, model_, caps, opts_.power);
+    ScanPowerEvaluator eval(nl(), leakage_model(), caps, opts_.power);
     res.traditional = eval.evaluate(eval_tests, {}, {}, opts_.scan);
   }
 
   // --- input control [8] --------------------------------------------------
   {
     MuxPlan no_mux;
-    no_mux.multiplexed.assign(nl_.dffs().size(), false);
+    no_mux.multiplexed.assign(nl().dffs().size(), false);
     FindPatternOptions fopts;
     fopts.observability = nullptr;  // undirected
     fopts.justify_backtrack_limit = opts_.justify_backtrack_limit;
     FindPatternResult pat =
-        find_controlled_input_pattern(nl_, no_mux, caps, fopts);
+        find_controlled_input_pattern(nl(), no_mux, caps, fopts);
     FillOptions fill_opts = opts_.fill;
     fill_opts.minimize_leakage = false;  // [8] targets transitions only
     if (fill_opts.packed) {
       fill_opts.tables = &leakage_tables();
       fill_opts.pool = &pool();
     }
-    fill_dont_cares_min_leakage(nl_, model_, pat.pi_pattern, pat.mux_pattern,
+    fill_dont_cares_min_leakage(nl(), leakage_model(), pat.pi_pattern, pat.mux_pattern,
                                 no_mux.multiplexed, fill_opts);
-    ScanPowerEvaluator eval(nl_, model_, caps, opts_.power);
+    ScanPowerEvaluator eval(nl(), leakage_model(), caps, opts_.power);
     res.input_control =
         eval.evaluate(eval_tests, pat.pi_pattern, {}, opts_.scan);
   }
@@ -595,7 +555,7 @@ FlowResult ScanSession::run_flow() {
 
   SP_LOG_INFO(strprintf(
       "flow[%s]: dyn %.3e -> %.3e uW/Hz (%.1f%%), stat %.2f -> %.2f uW (%.1f%%)",
-      nl_.name().c_str(), res.traditional.dynamic_per_hz_uw,
+      nl().name().c_str(), res.traditional.dynamic_per_hz_uw,
       res.proposed.dynamic_per_hz_uw, res.dyn_vs_traditional_pct,
       res.traditional.static_uw, res.proposed.static_uw,
       res.stat_vs_traditional_pct));

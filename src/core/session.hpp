@@ -30,7 +30,14 @@
 //
 // Thread-safety: a session is a single-threaded object (its methods fan
 // work across the internal pool themselves); use one session per
-// concurrent client, or serialize calls externally.
+// concurrent client, or serialize calls externally. For multi-tenant
+// service use, construct sessions over a shared immutable DesignContext
+// (see design_context.hpp / session_pool.hpp): the design-keyed layer --
+// netlist, collapsed faults, observation points + fully built cones,
+// leakage tables, ATPG set -- is then built once per design and referenced
+// concurrently by any number of sessions, each keeping only its private
+// pattern-keyed caches and worker pool. Results are bit-identical either
+// way.
 
 #include <map>
 #include <memory>
@@ -39,6 +46,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/design_context.hpp"
 #include "core/flow.hpp"
 #include "util/telemetry.hpp"
 
@@ -57,14 +65,30 @@ class ScanSession {
   /// copy of the (finalized) netlist, so borrowed engine state can never
   /// dangle.
   explicit ScanSession(Netlist nl, FlowOptions opts = {});
+
+  /// Tenant session over a shared immutable DesignContext: the design-
+  /// keyed layer (netlist, faults, points, cones, leakage tables, ATPG
+  /// set) is referenced, not rebuilt, so construction is cheap and many
+  /// sessions may share one context concurrently (each session itself
+  /// stays single-threaded). `opts` carries this tenant's engine knobs
+  /// (block words, threads, backend...) and is validated exactly like the
+  /// owning constructor's; the one-argument form inherits the context's
+  /// options. Results are bit-identical to an isolated
+  /// ScanSession(context->netlist(), opts).
+  ScanSession(std::shared_ptr<const DesignContext> ctx, FlowOptions opts);
+  explicit ScanSession(std::shared_ptr<const DesignContext> ctx);
   ~ScanSession();
 
   ScanSession(const ScanSession&) = delete;
   ScanSession& operator=(const ScanSession&) = delete;
 
-  const Netlist& netlist() const { return nl_; }
+  const Netlist& netlist() const { return nl(); }
   const FlowOptions& options() const { return opts_; }
-  const LeakageModel& leakage_model() const { return model_; }
+  const LeakageModel& leakage_model() const {
+    return ctx_ ? ctx_->leakage_model() : model_;
+  }
+  /// The shared design context, or nullptr for an owning session.
+  const std::shared_ptr<const DesignContext>& context() const { return ctx_; }
 
   // ---- telemetry -----------------------------------------------------------
 
@@ -188,7 +212,13 @@ class ScanSession {
   DiagnosisResult diagnose_full(const FailureLog& log);
   DiagnosisResult diagnose_compacted(const SignatureLog& log);
 
-  Netlist nl_;
+  const Netlist& nl() const { return ctx_ ? ctx_->netlist() : nl_; }
+
+  /// Shared design-keyed layer (nullptr = owning session). Declared first:
+  /// every engine below may borrow state from it, so it must outlive them
+  /// (members destroy in reverse order).
+  std::shared_ptr<const DesignContext> ctx_;
+  Netlist nl_;        ///< owning sessions only; empty under a context
   FlowOptions opts_;
   LeakageModel model_;
   /// Declared before every engine: engines hold a pointer to it via their

@@ -1,0 +1,176 @@
+#include "core/work_queue.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower {
+
+DiagnosisQueue::DiagnosisQueue(Options opts, Telemetry* telemetry)
+    : opts_(opts), telemetry_(telemetry),
+      pool_(opts.pool_capacity, telemetry) {
+  SP_CHECK(opts_.max_batch >= 1,
+           strprintf("DiagnosisQueue: max_batch must be >= 1 (got %zu)",
+                     opts_.max_batch));
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+DiagnosisQueue::~DiagnosisQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+DiagnosisQueue::DesignKey DiagnosisQueue::open(
+    const Netlist& nl, const FlowOptions& opts,
+    std::span<const TestPattern> patterns) {
+  const DesignKey key = DesignContext::hash_design(nl);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tenants_.find(key);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.ctx = pool_.acquire(nl, opts);
+    t.session = std::make_unique<ScanSession>(t.ctx, opts);
+    t.session->bind_patterns(patterns);
+    it = tenants_.emplace(key, std::move(t)).first;
+    return key;
+  }
+  // Re-opening an already-registered design: a no-op for identical
+  // patterns (bind_patterns compares content); different patterns would
+  // invalidate caches under the dispatcher, so require the design idle.
+  Tenant& t = it->second;
+  SP_CHECK(!t.busy && t.fifo.empty(),
+           strprintf("DiagnosisQueue::open: design %016llx has pending or "
+                     "in-flight jobs; drain() before rebinding patterns",
+                     static_cast<unsigned long long>(key)));
+  t.session->bind_patterns(patterns);
+  return key;
+}
+
+std::future<DiagnosisResult> DiagnosisQueue::submit(DesignKey key,
+                                                    Evidence evidence) {
+  std::future<DiagnosisResult> fut;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(key);
+    SP_CHECK(it != tenants_.end(),
+             strprintf("DiagnosisQueue::submit: unregistered design key "
+                       "%016llx (call open() first)",
+                       static_cast<unsigned long long>(key)));
+    Job job;
+    job.evidence = std::move(evidence);
+    job.seq = next_seq_++;
+    job.enqueued = std::chrono::steady_clock::now();
+    fut = job.promise.get_future();
+    it->second.fifo.push_back(std::move(job));
+    ++pending_;
+    SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueSubmitted, 1);
+    if constexpr (kTelemetryEnabled) {
+      if (telemetry_) {
+        telemetry_->metrics.set_gauge(GaugeId::kQueueDepth,
+                                      static_cast<std::int64_t>(pending_));
+      }
+    }
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void DiagnosisQueue::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      if (stop_) return true;
+      for (const auto& [key, t] : tenants_) {
+        if (!t.fifo.empty()) return true;
+      }
+      return false;
+    });
+    // Pick the design whose oldest job has waited longest: FIFO across
+    // designs, so a chatty design cannot starve a quiet one.
+    Tenant* best = nullptr;
+    for (auto& [key, t] : tenants_) {
+      if (t.fifo.empty()) continue;
+      if (!best || t.fifo.front().seq < best->fifo.front().seq) best = &t;
+    }
+    if (!best) {
+      if (stop_) return;  // drained: every queue empty
+      continue;
+    }
+    const std::size_t n = std::min(opts_.max_batch, best->fifo.size());
+    std::vector<Job> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      jobs.push_back(std::move(best->fifo.front()));
+      best->fifo.pop_front();
+    }
+    best->busy = true;
+    lock.unlock();
+    run_batch(*best, std::move(jobs));
+    lock.lock();
+    best->busy = false;
+    pending_ -= n;
+    if constexpr (kTelemetryEnabled) {
+      if (telemetry_) {
+        telemetry_->metrics.set_gauge(GaugeId::kQueueDepth,
+                                      static_cast<std::int64_t>(pending_));
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void DiagnosisQueue::run_batch(Tenant& tenant, std::vector<Job> jobs) {
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t wait_us = 0;
+  for (const Job& j : jobs) {
+    wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - j.enqueued)
+            .count());
+  }
+  SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueWaitUs, wait_us);
+  SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueBatches, 1);
+  SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueCoalesced,
+               static_cast<std::uint64_t>(jobs.size() - 1));
+
+  std::vector<Evidence> evidence;
+  evidence.reserve(jobs.size());
+  for (Job& j : jobs) evidence.push_back(std::move(j.evidence));
+  try {
+    std::vector<DiagnosisResult> results =
+        tenant.session->diagnose_batch(evidence);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].promise.set_value(std::move(results[i]));
+    }
+  } catch (...) {
+    // One malformed log fails batch validation before any scoring; retry
+    // per log so it poisons only its own future. Results stay
+    // bit-identical: sequential diagnose() is the batch's reference
+    // semantics.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      try {
+        jobs[i].promise.set_value(tenant.session->diagnose(evidence[i]));
+      } catch (...) {
+        jobs[i].promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+void DiagnosisQueue::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t DiagnosisQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace scanpower

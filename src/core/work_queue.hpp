@@ -1,0 +1,124 @@
+#pragma once
+// DiagnosisQueue: the async front door of the diagnosis service.
+//
+// Clients submit tester evidence and get a future back; a single
+// dispatcher thread drains the queue, coalescing whatever accumulated
+// per design into one ScanSession::diagnose_batch call (up to max_batch
+// logs, matching the diagnoser's fixed 64-candidate scoring rounds).
+// Batching amortizes the shared per-batch engine state and fans logs
+// across the session's worker pool, while the determinism contract keeps
+// every result bit-identical to a sequential diagnose() on the same
+// evidence -- so the queue changes latency and throughput, never answers.
+//
+//   DiagnosisQueue q(opts, &telemetry);
+//   auto key = q.open(netlist, options, patterns);  // context + session
+//   std::future<DiagnosisResult> f = q.submit(key, evidence);
+//   DiagnosisResult r = f.get();
+//
+// Designs register through open(), which parks a shared DesignContext in
+// the queue's SessionPool and binds one per-design tenant session (only
+// the dispatcher thread ever touches a session, honoring its
+// single-threaded contract). submit() is thread-safe and cheap: push,
+// stamp, notify. Dispatch order is FIFO by submission across designs,
+// batched per design; a failing batch falls back to per-log dispatch so
+// one malformed log poisons only its own future.
+//
+// Telemetry (optional, queue-scoped): queue.{submitted,batches,
+// coalesced,wait_us} and the queue.depth gauge.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "core/session.hpp"
+#include "core/session_pool.hpp"
+
+namespace scanpower {
+
+class DiagnosisQueue {
+ public:
+  struct Options {
+    /// Max logs coalesced into one diagnose_batch dispatch. 64 matches
+    /// the diagnoser's fixed candidate-round width: one batch keeps every
+    /// worker busy without starving other designs behind it.
+    std::size_t max_batch = 64;
+    /// Capacity of the internal DesignContext pool.
+    std::size_t pool_capacity = SessionPool::kDefaultCapacity;
+  };
+
+  /// Key identifying one registered design (its structural hash).
+  using DesignKey = std::uint64_t;
+
+  /// Starts the dispatcher thread. `telemetry` (optional, borrowed, must
+  /// outlive the queue) receives the queue and pool counters.
+  explicit DiagnosisQueue(Options opts, Telemetry* telemetry = nullptr);
+  DiagnosisQueue() : DiagnosisQueue(Options()) {}
+  /// Drains every pending job, then joins the dispatcher.
+  ~DiagnosisQueue();
+
+  DiagnosisQueue(const DiagnosisQueue&) = delete;
+  DiagnosisQueue& operator=(const DiagnosisQueue&) = delete;
+
+  /// Registers a design: acquires (or builds) its shared context, creates
+  /// the tenant session and binds `patterns`. Idempotent for identical
+  /// patterns; rebinding different patterns requires the design idle (no
+  /// pending or in-flight jobs -- throws Error otherwise). Returns the key
+  /// submit() takes. Thread-safe, but heavy on first sight of a design;
+  /// treat it as control-plane.
+  DesignKey open(const Netlist& nl, const FlowOptions& opts,
+                 std::span<const TestPattern> patterns);
+
+  /// Enqueues one tester report against a registered design and returns
+  /// the future result. Throws Error for an unregistered key. The future
+  /// carries any diagnosis error for this log. Thread-safe.
+  std::future<DiagnosisResult> submit(DesignKey key, Evidence evidence);
+
+  /// Blocks until every job submitted so far has been dispatched and
+  /// completed.
+  void drain();
+
+  /// Jobs waiting or in flight right now.
+  std::size_t depth() const;
+
+  /// The underlying context pool (contexts stay warm across open calls).
+  SessionPool& contexts() { return pool_; }
+
+ private:
+  struct Job {
+    Evidence evidence;
+    std::promise<DiagnosisResult> promise;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Tenant {
+    std::shared_ptr<const DesignContext> ctx;
+    std::unique_ptr<ScanSession> session;
+    std::deque<Job> fifo;
+    bool busy = false;  ///< dispatcher is running a batch on this session
+  };
+
+  void dispatcher_loop();
+  void run_batch(Tenant& tenant, std::vector<Job> jobs);
+
+  const Options opts_;
+  Telemetry* telemetry_;
+  SessionPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< dispatcher wakeup
+  std::condition_variable done_cv_;  ///< drain()/open() waiters
+  std::map<DesignKey, Tenant> tenants_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;  ///< queued + in-flight jobs
+  bool stop_ = false;
+
+  std::thread dispatcher_;  ///< last member: joins before state destructs
+};
+
+}  // namespace scanpower

@@ -159,6 +159,10 @@ const std::vector<GateId>& ObservationConeCache::cone(std::size_t op) {
   return cache_[op];
 }
 
+void ObservationConeCache::build_all() {
+  for (std::size_t op = 0; op < cache_.size(); ++op) (void)cone(op);
+}
+
 std::size_t ResponseMatrix::popcount() const {
   std::size_t n = 0;
   for (PatternWord w : words) n += static_cast<std::size_t>(std::popcount(w));

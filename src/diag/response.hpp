@@ -97,6 +97,14 @@ class ObservationConeCache {
 
   const std::vector<GateId>& cone(std::size_t op);
 
+  /// Pre-builds every cone. Lazy misses share the DFS scratch and flip the
+  /// non-atomic cached_ bytes, so they are serial-only; after build_all()
+  /// returns no miss can ever happen again and cone() is safe from any
+  /// number of threads at once (reads plus relaxed hit tallies).
+  /// DesignContext publishes fully built caches through this, extending
+  /// the determinism contract to concurrent tenants.
+  void build_all();
+
   /// Lifetime hit/miss tallies. Relaxed atomics: the batch fan-out reads
   /// already-cached cones from several workers at once (misses only ever
   /// happen on the serial path).

@@ -45,6 +45,13 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "session.compact_state_hits",
     "session.compact_state_misses",
     "session.flow_runs",
+    "sessions.ctx_builds",
+    "sessions.pool_hits",
+    "sessions.pool_misses",
+    "sessions.pool_evictions",
+    "queue.submitted",
+    "queue.batches",
+    "queue.coalesced",
     "pool.runs",
     "pool.jobs",
     "diag.prune_us",
@@ -52,6 +59,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "diag.cover_us",
     "good_cache.build_us",
     "xmask.build_us",
+    "sessions.ctx_build_us",
+    "queue.wait_us",
     "pool.busy_us",
 };
 
@@ -59,6 +68,8 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "good_cache.blocks_cached",
     "pool.workers",
     "sim.backend",
+    "sessions.pool_size",
+    "queue.depth",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

@@ -87,6 +87,15 @@ enum class CounterId : int {
   kSessionCompactStateHits,
   kSessionCompactStateMisses,
   kSessionFlowRuns,
+  // design-context pool (semantic: one shared DesignContext per design)
+  kCtxBuilds,          ///< DesignContext constructions (pool misses build)
+  kCtxPoolHits,        ///< acquire() served an already-published context
+  kCtxPoolMisses,
+  kCtxPoolEvictions,   ///< LRU entries dropped past the capacity knob
+  // async diagnosis queue (semantic)
+  kQueueSubmitted,     ///< submit() calls
+  kQueueBatches,       ///< diagnose_batch dispatches by the queue worker
+  kQueueCoalesced,     ///< logs that rode along in a multi-log batch
   // thread pool (configuration-dependent: varies with num_threads)
   kPoolRuns,
   kPoolJobs,
@@ -96,6 +105,8 @@ enum class CounterId : int {
   kDiagCoverUs,        ///< noise recovery + multiplet cover
   kGoodCacheBuildUs,
   kXMaskBuildUs,
+  kCtxBuildUs,         ///< DesignContext build wall time
+  kQueueWaitUs,        ///< summed submit -> dispatch wait of queued logs
   kPoolBusyUs,
   kCount
 };
@@ -104,6 +115,8 @@ enum class GaugeId : int {
   kGoodBlocksCached = 0, ///< blocks currently held by the good-block cache
   kPoolWorkers,
   kSimBackend,           ///< last resolved SimBackend (numeric enum value)
+  kCtxPoolSize,          ///< design contexts currently resident in the pool
+  kQueueDepth,           ///< evidence waiting in the diagnosis queue
   kCount
 };
 

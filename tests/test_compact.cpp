@@ -284,6 +284,87 @@ TEST(XMaskPlanTest, FullySpecifiedPatternsYieldEmptyPlan) {
   EXPECT_TRUE(zero_filled_patterns(pats).empty());
 }
 
+// ---------- short final windows ---------------------------------------------
+
+// patterns % window != 0 leaves a short final window, and all four
+// engines must agree on its semantics: XMaskPlan ceil-counts windows and
+// clamps the final range, the scalar Misr and the packed MisrCompactor
+// fold only the real patterns of the short window (at every block
+// width), and SignatureCapture publishes expected/observed vectors of
+// the same ceil length that the diagnoser accepts. A disagreement
+// anywhere would silently shift every verdict behind the boundary.
+TEST(ShortWindowTest, EnginesAgreeOnPartialFinalWindow) {
+  const Netlist nl = map_to_nand_nor_inv(make_iscas89_like("s344"));
+  const ObservationPoints points(nl);
+  const auto faults = collapse_faults(nl);
+  Rng xr(0x51);
+  // (patterns, window) shapes: remainder 1, mid-window remainders,
+  // window > patterns (a single short window), and a final window
+  // straddling the 64-lane word boundary.
+  const std::size_t shapes[][2] = {{91, 12}, {65, 64}, {13, 32},
+                                   {96, 7},  {33, 2},  {127, 64}};
+  for (const auto& shape : shapes) {
+    const std::size_t n = shape[0];
+    const int window = static_cast<int>(shape[1]);
+    auto pats = random_patterns(nl, static_cast<int>(n), 0xd0 + n);
+    // Poke X bits so X-bounding is active inside the short window too.
+    for (TestPattern& p : pats) {
+      for (Logic& v : p.pi) {
+        if (xr.next_below(6) == 0) v = Logic::X;
+      }
+    }
+    const MisrConfig cfg{.width = 16, .window = window};
+    const std::size_t nwin = cfg.num_windows(n);
+    ASSERT_EQ(nwin, (n + shape[1] - 1) / shape[1]);
+
+    // Identical plans at every block width, ceil window count.
+    const XMaskPlan plan1(nl, points, pats, window, 1);
+    const XMaskPlan plan4(nl, points, pats, window, 4);
+    ASSERT_EQ(plan1.num_windows(), nwin) << n << "/" << window;
+    ASSERT_EQ(plan4.num_windows(), nwin);
+    ASSERT_EQ(plan1.num_masked(), plan4.num_masked());
+    for (std::size_t op = 0; op < points.size(); ++op) {
+      for (std::size_t w = 0; w < nwin; ++w) {
+        ASSERT_EQ(plan1.masked(op, w), plan4.masked(op, w))
+            << n << "/" << window << " op " << op << " window " << w;
+      }
+    }
+
+    // Scalar register == packed engine under the mask, every width.
+    const auto filled = zero_filled_patterns(pats);
+    ASSERT_FALSE(filled.empty());
+    ResponseCapture rcap(nl, 4);
+    const ResponseMatrix good = rcap.capture_good(filled);
+    const auto ref = Misr(cfg).compact_scalar(good, &plan1);
+    ASSERT_EQ(ref.size(), nwin);
+    for (int words : {1, 4, 8}) {
+      EXPECT_EQ(MisrCompactor(cfg, words).compact(good, &plan4), ref)
+          << n << "/" << window << " W=" << words;
+    }
+
+    // SignatureCapture publishes the same shapes end to end, and the
+    // diagnoser accepts the log and ranks the injected fault #1. Prefer
+    // a fault that actually fails some window (masking can swallow a
+    // detection entirely; a clean log still ties every undetected fault
+    // at rank 1, so the fallback stays assertable).
+    SignatureCapture cap(nl, cfg, 4);
+    SignatureLog log;
+    std::size_t pick = 0;
+    for (std::size_t fi = 0; fi < faults.size(); fi += 29) {
+      log = cap.inject(pats, faults[fi]);
+      pick = fi;
+      if (log.num_failing_windows() > 0) break;
+    }
+    EXPECT_EQ(log.expected, ref) << n << "/" << window;
+    ASSERT_EQ(log.observed.size(), nwin);
+    EXPECT_EQ(log.num_patterns, n);
+    SignatureDiagnoser diag(nl, DiagnosisOptions{});
+    const DiagnosisResult res = diag.diagnose(pats, faults, log);
+    EXPECT_EQ(res.num_windows, nwin);
+    EXPECT_EQ(res.rank_of(faults[pick]), 1u) << n << "/" << window;
+  }
+}
+
 // ---------- signature logs --------------------------------------------------
 
 TEST(SignatureLogTest, SaveLoadRoundTrip) {

@@ -1,0 +1,111 @@
+// GoodBlockCache cached <-> streaming boundary: past kDefaultMaxCachedBlocks
+// the cache keeps only geometry and callers replay blocks through their
+// own streaming simulator, and the two paths must be bit-identical -- the
+// diagnosers score candidates out of whichever side the cap selected, so
+// any divergence would silently change diagnoses with the pattern count.
+// These tests pin the boundary at exactly the cap and cap +/- 1 blocks
+// (including a partial final block) for both a small explicit cap and the
+// real default cap.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atpg/packed_sim.hpp"
+#include "atpg/pattern.hpp"
+#include "benchgen/benchgen.hpp"
+#include "diag/response.hpp"
+#include "util/rng.hpp"
+
+namespace scanpower {
+namespace {
+
+std::vector<TestPattern> random_patterns(const Netlist& nl, std::size_t n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TestPattern> pats;
+  pats.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pats.push_back(random_pattern(nl, rng));
+  return pats;
+}
+
+/// Binds (nl, patterns) at `cap` and checks the cached() verdict; when
+/// cached, every block's values must equal a streamed replay of the same
+/// block (the contract both diagnosers rely on).
+void expect_boundary(const Netlist& nl,
+                     const std::vector<TestPattern>& patterns, int words,
+                     std::size_t cap, bool expect_cached) {
+  GoodBlockCache cache;
+  cache.bind(nl, patterns, words, cap);
+  const std::size_t lanes = static_cast<std::size_t>(words) * 64;
+  const std::size_t nblocks = (patterns.size() + lanes - 1) / lanes;
+  ASSERT_EQ(cache.num_blocks(), nblocks);
+  EXPECT_EQ(cache.cached(), expect_cached)
+      << nblocks << " blocks vs cap " << cap;
+  EXPECT_EQ(cache.blocks_cached(), expect_cached ? nblocks : 0u);
+
+  // Bit-identity across the boundary: replay every block through the
+  // streaming path and compare full value storage against either the
+  // cached block (cached side) or an independent second replay
+  // (streaming side -- pins that replays are deterministic).
+  BlockSimulator scratch(nl, words);
+  BlockSimulator scratch2(nl, words);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    cache.stream(b, scratch);
+    if (expect_cached) {
+      EXPECT_EQ(cache.block(b).storage(), scratch.storage())
+          << "cached vs streamed divergence in block " << b;
+    } else {
+      cache.stream(b, scratch2);
+      EXPECT_EQ(scratch.storage(), scratch2.storage())
+          << "streaming replay not deterministic in block " << b;
+    }
+  }
+}
+
+TEST(GoodBlockCacheTest, SmallCapBoundary) {
+  const Netlist nl = make_s27();
+  const int words = 1;  // 64-pattern blocks
+  const std::size_t cap = 4;
+  // cap-1, cap, cap+1 whole blocks, plus a partial final block straddling
+  // the cap (cap blocks where the last holds a single pattern).
+  expect_boundary(nl, random_patterns(nl, 64 * (cap - 1), 0xb10c), words, cap,
+                  true);
+  expect_boundary(nl, random_patterns(nl, 64 * cap, 0xb10c), words, cap,
+                  true);
+  expect_boundary(nl, random_patterns(nl, 64 * cap + 1, 0xb10c), words, cap,
+                  false);
+  expect_boundary(nl, random_patterns(nl, 64 * (cap + 1), 0xb10c), words, cap,
+                  false);
+  expect_boundary(nl, random_patterns(nl, 64 * (cap - 1) + 1, 0xb10c), words,
+                  cap, true);
+}
+
+TEST(GoodBlockCacheTest, DefaultCapBoundary) {
+  const Netlist nl = make_s27();
+  const int words = 1;
+  const std::size_t cap = GoodBlockCache::kDefaultMaxCachedBlocks;
+  // s27 is tiny, so even 257 * 64 patterns simulate in well under a
+  // second; the three shapes bracket the real default boundary.
+  expect_boundary(nl, random_patterns(nl, 64 * (cap - 1) + 7, 0xcafe), words,
+                  cap, true);
+  expect_boundary(nl, random_patterns(nl, 64 * cap, 0xcafe), words, cap,
+                  true);
+  expect_boundary(nl, random_patterns(nl, 64 * cap + 1, 0xcafe), words, cap,
+                  false);
+}
+
+TEST(GoodBlockCacheTest, WideBlocksPartialFinal) {
+  // W=4 (256-lane blocks) with a ragged final block: the padded lanes
+  // must not leak into the comparison (storage holds them identically on
+  // both paths because load_pattern_block fills them the same way).
+  const Netlist nl = make_s27();
+  const std::size_t cap = 2;
+  expect_boundary(nl, random_patterns(nl, 256 + 96 + 3, 0x5eed), 4, cap,
+                  true);
+  expect_boundary(nl, random_patterns(nl, 3 * 256 - 1, 0x5eed), 4, cap,
+                  false);
+}
+
+}  // namespace
+}  // namespace scanpower
