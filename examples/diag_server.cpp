@@ -5,14 +5,28 @@
 // one design costs one engine setup plus K scoring passes, and results
 // stay bit-identical to sequential diagnose() calls.
 //
-// Line protocol, newline-delimited on stdin (# starts a comment):
+// Two transports over the same command grammar (net::CommandSession):
+//
+//   stdin (default)        newline-delimited commands on stdin, results
+//                          on stdout, errors on stderr -- the PR 9
+//                          behavior.
+//   --listen <port>        TCP wire mode on 127.0.0.1:<port> (0 = let
+//                          the kernel pick; the bound port is printed as
+//                          "listening <port>" on stdout). Every command
+//                          is answered with one JSON line; an overloaded
+//                          queue rejects evidence with
+//                          {"error":"overloaded","retry_after_ms":...}.
+//                          stdin stays live for `quit` (EOF also stops);
+//                          shutdown stops accepting, drains pending
+//                          work, answers it, then closes.
+//
+// Line protocol (# starts a comment):
 //
 //   design <path> [nomap]      load a .bench / structural .v design and
 //                              make it current (contexts stay warm in the
 //                              pool across switches; LRU past capacity)
 //   patterns <n> [seed]        bind n random patterns to the current
-//                              design (required before evidence; rebind
-//                              drains the design first)
+//                              design (required before evidence)
 //   log <path>                 submit a failure-log file for diagnosis
 //   signature-log <path>       submit a MISR signature-log file
 //   inject <fault>             synthesize + submit "net/sa0" style fault
@@ -20,17 +34,24 @@
 //   flush                      wait for every pending result and print one
 //                              compact JSON object per line (input order)
 //   stats                      print the server telemetry report (the
-//                              sessions.* / queue.* counters with the
-//                              context-pool and queue gauges)
+//                              sessions.* / queue.* / net.* counters with
+//                              the pool, queue-depth and connection
+//                              gauges)
 //   quit                       flush and exit
 //
-// Responses go to stdout; errors for one request poison only that
-// request's line ("error" field), never the server. Startup flags:
+// Startup flags:
 //
-//   diag_server [--pool-capacity n] [--max-batch n] [--top n]
+//   diag_server [--listen port] [--max-connections n]
+//               [--max-pending n] [--overload block|reject]
+//               [--pool-capacity n] [--max-batch n] [--top n]
 //               [--threads n] [--block-words w]
 //               [--backend auto|scalar|avx2|avx512|wide]
 //               [--log-level debug|info|warn|error|off]
+//
+//   --max-pending bounds queued+in-flight jobs (0 = unbounded);
+//   --overload picks what submit does at the bound: "block" parks the
+//   submitter, "reject" answers overloaded so clients back off
+//   (net::DiagClient retries with jittered exponential backoff).
 //
 // Example session:
 //
@@ -43,20 +64,12 @@
 
 #include <cstdio>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "cli_common.hpp"
-#include "compact/signature_log.hpp"
-#include "core/session.hpp"
 #include "core/work_queue.hpp"
-#include "util/json.hpp"
+#include "net/server.hpp"
 #include "util/log.hpp"
-#include "util/rng.hpp"
-#include "util/strings.hpp"
 
 using namespace scanpower;
 
@@ -65,12 +78,17 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--pool-capacity n] [--max-batch n] [--top n]\n"
+      "usage: %s [--listen port] [--max-connections n]\n"
+      "          [--max-pending n] [--overload block|reject]\n"
+      "          [--pool-capacity n] [--max-batch n] [--top n]\n"
       "          [--threads n] [--block-words w]\n"
       "          [--backend auto|scalar|avx2|avx512|wide]\n"
       "          [--log-level debug|info|warn|error|off]\n"
       "\n"
-      "  Reads newline-delimited commands on stdin:\n"
+      "  Without --listen, reads newline-delimited commands on stdin;\n"
+      "  with --listen, serves the same grammar over TCP on\n"
+      "  127.0.0.1:<port> (0 = ephemeral; prints \"listening <port>\").\n"
+      "  Commands:\n"
       "    design <path> [nomap]   load a design, make it current\n"
       "    patterns <n> [seed]     bind n random patterns to it\n"
       "    log <file>              submit a failure log\n"
@@ -84,74 +102,44 @@ int usage(const char* argv0) {
   return 2;
 }
 
-/// One registered design: the queue key plus a cheap front session over
-/// the shared context (used to parse faults and synthesize injected
-/// evidence without touching the dispatcher's tenant session).
-struct Design {
-  DiagnosisQueue::DesignKey key = 0;
-  std::shared_ptr<const DesignContext> ctx;
-  std::unique_ptr<ScanSession> front;
-  std::size_t num_patterns = 0;
-};
-
-struct Pending {
-  std::string circuit;
-  std::string source;
-  std::size_t num_patterns = 0;
-  std::shared_ptr<const DesignContext> ctx;  // keeps names resolvable
-  std::future<DiagnosisResult> result;
-};
-
-void write_result(std::ostream& os, Pending& p, std::size_t top) {
-  JsonWriter j(os, /*indent=*/0);  // compact: one object per line
-  DiagnosisResult res;
-  try {
-    res = p.result.get();
-  } catch (const std::exception& e) {
-    j.begin_object();
-    j.field("circuit", p.circuit);
-    j.field("source", p.source);
-    j.field("error", e.what());
-    j.end_object();
-    os << "\n";
-    return;
-  }
-  const Netlist& nl = p.ctx->netlist();
-  j.begin_object();
-  j.field("circuit", p.circuit);
-  j.field("source", p.source);
-  j.field("num_patterns", static_cast<std::uint64_t>(p.num_patterns));
-  j.field("num_faults", static_cast<std::uint64_t>(res.num_faults));
-  j.field("num_candidates", static_cast<std::uint64_t>(res.num_candidates));
-  j.field("num_failing_patterns",
-          static_cast<std::uint64_t>(res.num_failing_patterns));
-  j.field("union_fallback", res.union_fallback);
-  j.begin_array("ranked");
-  for (std::size_t i = 0; i < res.ranked.size() && i < top; ++i) {
-    const CandidateScore& sc = res.ranked[i];
-    j.begin_object();
-    j.field("fault", sc.fault.to_string(nl));
-    j.field("tfsf", sc.tfsf);
-    j.field("tfsp", sc.tfsp);
-    j.field("tpsf", sc.tpsf);
-    j.field("exact", sc.exact());
-    j.end_object();
-  }
-  j.end_array();
-  j.end_object();
-  os << "\n";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool listen = false;
+  int listen_port = 0;
+  std::size_t max_connections = 64;
   std::size_t pool_capacity = SessionPool::kDefaultCapacity;
   std::size_t max_batch = 64;
+  std::size_t max_pending = 0;
+  auto overload = DiagnosisQueue::OverloadPolicy::Block;
   std::size_t top = 5;
   DiagnosisOptions dopts;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
-    if (cli::value_flag(argc, argv, i, "--pool-capacity", v)) {
+    if (cli::value_flag(argc, argv, i, "--listen", v)) {
+      listen = true;
+      listen_port = std::atoi(v);
+      if (listen_port < 0 || listen_port > 65535) {
+        std::fprintf(stderr, "error: --listen port must be 0..65535\n");
+        return 2;
+      }
+    } else if (cli::value_flag(argc, argv, i, "--max-connections", v)) {
+      max_connections = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--max-pending", v)) {
+      max_pending = static_cast<std::size_t>(std::atol(v));
+    } else if (cli::value_flag(argc, argv, i, "--overload", v)) {
+      if (std::strcmp(v, "block") == 0) {
+        overload = DiagnosisQueue::OverloadPolicy::Block;
+      } else if (std::strcmp(v, "reject") == 0) {
+        overload = DiagnosisQueue::OverloadPolicy::Reject;
+      } else {
+        std::fprintf(stderr,
+                     "error: --overload must be block or reject (got "
+                     "\"%s\")\n",
+                     v);
+        return 2;
+      }
+    } else if (cli::value_flag(argc, argv, i, "--pool-capacity", v)) {
       pool_capacity = static_cast<std::size_t>(std::atol(v));
     } else if (cli::value_flag(argc, argv, i, "--max-batch", v)) {
       max_batch = static_cast<std::size_t>(std::atol(v));
@@ -173,129 +161,57 @@ int main(int argc, char** argv) {
   DiagnosisQueue::Options qopts;
   qopts.max_batch = max_batch;
   qopts.pool_capacity = pool_capacity;
+  qopts.max_pending = max_pending;
+  qopts.overload = overload;
   DiagnosisQueue queue(qopts, &telemetry);
 
-  FlowOptions fopts;
-  fopts.diag = dopts;
-  fopts.tpg.fault_sim.block_words = dopts.block_words;
-  fopts.tpg.fault_sim.num_threads = dopts.num_threads;
-  fopts.tpg.fault_sim.backend = dopts.backend;
+  net::ServiceOptions sopts;
+  sopts.top = top;
+  sopts.flow.diag = dopts;
+  sopts.flow.tpg.fault_sim.block_words = dopts.block_words;
+  sopts.flow.tpg.fault_sim.num_threads = dopts.num_threads;
+  sopts.flow.tpg.fault_sim.backend = dopts.backend;
 
-  std::map<std::string, Design> designs;  // by netlist name
-  Design* current = nullptr;
-  std::vector<Pending> pending;
-  // The design the 'design' command loaded, waiting for 'patterns'.
-  std::unique_ptr<Netlist> loaded;
-
-  const auto flush = [&] {
-    for (Pending& p : pending) write_result(std::cout, p, top);
-    std::cout.flush();
-    pending.clear();
-  };
-  const auto fail = [&](const std::string& msg) {
-    std::fprintf(stderr, "error: %s\n", msg.c_str());
-  };
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    if (!(in >> cmd) || cmd[0] == '#') continue;
-    try {
-      if (cmd == "design") {
-        std::string path, opt;
-        if (!(in >> path)) {
-          fail("design needs a file path");
-          continue;
-        }
-        in >> opt;
-        loaded = std::make_unique<Netlist>(
-            cli::load_design(path, /*do_map=*/opt != "nomap"));
-        auto it = designs.find(loaded->name());
-        if (it != designs.end()) {
-          current = &it->second;  // already registered: just switch
-          loaded.reset();
-        } else {
-          current = nullptr;  // registered by the next 'patterns'
-        }
-      } else if (cmd == "patterns") {
-        std::size_t n = 0;
-        std::uint64_t seed = 0xd1a6ULL;
-        if (!(in >> n) || n == 0) {
-          fail("patterns needs a count >= 1");
-          continue;
-        }
-        in >> seed;
-        const Netlist* nl =
-            loaded ? loaded.get() : (current ? &current->ctx->netlist() : nullptr);
-        if (!nl) {
-          fail("no design loaded (use: design <path>)");
-          continue;
-        }
-        Rng rng(seed);
-        std::vector<TestPattern> patterns;
-        patterns.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          patterns.push_back(random_pattern(*nl, rng));
-        }
-        queue.drain();  // rebind requires the design idle
-        const auto key = queue.open(*nl, fopts, patterns);
-        Design& d = designs[nl->name()];
-        d.key = key;
-        if (!d.ctx) {
-          d.ctx = queue.contexts().acquire(*nl, fopts);
-          d.front = std::make_unique<ScanSession>(d.ctx, fopts);
-        }
-        d.front->bind_patterns(patterns);
-        d.num_patterns = n;
-        current = &d;
-        loaded.reset();
-      } else if (cmd == "log" || cmd == "signature-log" || cmd == "inject" ||
-                 cmd == "inject-index") {
-        if (!current) {
-          fail("no design registered (use: design <path>, then patterns <n>)");
-          continue;
-        }
-        std::string arg;
-        if (!(in >> arg)) {
-          fail(cmd + " needs an argument");
-          continue;
-        }
-        Evidence ev;
-        if (cmd == "log") {
-          ev = load_failure_log_file(arg, &current->ctx->netlist(),
-                                     &current->ctx->points());
-        } else if (cmd == "signature-log") {
-          ev = load_signature_log_file(arg);
-        } else {
-          const Fault f =
-              cmd == "inject"
-                  ? parse_fault(current->ctx->netlist(), arg)
-                  : current->ctx->faults().at(
-                        static_cast<std::size_t>(std::stol(arg)));
-          ev = current->front->inject(f);
-        }
-        Pending p;
-        p.circuit = current->ctx->netlist().name();
-        p.source = cmd + " " + arg;
-        p.num_patterns = current->num_patterns;
-        p.ctx = current->ctx;
-        p.result = queue.submit(current->key, std::move(ev));
-        pending.push_back(std::move(p));
-      } else if (cmd == "flush") {
-        flush();
-      } else if (cmd == "stats") {
-        telemetry.metrics.snapshot().write_text(std::cout);
-        std::cout.flush();
-      } else if (cmd == "quit") {
-        break;
-      } else {
-        fail("unknown command: " + cmd);
+  if (listen) {
+    sopts.wire_mode = true;
+    net::NetServer::Options nopts;
+    nopts.port = static_cast<std::uint16_t>(listen_port);
+    nopts.max_connections = max_connections;
+    nopts.service = sopts;
+    net::NetServer server(queue, &telemetry, nopts);
+    // The bound port, for wrappers spawning us with --listen 0.
+    std::printf("listening %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    // stdin stays the control channel: `quit` (or EOF) stops the server.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit") break;
+      if (!line.empty() && line[0] != '#') {
+        std::fprintf(stderr,
+                     "error: TCP mode takes only 'quit' on stdin\n");
       }
-    } catch (const std::exception& e) {
-      fail(e.what());
     }
+    server.shutdown();  // stop accepting, drain + answer pending, close
+    queue.drain();
+    return 0;
   }
-  flush();
+
+  sopts.wire_mode = false;
+  net::CommandSession session(
+      queue, &telemetry, sopts,
+      /*out=*/[](std::string_view s) {
+        std::cout << s << "\n";
+        std::cout.flush();
+      },
+      /*err=*/[](std::string_view msg) {
+        std::fprintf(stderr, "error: %.*s\n", static_cast<int>(msg.size()),
+                     msg.data());
+      });
+  std::string line;
+  bool open = true;
+  while (open && std::getline(std::cin, line)) {
+    open = session.handle_line(line, 0);
+  }
+  if (open) session.flush();  // EOF without quit: answer what's pending
   return 0;
 }

@@ -1,0 +1,180 @@
+// End-to-end socket smoke for the TCP diagnosis service: spawns a real
+// `diag_server --listen 0` child process, reads the ephemeral port it
+// prints, drives it with net::DiagClient over a benchgen profile, and
+// byte-compares every wire result against the in-process
+// ScanSession::diagnose() reference -- the full acceptance loop
+// (process spawn -> TCP -> queue -> engine -> JSON -> client parse) in
+// one ctest. Usage:
+//
+//   net_smoke <path-to-diag_server>
+//
+// Exits 0 on success; prints the first mismatch and exits 1 otherwise.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "core/session.hpp"
+#include "net/client.hpp"
+#include "net/framing.hpp"
+#include "netlist/bench_io.hpp"
+#include "techmap/techmap.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace scanpower;
+
+namespace {
+
+struct Server {
+  pid_t pid = -1;
+  int to_child = -1;    ///< child's stdin (write "quit\n" to stop it)
+  int from_child = -1;  ///< child's stdout ("listening <port>")
+};
+
+Server spawn_server(const char* binary) {
+  int in_pipe[2], out_pipe[2];
+  SP_CHECK(pipe(in_pipe) == 0 && pipe(out_pipe) == 0, "pipe failed");
+  const pid_t pid = fork();
+  SP_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    execl(binary, binary, "--listen", "0", "--max-pending", "8",
+          "--overload", "reject", static_cast<char*>(nullptr));
+    std::perror("execl diag_server");
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  return Server{pid, in_pipe[1], out_pipe[0]};
+}
+
+std::uint16_t read_port(int fd) {
+  // First line of the child's stdout: "listening <port>".
+  std::string line;
+  char c;
+  while (read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+  SP_CHECK(line.rfind("listening ", 0) == 0,
+           "expected \"listening <port>\", got: " + line);
+  const int port = std::atoi(line.c_str() + std::strlen("listening "));
+  SP_CHECK(port > 0 && port <= 65535, "bad port in: " + line);
+  return static_cast<std::uint16_t>(port);
+}
+
+int fail(const std::string& what, const std::string& got,
+         const std::string& want) {
+  std::fprintf(stderr, "FAIL %s\n  got:  %s\n  want: %s\n", what.c_str(),
+               got.c_str(), want.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <path-to-diag_server>\n", argv[0]);
+    return 2;
+  }
+
+  // The benchgen profile, written where the server can load it. The
+  // netlist name is the file stem, so the file must be named s344.bench.
+  const std::string dir =
+      strprintf("/tmp/net_smoke_%d", static_cast<int>(getpid()));
+  SP_CHECK(mkdir(dir.c_str(), 0755) == 0, "mkdir " + dir + " failed");
+  const std::string bench_path = dir + "/s344.bench";
+  {
+    std::ofstream f(bench_path);
+    write_bench(f, map_to_nand_nor_inv(make_circuit("s344")));
+  }
+  const Netlist nl = parse_bench_file(bench_path);
+  const auto faults = collapse_faults(nl);
+  constexpr std::size_t kPatterns = 64;
+  constexpr std::uint64_t kSeed = 9;
+  const std::size_t picks[] = {3, 41 % faults.size(), 97 % faults.size()};
+
+  // In-process reference through the shared serializer.
+  FlowOptions opts;
+  Rng rng(kSeed);
+  std::vector<TestPattern> pats;
+  for (std::size_t i = 0; i < kPatterns; ++i) {
+    pats.push_back(random_pattern(nl, rng));
+  }
+  ScanSession ref(nl, opts);
+  ref.bind_patterns(pats);
+  std::vector<std::string> expected;
+  for (const std::size_t p : picks) {
+    expected.push_back(net::result_json(
+        ref.diagnose(ref.inject(faults[p])), nl, nl.name(),
+        "inject-index " + std::to_string(p), kPatterns, 5));
+  }
+
+  const Server srv = spawn_server(argv[1]);
+  int rc = 0;
+  try {
+    const std::uint16_t port = read_port(srv.from_child);
+    net::DiagClient client("127.0.0.1", port);
+
+    std::string resp = client.design(bench_path);
+    if (net::json_string_field(resp, "circuit") !=
+        std::optional<std::string>("s344")) {
+      rc |= fail("design ack", resp, "{\"ok\":\"design\",\"circuit\":\"s344\"}");
+    }
+    resp = client.patterns(kPatterns, kSeed);
+    if (net::json_u64_field(resp, "num_patterns") !=
+        std::optional<std::uint64_t>(kPatterns)) {
+      rc |= fail("patterns ack", resp, "num_patterns:64");
+    }
+    for (const std::size_t p : picks) {
+      client.submit("inject-index " + std::to_string(p));
+    }
+    const std::vector<std::string> results = client.flush();
+    if (results.size() != expected.size()) {
+      rc |= fail("flush count", std::to_string(results.size()),
+                 std::to_string(expected.size()));
+    }
+    for (std::size_t i = 0; i < results.size() && i < expected.size(); ++i) {
+      if (results[i] != expected[i]) {
+        rc |= fail("result " + std::to_string(i) + " byte identity",
+                   results[i], expected[i]);
+      }
+    }
+    resp = client.request("stats");
+    for (const char* key : {"\"net.requests\":", "\"queue.submitted\":"}) {
+      if (resp.find(key) == std::string::npos) {
+        rc |= fail("stats", resp, std::string("contains ") + key);
+      }
+    }
+    client.quit();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL exception: %s\n", e.what());
+    rc = 1;
+  }
+
+  // Stop the server via its stdin control channel and reap it.
+  (void)!write(srv.to_child, "quit\n", 5);
+  close(srv.to_child);
+  close(srv.from_child);
+  int status = 0;
+  if (waitpid(srv.pid, &status, 0) != srv.pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "FAIL server exit status %d\n", status);
+    rc = 1;
+  }
+  std::remove(bench_path.c_str());
+  rmdir(dir.c_str());
+  if (rc == 0) std::printf("net_smoke: PASS (3 results byte-identical)\n");
+  return rc;
+}

@@ -112,5 +112,14 @@ int main() {
   const DiagnosisResult shared = tenant.diagnose(full_log);
   std::printf("\nshared-context tenant agrees: rank %zu of %zu candidates\n",
               shared.rank_of(defect), shared.num_candidates);
+
+  // 6. Remote clients? `diag_server --listen 0` serves the same command
+  //    grammar over TCP (ephemeral port printed as "listening <port>"),
+  //    answering every command with one JSON line and rejecting evidence
+  //    with {"error":"overloaded","retry_after_ms":...} when the queue is
+  //    past --max-pending. net::DiagClient (src/net/client.hpp) is the
+  //    matching blocking client -- connect/request timeouts plus jittered
+  //    exponential backoff on overload -- and wire results are
+  //    byte-identical to the in-process diagnose() calls above.
   return 0;
 }

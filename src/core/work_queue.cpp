@@ -1,5 +1,6 @@
 #include "core/work_queue.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -24,7 +25,8 @@ DiagnosisQueue::~DiagnosisQueue() {
     stop_ = true;
   }
   cv_.notify_all();
-  dispatcher_.join();
+  done_cv_.notify_all();  // wake submitters blocked on max_pending
+  dispatcher_.join();     // poisons whatever was still queued
 }
 
 DiagnosisQueue::DesignKey DiagnosisQueue::open(
@@ -41,10 +43,16 @@ DiagnosisQueue::DesignKey DiagnosisQueue::open(
     it = tenants_.emplace(key, std::move(t)).first;
     return key;
   }
-  // Re-opening an already-registered design: a no-op for identical
-  // patterns (bind_patterns compares content); different patterns would
+  // Re-opening an already-registered design: a true no-op for identical
+  // patterns (safe even mid-traffic -- nothing is rebound, and bound_ is
+  // only ever written here under mu_); different patterns would
   // invalidate caches under the dispatcher, so require the design idle.
   Tenant& t = it->second;
+  const std::span<const TestPattern> bound = t.session->patterns();
+  if (std::equal(bound.begin(), bound.end(), patterns.begin(),
+                 patterns.end())) {
+    return key;
+  }
   SP_CHECK(!t.busy && t.fifo.empty(),
            strprintf("DiagnosisQueue::open: design %016llx has pending or "
                      "in-flight jobs; drain() before rebinding patterns",
@@ -57,12 +65,25 @@ std::future<DiagnosisResult> DiagnosisQueue::submit(DesignKey key,
                                                     Evidence evidence) {
   std::future<DiagnosisResult> fut;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = tenants_.find(key);
     SP_CHECK(it != tenants_.end(),
              strprintf("DiagnosisQueue::submit: unregistered design key "
                        "%016llx (call open() first)",
                        static_cast<unsigned long long>(key)));
+    if (opts_.max_pending > 0 && pending_ >= opts_.max_pending) {
+      if (opts_.overload == OverloadPolicy::Reject) {
+        SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueRejected, 1);
+        throw OverloadError(opts_.retry_hint_ms);
+      }
+      // Block: park until the dispatcher frees depth. The tenant map only
+      // grows, so `it` stays valid across the wait.
+      done_cv_.wait(lock, [this] {
+        return stop_ || pending_ < opts_.max_pending;
+      });
+      if (stop_) throw QueueShutdownError();
+    }
+    if (stop_) throw QueueShutdownError();
     Job job;
     job.evidence = std::move(evidence);
     job.seq = next_seq_++;
@@ -71,15 +92,34 @@ std::future<DiagnosisResult> DiagnosisQueue::submit(DesignKey key,
     it->second.fifo.push_back(std::move(job));
     ++pending_;
     SP_TELEM_ADD(telemetry_, 0, CounterId::kQueueSubmitted, 1);
-    if constexpr (kTelemetryEnabled) {
-      if (telemetry_) {
-        telemetry_->metrics.set_gauge(GaugeId::kQueueDepth,
-                                      static_cast<std::int64_t>(pending_));
-      }
-    }
+    update_depth_gauge();
   }
   cv_.notify_one();
   return fut;
+}
+
+void DiagnosisQueue::update_depth_gauge() {
+  if constexpr (kTelemetryEnabled) {
+    if (telemetry_) {
+      telemetry_->metrics.set_gauge(GaugeId::kQueueDepth,
+                                    static_cast<std::int64_t>(pending_));
+    }
+  }
+}
+
+DiagnosisQueue::Tenant* DiagnosisQueue::pick_round_robin() {
+  if (tenants_.empty()) return nullptr;
+  // First backlogged design strictly after the cursor, wrapping -- a
+  // design that just ran a batch goes to the back of the rotation.
+  auto it = tenants_.upper_bound(rr_cursor_);
+  for (std::size_t i = 0; i < tenants_.size(); ++i, ++it) {
+    if (it == tenants_.end()) it = tenants_.begin();
+    if (!it->second.busy && !it->second.fifo.empty()) {
+      rr_cursor_ = it->first;
+      return &it->second;
+    }
+  }
+  return nullptr;
 }
 
 void DiagnosisQueue::dispatcher_loop() {
@@ -92,17 +132,27 @@ void DiagnosisQueue::dispatcher_loop() {
       }
       return false;
     });
-    // Pick the design whose oldest job has waited longest: FIFO across
-    // designs, so a chatty design cannot starve a quiet one.
-    Tenant* best = nullptr;
-    for (auto& [key, t] : tenants_) {
-      if (t.fifo.empty()) continue;
-      if (!best || t.fifo.front().seq < best->fifo.front().seq) best = &t;
+    if (stop_) {
+      // Shutdown: fail every still-queued job with the typed shutdown
+      // error instead of running it (or silently dropping the promise,
+      // which would surface as an opaque broken_promise at the client).
+      std::size_t poisoned = 0;
+      for (auto& [key, t] : tenants_) {
+        for (Job& j : t.fifo) {
+          j.promise.set_exception(
+              std::make_exception_ptr(QueueShutdownError()));
+          ++poisoned;
+        }
+        t.fifo.clear();
+      }
+      pending_ -= poisoned;
+      SP_TELEM_ADD(telemetry_, 0, CounterId::kQueuePoisoned, poisoned);
+      update_depth_gauge();
+      done_cv_.notify_all();
+      return;
     }
-    if (!best) {
-      if (stop_) return;  // drained: every queue empty
-      continue;
-    }
+    Tenant* best = pick_round_robin();
+    if (!best) continue;
     const std::size_t n = std::min(opts_.max_batch, best->fifo.size());
     std::vector<Job> jobs;
     jobs.reserve(n);
@@ -116,12 +166,7 @@ void DiagnosisQueue::dispatcher_loop() {
     lock.lock();
     best->busy = false;
     pending_ -= n;
-    if constexpr (kTelemetryEnabled) {
-      if (telemetry_) {
-        telemetry_->metrics.set_gauge(GaugeId::kQueueDepth,
-                                      static_cast<std::int64_t>(pending_));
-      }
-    }
+    update_depth_gauge();
     done_cv_.notify_all();
   }
 }

@@ -19,12 +19,24 @@
 // the queue's SessionPool and binds one per-design tenant session (only
 // the dispatcher thread ever touches a session, honoring its
 // single-threaded contract). submit() is thread-safe and cheap: push,
-// stamp, notify. Dispatch order is FIFO by submission across designs,
-// batched per design; a failing batch falls back to per-log dispatch so
-// one malformed log poisons only its own future.
+// stamp, notify. Dispatch is round-robin across designs (FIFO within a
+// design, batched per design): after a design's batch the cursor moves
+// on, so one backlogged design costs every other design at most one
+// batch of head-of-line delay instead of monopolizing the dispatcher
+// the way global submission-order FIFO did. A failing batch falls back
+// to per-log dispatch so one malformed log poisons only its own future.
+//
+// Admission control: `max_pending` bounds queued + in-flight jobs.
+// At the bound, OverloadPolicy::Block parks submit() until the
+// dispatcher frees depth, and OverloadPolicy::Reject throws
+// OverloadError carrying a retry_after_ms hint -- the wire layer maps it
+// to {"error":"overloaded","retry_after_ms":...} and the net client
+// backs off and retries. Destruction does NOT run pending work: any job
+// still queued fails with QueueShutdownError (call drain() first for a
+// graceful stop); blocked submitters are woken with the same error.
 //
 // Telemetry (optional, queue-scoped): queue.{submitted,batches,
-// coalesced,wait_us} and the queue.depth gauge.
+// coalesced,rejected,poisoned,wait_us} and the queue.depth gauge.
 
 #include <condition_variable>
 #include <cstdint>
@@ -41,8 +53,37 @@
 
 namespace scanpower {
 
+/// Thrown by submit() under OverloadPolicy::Reject when the queue is at
+/// max_pending. retry_after_ms() is the server's backoff hint.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(std::uint64_t retry_after_ms)
+      : Error("DiagnosisQueue overloaded: depth at max_pending; retry in " +
+              std::to_string(retry_after_ms) + " ms"),
+        retry_after_ms_(retry_after_ms) {}
+  std::uint64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::uint64_t retry_after_ms_;
+};
+
+/// Poison carried by futures whose job was still pending when the queue
+/// shut down, and thrown by submit()/blocked submitters racing it.
+class QueueShutdownError : public Error {
+ public:
+  QueueShutdownError()
+      : Error("DiagnosisQueue shut down with this job still pending "
+              "(drain() before destruction for a graceful stop)") {}
+};
+
 class DiagnosisQueue {
  public:
+  /// What submit() does when the queue is at max_pending.
+  enum class OverloadPolicy {
+    Block,   ///< park the submitter until the dispatcher frees depth
+    Reject,  ///< throw OverloadError with a retry_after_ms hint
+  };
+
   struct Options {
     /// Max logs coalesced into one diagnose_batch dispatch. 64 matches
     /// the diagnoser's fixed candidate-round width: one batch keeps every
@@ -50,6 +91,13 @@ class DiagnosisQueue {
     std::size_t max_batch = 64;
     /// Capacity of the internal DesignContext pool.
     std::size_t pool_capacity = SessionPool::kDefaultCapacity;
+    /// Admission bound on queued + in-flight jobs; 0 = unbounded (the
+    /// pre-admission-control behavior).
+    std::size_t max_pending = 0;
+    /// Behavior at the max_pending bound.
+    OverloadPolicy overload = OverloadPolicy::Block;
+    /// Base retry hint attached to OverloadError / the wire reject.
+    std::uint64_t retry_hint_ms = 20;
   };
 
   /// Key identifying one registered design (its structural hash).
@@ -59,7 +107,9 @@ class DiagnosisQueue {
   /// outlive the queue) receives the queue and pool counters.
   explicit DiagnosisQueue(Options opts, Telemetry* telemetry = nullptr);
   DiagnosisQueue() : DiagnosisQueue(Options()) {}
-  /// Drains every pending job, then joins the dispatcher.
+  /// Finishes the in-flight batch, poisons every still-pending future
+  /// with QueueShutdownError and joins the dispatcher. Pending work is
+  /// NOT run -- call drain() first for a graceful stop.
   ~DiagnosisQueue();
 
   DiagnosisQueue(const DiagnosisQueue&) = delete;
@@ -75,8 +125,10 @@ class DiagnosisQueue {
                  std::span<const TestPattern> patterns);
 
   /// Enqueues one tester report against a registered design and returns
-  /// the future result. Throws Error for an unregistered key. The future
-  /// carries any diagnosis error for this log. Thread-safe.
+  /// the future result. Throws Error for an unregistered key, and at the
+  /// max_pending bound either blocks or throws OverloadError per
+  /// Options::overload. The future carries any diagnosis error for this
+  /// log. Thread-safe.
   std::future<DiagnosisResult> submit(DesignKey key, Evidence evidence);
 
   /// Blocks until every job submitted so far has been dispatched and
@@ -85,6 +137,8 @@ class DiagnosisQueue {
 
   /// Jobs waiting or in flight right now.
   std::size_t depth() const;
+
+  const Options& options() const { return opts_; }
 
   /// The underlying context pool (contexts stay warm across open calls).
   SessionPool& contexts() { return pool_; }
@@ -105,6 +159,8 @@ class DiagnosisQueue {
 
   void dispatcher_loop();
   void run_batch(Tenant& tenant, std::vector<Job> jobs);
+  void update_depth_gauge();  ///< callers hold mu_
+  Tenant* pick_round_robin(); ///< callers hold mu_
 
   const Options opts_;
   Telemetry* telemetry_;
@@ -112,10 +168,13 @@ class DiagnosisQueue {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       ///< dispatcher wakeup
-  std::condition_variable done_cv_;  ///< drain()/open() waiters
+  std::condition_variable done_cv_;  ///< drain() + blocked-submit waiters
   std::map<DesignKey, Tenant> tenants_;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;  ///< queued + in-flight jobs
+  /// Round-robin cursor: the last design dispatched; the next batch goes
+  /// to the first backlogged design strictly after it (wrapping).
+  DesignKey rr_cursor_ = 0;
   bool stop_ = false;
 
   std::thread dispatcher_;  ///< last member: joins before state destructs

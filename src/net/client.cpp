@@ -1,0 +1,125 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/work_queue.hpp"
+#include "util/strings.hpp"
+
+namespace scanpower::net {
+
+DiagClient::DiagClient(const std::string& host, std::uint16_t port,
+                       Options opts)
+    : opts_(opts),
+      conn_(Connection::connect(host, port, opts.connect_timeout_ms)),
+      reader_(opts.max_line),
+      rng_(opts.seed) {
+  conn_.set_read_timeout(opts_.io_timeout_ms);
+  conn_.set_write_timeout(opts_.io_timeout_ms);
+}
+
+DiagClient::DiagClient(const std::string& host, std::uint16_t port)
+    : DiagClient(host, port, Options()) {}
+
+void DiagClient::send_line(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  conn_.write_all(framed);
+}
+
+std::string DiagClient::read_line() {
+  char buf[4096];
+  for (;;) {
+    if (std::optional<std::string> line = reader_.next(); line.has_value()) {
+      return std::move(*line);
+    }
+    const std::size_t n = conn_.read_some(buf, sizeof(buf));
+    if (n == 0) {
+      throw ClosedError("DiagClient: server closed the connection "
+                        "mid-response");
+    }
+    reader_.feed(std::string_view(buf, n));
+  }
+}
+
+std::string DiagClient::roundtrip(std::string_view command) {
+  send_line(command);
+  return read_line();
+}
+
+std::string DiagClient::request(std::string_view command) {
+  std::uint64_t delay_ms = opts_.backoff_base_ms;
+  for (int attempt = 0;; ++attempt) {
+    std::string resp = roundtrip(command);
+    const std::optional<std::string> err = json_string_field(resp, "error");
+    if (!err.has_value() || *err != "overloaded") {
+      if (json_string_field(resp, "ok") == std::optional<std::string>("queued")) {
+        ++queued_;
+      }
+      return resp;
+    }
+    const std::uint64_t hint =
+        json_u64_field(resp, "retry_after_ms").value_or(0);
+    if (attempt >= opts_.max_retries) {
+      throw OverloadError(std::max(hint, delay_ms));
+    }
+    ++retries_;
+    // Exponential backoff from max(server hint, ramp), jittered over
+    // [delay/2, delay] so synchronized clients spread out.
+    delay_ms = std::min(opts_.backoff_max_ms, std::max(hint, delay_ms));
+    const std::uint64_t jittered =
+        delay_ms / 2 + rng_.next_below(delay_ms / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    delay_ms = std::min(opts_.backoff_max_ms, delay_ms * 2);
+  }
+}
+
+std::string DiagClient::design(const std::string& path, bool nomap) {
+  return request(strprintf("design %s%s", path.c_str(),
+                           nomap ? " nomap" : ""));
+}
+
+std::string DiagClient::patterns(std::size_t n, std::uint64_t seed) {
+  return request(strprintf("patterns %zu %llu", n,
+                           static_cast<unsigned long long>(seed)));
+}
+
+std::vector<std::string> DiagClient::flush() {
+  send_line("flush");
+  std::vector<std::string> results;
+  for (;;) {
+    std::string line = read_line();
+    if (json_string_field(line, "ok") == std::optional<std::string>("flush")) {
+      const std::uint64_t n = json_u64_field(line, "results").value_or(0);
+      SP_CHECK(n == results.size(),
+               strprintf("DiagClient::flush: terminator reports %llu results, "
+                         "received %zu",
+                         static_cast<unsigned long long>(n), results.size()));
+      break;
+    }
+    results.push_back(std::move(line));
+  }
+  queued_ = 0;
+  return results;
+}
+
+std::vector<std::string> DiagClient::quit() {
+  send_line("quit");
+  std::vector<std::string> results;
+  for (;;) {
+    std::string line = read_line();
+    if (json_string_field(line, "ok") == std::optional<std::string>("quit")) {
+      break;
+    }
+    if (json_string_field(line, "ok") == std::optional<std::string>("flush")) {
+      continue;  // the embedded flush terminator
+    }
+    results.push_back(std::move(line));
+  }
+  queued_ = 0;
+  conn_.shutdown_both();
+  return results;
+}
+
+}  // namespace scanpower::net

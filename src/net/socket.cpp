@@ -1,0 +1,203 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace scanpower::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  const int err = errno;
+  const std::string msg =
+      strprintf("%s: %s", what, std::strerror(err));
+  if (err == ECONNRESET || err == EPIPE || err == ECONNABORTED) {
+    throw ClosedError(msg);
+  }
+  throw NetError(msg);
+}
+
+/// poll() one fd for readability/writability; EINTR-safe. Returns false
+/// on timeout.
+bool poll_one(int fd, bool for_write, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = static_cast<short>(for_write ? POLLOUT : POLLIN);
+  p.revents = 0;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;  // readable/writable, or error -- let I/O see it
+    if (r == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+}  // namespace
+
+// ---------- Socket -----------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------- Connection -------------------------------------------------------
+
+Connection Connection::connect(const std::string& host, std::uint16_t port,
+                               int timeout_ms) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (gai != 0) {
+    throw NetError(strprintf("connect %s:%u: %s", host.c_str(),
+                             static_cast<unsigned>(port),
+                             ::gai_strerror(gai)));
+  }
+  Socket sock(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  if (!sock.valid()) {
+    ::freeaddrinfo(res);
+    throw_errno("socket");
+  }
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking (all later I/O deadlines run through poll()).
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(sock.fd(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    if (!poll_one(sock.fd(), /*for_write=*/true, timeout_ms)) {
+      throw TimeoutError(strprintf("connect %s:%u: timed out after %d ms",
+                                   host.c_str(), static_cast<unsigned>(port),
+                                   timeout_ms));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  ::fcntl(sock.fd(), F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Connection(std::move(sock));
+}
+
+void Connection::wait_ready(bool for_write, int timeout_ms, const char* what) {
+  if (timeout_ms <= 0) return;  // wait forever: let the syscall block
+  if (!poll_one(sock_.fd(), for_write, timeout_ms)) {
+    throw TimeoutError(
+        strprintf("%s: timed out after %d ms", what, timeout_ms));
+  }
+}
+
+std::size_t Connection::read_some(char* buf, std::size_t n) {
+  SP_CHECK(sock_.valid(), "Connection::read_some: socket closed");
+  wait_ready(/*for_write=*/false, read_timeout_ms_, "read");
+  for (;;) {
+    const ssize_t r = ::recv(sock_.fd(), buf, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);  // 0 = orderly EOF
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+void Connection::write_all(std::string_view data) {
+  SP_CHECK(sock_.valid(), "Connection::write_all: socket closed");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    wait_ready(/*for_write=*/true, write_timeout_ms_, "write");
+    const ssize_t w = ::send(sock_.fd(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (w >= 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("write");
+  }
+}
+
+void Connection::shutdown_read() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_RD);
+}
+
+void Connection::shutdown_both() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_RDWR);
+}
+
+// ---------- Listener ---------------------------------------------------------
+
+Listener::Listener(std::uint16_t port, int backlog, bool loopback_only) {
+  sock_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock_.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(sock_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(sock_.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(sock_.fd(), backlog) != 0) throw_errno("listen");
+  // Report the kernel's pick under port 0.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock_.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<Connection> Listener::accept(int timeout_ms) {
+  SP_CHECK(sock_.valid(), "Listener::accept: listener closed");
+  if (!poll_one(sock_.fd(), /*for_write=*/false, timeout_ms)) {
+    return std::nullopt;
+  }
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Connection(Socket(fd));
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNABORTED) return std::nullopt;  // peer gave up mid-accept
+    throw_errno("accept");
+  }
+}
+
+}  // namespace scanpower::net

@@ -1,0 +1,138 @@
+#pragma once
+// RAII POSIX TCP sockets for the diagnosis service transport.
+//
+// Three thin layers, each mapping raw errno failures into the library's
+// typed Error hierarchy (NetError, with TimeoutError / ClosedError
+// refinements) so transport faults are catchable next to parse and
+// option errors instead of surfacing as raw -1/errno pairs:
+//
+//   Socket     -- owning fd wrapper: move-only, closes on destruction.
+//   Listener   -- bound + listening socket; port 0 binds an ephemeral
+//                 port and port() reports what the kernel picked.
+//                 accept() is poll-based with a timeout so an accept
+//                 loop can observe a stop flag without signals.
+//   Connection -- a connected stream with poll-based read/write
+//                 timeouts, EINTR-safe full-buffer writes (MSG_NOSIGNAL:
+//                 a dead peer is a ClosedError, never a SIGPIPE), and
+//                 half-close (shutdown_read unblocks a parked reader --
+//                 how the server wakes connection threads on shutdown).
+//
+// Loopback-only by default: the diagnosis service speaks an unauthenti-
+// cated line protocol, so Listener binds 127.0.0.1 unless the caller
+// explicitly opts into all interfaces.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace scanpower::net {
+
+/// Transport-layer failure (connect/bind/read/write), message carries
+/// the operation and the errno text.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// A read/write/connect deadline expired before the operation completed.
+class TimeoutError : public NetError {
+ public:
+  explicit TimeoutError(const std::string& what) : NetError(what) {}
+};
+
+/// The peer closed or reset the connection mid-operation.
+class ClosedError : public NetError {
+ public:
+  explicit ClosedError(const std::string& what) : NetError(what) {}
+};
+
+/// Owning file-descriptor wrapper. Move-only; close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream. Obtained from Listener::accept() or
+/// Connection::connect(); all I/O enforces the per-direction timeouts.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(Socket s) : sock_(std::move(s)) {}
+
+  /// Blocking connect to host:port ("127.0.0.1" style dotted quad or a
+  /// resolvable name) bounded by timeout_ms. Throws TimeoutError /
+  /// NetError.
+  static Connection connect(const std::string& host, std::uint16_t port,
+                            int timeout_ms);
+
+  bool valid() const { return sock_.valid(); }
+
+  /// Read/write deadlines for subsequent operations, in ms; <= 0 means
+  /// wait forever.
+  void set_read_timeout(int ms) { read_timeout_ms_ = ms; }
+  void set_write_timeout(int ms) { write_timeout_ms_ = ms; }
+
+  /// Reads up to `n` bytes into `buf`. Returns 0 on orderly EOF, throws
+  /// TimeoutError when the read deadline passes with no data, ClosedError
+  /// on a reset.
+  std::size_t read_some(char* buf, std::size_t n);
+
+  /// Writes the whole buffer (looping over partial writes). Throws
+  /// ClosedError when the peer is gone, TimeoutError past the deadline.
+  void write_all(std::string_view data);
+
+  /// Half-close: no more reads will be served; a reader blocked in
+  /// read_some() wakes with EOF. Responses can still be written.
+  void shutdown_read();
+  /// Full shutdown of both directions (pending I/O wakes with EOF/error).
+  void shutdown_both();
+  void close() { sock_.close(); }
+
+ private:
+  void wait_ready(bool for_write, int timeout_ms, const char* what);
+
+  Socket sock_;
+  int read_timeout_ms_ = -1;
+  int write_timeout_ms_ = -1;
+};
+
+/// A listening TCP socket, loopback-only unless `loopback_only=false`.
+class Listener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  explicit Listener(std::uint16_t port, int backlog = 64,
+                    bool loopback_only = true);
+
+  /// The actually-bound port (the kernel's pick under port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms for a connection; nullopt on timeout (the
+  /// accept loop's stop-flag poll point). Throws NetError on listener
+  /// failure, including close() from another thread.
+  std::optional<Connection> accept(int timeout_ms);
+
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace scanpower::net

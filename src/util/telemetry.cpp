@@ -52,6 +52,14 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "queue.submitted",
     "queue.batches",
     "queue.coalesced",
+    "queue.rejected",
+    "queue.poisoned",
+    "net.accepted",
+    "net.conn_rejected",
+    "net.requests",
+    "net.bytes_in",
+    "net.bytes_out",
+    "net.framing_errors",
     "pool.runs",
     "pool.jobs",
     "diag.prune_us",
@@ -70,11 +78,13 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "sim.backend",
     "sessions.pool_size",
     "queue.depth",
+    "net.active_connections",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
     "diag.latency_us",
     "compact_diag.latency_us",
+    "net.request_us",
 };
 
 }  // namespace

@@ -96,6 +96,15 @@ enum class CounterId : int {
   kQueueSubmitted,     ///< submit() calls
   kQueueBatches,       ///< diagnose_batch dispatches by the queue worker
   kQueueCoalesced,     ///< logs that rode along in a multi-log batch
+  kQueueRejected,      ///< submits refused by the Reject overload policy
+  kQueuePoisoned,      ///< pending futures failed by queue shutdown
+  // network transport (traffic-dependent: no determinism guarantee)
+  kNetAccepted,        ///< connections accepted by the listener
+  kNetConnRejected,    ///< connections refused at the connection cap
+  kNetRequests,        ///< command lines handled across connections
+  kNetBytesIn,         ///< payload bytes read off accepted sockets
+  kNetBytesOut,        ///< response bytes written to accepted sockets
+  kNetFramingErrors,   ///< oversized / malformed lines answered with errors
   // thread pool (configuration-dependent: varies with num_threads)
   kPoolRuns,
   kPoolJobs,
@@ -117,12 +126,14 @@ enum class GaugeId : int {
   kSimBackend,           ///< last resolved SimBackend (numeric enum value)
   kCtxPoolSize,          ///< design contexts currently resident in the pool
   kQueueDepth,           ///< evidence waiting in the diagnosis queue
+  kNetActiveConns,       ///< currently open server connections
   kCount
 };
 
 enum class HistId : int {
   kDiagnoseUs = 0,     ///< full-response diagnose() latency
   kCompactDiagnoseUs,  ///< compacted diagnose() latency
+  kNetRequestUs,       ///< per-command handling latency at the server
   kCount
 };
 
